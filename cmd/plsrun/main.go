@@ -1,0 +1,106 @@
+// Command plsrun runs a single distributed training configuration and
+// prints the per-epoch accuracy curve and phase accounting.
+//
+// Examples:
+//
+//	plsrun -dataset imagenet-50 -model resnet50 -workers 32 -strategy partial -q 0.3
+//	plsrun -dataset cifar-100 -model inceptionv4 -workers 16 -strategy local -locality 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plshuffle"
+)
+
+func main() {
+	dataset := flag.String("dataset", "imagenet-50", "paper dataset key (see -list-datasets)")
+	model := flag.String("model", "resnet50", "proxy model name")
+	workers := flag.Int("workers", 8, "number of data-parallel workers")
+	strategy := flag.String("strategy", "partial", "global | local | partial")
+	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	batch := flag.Int("batch", 16, "local mini-batch size")
+	lr := flag.Float64("lr", 0.05, "base learning rate")
+	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
+	lars := flag.Bool("lars", false, "use the LARS optimizer")
+	seed := flag.Uint64("seed", 42, "run seed")
+	saveWeights := flag.String("save-weights", "", "write the trained model checkpoint to this file")
+	listDatasets := flag.Bool("list-datasets", false, "list dataset keys and exit")
+	flag.Parse()
+
+	if *listDatasets {
+		for _, k := range plshuffle.PaperDatasets() {
+			info, _ := plshuffle.PaperDatasetInfo(k)
+			fmt.Printf("%-14s %s (%d samples)\n", k, info.Name, info.RealN)
+		}
+		return
+	}
+
+	var strat plshuffle.Strategy
+	switch *strategy {
+	case "global":
+		strat = plshuffle.Global()
+	case "local":
+		strat = plshuffle.Local()
+	case "partial":
+		strat = plshuffle.Partial(*q)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	ds, err := plshuffle.ProxyDataset(*dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, err := plshuffle.ProxyModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := plshuffle.Train(plshuffle.TrainConfig{
+		Workers:           *workers,
+		Strategy:          strat,
+		Dataset:           ds,
+		Model:             spec.WithData(ds.FeatureDim, ds.Classes),
+		Epochs:            *epochs,
+		BatchSize:         *batch,
+		BaseLR:            float32(*lr),
+		Momentum:          0.9,
+		WeightDecay:       1e-4,
+		UseLARS:           *lars,
+		Seed:              *seed,
+		PartitionLocality: *locality,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s proxy, %d workers, strategy %s (locality %.2f)\n",
+		*model, *dataset, *workers, strat, *locality)
+	fmt.Printf("%-6s  %-8s  %-8s  %-12s  %-12s\n", "epoch", "loss", "val-acc", "local-read", "exchanged")
+	for _, e := range res.Epochs {
+		fmt.Printf("%-6d  %-8.4f  %-8.4f  %-12d  %-12d\n",
+			e.Epoch+1, e.TrainLoss, e.ValAcc, e.LocalReadBytes, e.ExchangeBytes)
+	}
+	fmt.Printf("final=%.4f best=%.4f peak-storage/worker=%d bytes\n",
+		res.FinalValAcc, res.BestValAcc, res.PeakStorageBytes)
+	if *saveWeights != "" {
+		f, err := os.Create(*saveWeights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := plshuffle.SaveWeights(f, res.FinalModel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveWeights)
+	}
+}

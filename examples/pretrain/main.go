@@ -1,0 +1,67 @@
+// Pretrain/fine-tune (the paper's Figure 8): pretrain on the ImageNet-21K
+// proxy with global vs (partial) local shuffling, then fine-tune on the
+// ImageNet-1K proxy. Upstream local shuffling loses a few points, but the
+// downstream accuracy after fine-tuning is essentially the same — so cheap
+// local-style pretraining does not hurt the final task.
+//
+//	go run ./examples/pretrain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plshuffle"
+)
+
+func main() {
+	up, err := plshuffle.ProxyDataset("imagenet-21k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	down, err := plshuffle.ProxyDataset("imagenet-1k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := plshuffle.ProxyModel("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	upModel := base.WithData(up.FeatureDim, up.Classes)
+	downModel := base.WithData(down.FeatureDim, down.Classes)
+
+	fmt.Println("upstream: ResNet50 on ImageNet-21K proxy (24 workers, 15 epochs)")
+	fmt.Println("downstream: fine-tune on ImageNet-1K proxy (8 workers, global shuffling)")
+	fmt.Printf("%-12s  %-13s  %-15s\n", "upstream", "upstream acc", "downstream acc")
+	for _, strat := range []plshuffle.Strategy{
+		plshuffle.Global(), plshuffle.Local(), plshuffle.Partial(0.1),
+	} {
+		upRes, err := plshuffle.Train(plshuffle.TrainConfig{
+			Workers: 24, Strategy: strat, Dataset: up, Model: upModel,
+			Epochs: 15, BatchSize: 16, BaseLR: 0.05, Momentum: 0.9,
+			WeightDecay: 1e-4, Seed: 2022, PartitionLocality: 0.6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Transfer the backbone; the classifier head has a different class
+		// count and keeps its fresh initialization.
+		warm, err := downModel.Build(2022, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plshuffle.TransferWeights(warm.Params(), upRes.FinalParams)
+		downRes, err := plshuffle.Train(plshuffle.TrainConfig{
+			Workers: 8, Strategy: plshuffle.Global(), Dataset: down, Model: downModel,
+			Epochs: 10, BatchSize: 16, BaseLR: 0.02, Momentum: 0.9,
+			WeightDecay: 1e-4, Seed: 2025, WarmStart: warm.Params(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %-13.4f  %-15.4f\n", strat, upRes.FinalValAcc, downRes.FinalValAcc)
+	}
+	fmt.Println("\nExpected shape (paper Fig 8): upstream local < global by a few points,")
+	fmt.Println("downstream accuracies nearly identical.")
+}

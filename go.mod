@@ -1,0 +1,3 @@
+module plshuffle
+
+go 1.22

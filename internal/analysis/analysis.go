@@ -1,0 +1,184 @@
+// Package analysis implements the convergence-rate and shuffling-error
+// machinery of Section IV-B. Building on Meng et al.'s analysis of
+// distributed SGD with insufficient shuffling, the paper counts the number
+// of permutations σ realizable by partial local shuffling with exchange
+// fraction Q (Equations 8-9), expresses the shuffling error as
+// ε(A,h,N) = 1 − σ/|N|! (Equations 10-11), and shows that for practical
+// dataset sizes and worker counts ε approaches 1 and therefore dominates
+// the convergence-rate upper bound (Equation 6) unless
+// ε ≤ sqrt(b·|M|/|N|).
+//
+// All permutation counts are astronomically large, so everything is
+// computed in log space with log-gamma.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogFactorial returns ln(n!) using the log-gamma function. It accepts
+// non-negative n; LogFactorial(0) = 0.
+func LogFactorial(n float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("analysis: LogFactorial(%v): negative argument", n))
+	}
+	lg, _ := math.Lgamma(n + 1)
+	return lg
+}
+
+// logPerm returns ln(P(n, k)) = ln(n!/(n-k)!), the number of k-permutations
+// of n items.
+func logPerm(n, k float64) float64 {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("analysis: logPerm(%v, %v): k out of range", n, k))
+	}
+	return LogFactorial(n) - LogFactorial(n-k)
+}
+
+// LogSigmaPaper computes ln(σ) of Equation 9 verbatim: the paper's count
+// of permutations realizable by one epoch of partial local shuffling with
+// fraction q on n samples over m workers. The four factors are:
+// permutations of a worker's local samples, permutations of candidate
+// incoming samples from the other m−1 partitions, permutations of the
+// outgoing exchange picks, and permutations of the remaining samples in
+// the other partitions.
+//
+// REPRODUCTION NOTE: Equation 9 overcounts. At small worker counts it
+// exceeds |N|! — e.g. for |N| = 1.2e6, |M| = 4, Q = 0.1 the formula gives
+// ln σ ≈ 1.57e7 > ln |N|! ≈ 1.56e7, which would make ε negative, while the
+// paper's stated conclusion for exactly these parameters is ε ≈ 1. The
+// overcount comes from the second factor re-counting arrangements already
+// counted by the final ((|M|−1)·|N|/|M|)! factor. At the paper's larger
+// scales (|M| ≳ 64) the formula is consistent (σ ≪ |N|!) and the ε ≈ 1
+// conclusion follows. LogSigmaCorrected provides a count that supports the
+// conclusion across the full range; ShufflingError clamps either variant
+// into a valid probability-distance range.
+func LogSigmaPaper(n, m int, q float64) (float64, error) {
+	if err := checkSigmaArgs(n, m, q); err != nil {
+		return 0, err
+	}
+	perWorker := float64(n) / float64(m)
+	others := float64(m-1) * perWorker
+	exchanged := math.Floor(q * perWorker)
+	return LogFactorial(perWorker) +
+		logPerm(others, exchanged) +
+		logPerm(perWorker, exchanged) +
+		LogFactorial(others), nil
+}
+
+// LogSigmaCorrected counts reachable configurations as (outgoing-set
+// choices per worker) × (balanced assignments of the M·k outgoing samples,
+// k to each worker) × (local orders):
+//
+//	σ' = C(N/M, k)^M · (M·k)!/(k!)^M · ((N/M)!)^M
+//
+// Unlike Equation 9, this count stays below |N|! for all of the paper's
+// parameter ranges, so ε = 1 − σ'/|N|! ≈ 1 holds as Section IV-B claims
+// ("for practical dataset sizes and number of workers the shuffling error
+// would approach the value 1").
+func LogSigmaCorrected(n, m int, q float64) (float64, error) {
+	if err := checkSigmaArgs(n, m, q); err != nil {
+		return 0, err
+	}
+	perWorker := float64(n) / float64(m)
+	k := math.Floor(q * perWorker)
+	logChoose := logPerm(perWorker, k) - LogFactorial(k)
+	return float64(m)*logChoose +
+		LogFactorial(float64(m)*k) - float64(m)*LogFactorial(k) +
+		float64(m)*LogFactorial(perWorker), nil
+}
+
+func checkSigmaArgs(n, m int, q float64) error {
+	if n <= 0 || m <= 1 {
+		return fmt.Errorf("analysis: sigma(n=%d, m=%d): need n > 0 and m > 1", n, m)
+	}
+	if q < 0 || q > 1 {
+		return fmt.Errorf("analysis: sigma: fraction %v out of [0,1]", q)
+	}
+	return nil
+}
+
+// ShufflingError computes ε(A,h,N) = 1 − σ/|N|! (Equation 11) using the
+// corrected permutation count, clamped into [0,1] (σ estimates can exceed
+// |N|! at toy sizes; a total-variation-style distance cannot leave the unit
+// interval).
+func ShufflingError(n, m int, q float64) (float64, error) {
+	ls, err := LogSigmaCorrected(n, m, q)
+	if err != nil {
+		return 0, err
+	}
+	return epsilonFromLogSigma(ls, n), nil
+}
+
+// ShufflingErrorPaper computes Equation 11 with the verbatim Equation 9
+// count, clamped into [0,1].
+func ShufflingErrorPaper(n, m int, q float64) (float64, error) {
+	ls, err := LogSigmaPaper(n, m, q)
+	if err != nil {
+		return 0, err
+	}
+	return epsilonFromLogSigma(ls, n), nil
+}
+
+func epsilonFromLogSigma(logSigma float64, n int) float64 {
+	diff := logSigma - LogFactorial(float64(n))
+	if diff > 0 {
+		diff = 0
+	}
+	// exp underflows to 0 for any realistic size, making ε exactly 1 in
+	// float64 — the paper's conclusion.
+	return 1 - math.Exp(diff)
+}
+
+// BoundTerms evaluates the three terms of the convergence-rate upper bound
+// for the smooth non-convex case (Equation 6):
+//
+//	T1 = sqrt(1/(S·|N|))   — the optimization term over S epochs
+//	T2 = log|N| / |N|      — the shuffling-independent bias term
+//	T3 = |N|·ε² / (b·|M|)  — the shuffling-error term
+type BoundTerms struct {
+	T1, T2, T3 float64
+}
+
+// Dominant returns which term dominates the bound ("T1", "T2", or "T3").
+func (b BoundTerms) Dominant() string {
+	switch {
+	case b.T3 >= b.T1 && b.T3 >= b.T2:
+		return "T3"
+	case b.T1 >= b.T2:
+		return "T1"
+	default:
+		return "T2"
+	}
+}
+
+// ConvergenceBound computes the Equation 6 terms for n samples, m workers,
+// local batch b, s epochs, and shuffling error eps.
+func ConvergenceBound(n, m, b, s int, eps float64) (BoundTerms, error) {
+	if n <= 0 || m <= 0 || b <= 0 || s <= 0 {
+		return BoundTerms{}, fmt.Errorf("analysis: ConvergenceBound: all arguments must be positive (n=%d m=%d b=%d s=%d)", n, m, b, s)
+	}
+	return BoundTerms{
+		T1: math.Sqrt(1 / (float64(s) * float64(n))),
+		T2: math.Log(float64(n)) / float64(n),
+		T3: float64(n) * eps * eps / (float64(b) * float64(m)),
+	}, nil
+}
+
+// DominationThreshold returns sqrt(b·m/n), the largest shuffling error that
+// does not dominate the convergence rate (Section IV-B's condition
+// ε(A,h,N) ≤ sqrt(b|M|/|N|)).
+func DominationThreshold(n, m, b int) float64 {
+	return math.Sqrt(float64(b) * float64(m) / float64(n))
+}
+
+// Dominates reports whether the shuffling error of PLS(q) on (n, m)
+// dominates the convergence bound at local batch size b.
+func Dominates(n, m, b int, q float64) (bool, error) {
+	eps, err := ShufflingError(n, m, q)
+	if err != nil {
+		return false, err
+	}
+	return eps > DominationThreshold(n, m, b), nil
+}

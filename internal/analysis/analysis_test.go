@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogFactorialSmallValues(t *testing.T) {
+	facts := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, f := range facts {
+		if got := LogFactorial(float64(n)); math.Abs(got-math.Log(f)) > 1e-9 {
+			t.Errorf("LogFactorial(%d) = %v, want ln(%v)", n, got, f)
+		}
+	}
+}
+
+func TestLogFactorialPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative argument")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+// TestSigmaSmallExact checks Equation 9 against a hand computation:
+// N=4, M=2, Q=0.5 gives N/M=2, QN/M=1, (M-1)N/M=2, so
+// σ = 2! * P(2,1) * P(2,1) * 2! = 2*2*2*2 = 16 and ε = 1 - 16/24 = 1/3.
+func TestSigmaSmallExact(t *testing.T) {
+	ls, err := LogSigmaPaper(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Exp(ls)-16) > 1e-9 {
+		t.Fatalf("sigma = %v, want 16", math.Exp(ls))
+	}
+	eps, err := ShufflingErrorPaper(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-1.0/3) > 1e-9 {
+		t.Fatalf("epsilon = %v, want 1/3", eps)
+	}
+}
+
+func TestSigmaQZero(t *testing.T) {
+	// Q=0: both P terms are P(x,0)=1, σ = (N/M)! * ((M-1)N/M)! = 3!*3!;
+	// the corrected count ((N/M)!)^M agrees at M=2.
+	for _, f := range []func(int, int, float64) (float64, error){LogSigmaPaper, LogSigmaCorrected} {
+		ls, err := f(6, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Log(6 * 6)
+		if math.Abs(ls-want) > 1e-9 {
+			t.Fatalf("log sigma = %v, want ln 36", ls)
+		}
+	}
+}
+
+// TestPaperFormulaOvercounts documents the Equation 9 inconsistency this
+// reproduction found: at |N| = 1.2e6 and |M| = 4 the verbatim formula
+// exceeds |N|!, while the corrected count stays (far) below it.
+func TestPaperFormulaOvercounts(t *testing.T) {
+	const n = 1_200_000
+	logNFact := LogFactorial(n)
+	lp, err := LogSigmaPaper(n, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp <= logNFact {
+		t.Fatalf("expected Equation 9 to overcount at M=4 (documented discrepancy); got ln sigma = %v <= ln N! = %v", lp, logNFact)
+	}
+	lc, err := LogSigmaCorrected(n, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc >= logNFact {
+		t.Fatalf("corrected count exceeds N!: %v >= %v", lc, logNFact)
+	}
+	// At the paper's larger scales the verbatim formula is consistent.
+	lp2048, err := LogSigmaPaper(n, 2048, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp2048 >= logNFact {
+		t.Fatalf("Equation 9 should be consistent at M=2048: %v >= %v", lp2048, logNFact)
+	}
+}
+
+func TestEpsilonInUnitInterval(t *testing.T) {
+	check := func(nRaw, mRaw uint8, qRaw uint8) bool {
+		m := int(mRaw)%6 + 2
+		n := m * (int(nRaw)%20 + 1)
+		q := float64(qRaw%11) / 10
+		for _, f := range []func(int, int, float64) (float64, error){ShufflingError, ShufflingErrorPaper} {
+			eps, err := f(n, m, q)
+			if err != nil || eps < 0 || eps > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := LogSigmaPaper(0, 2, 0.5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := LogSigmaCorrected(10, 1, 0.5); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := LogSigmaPaper(10, 2, 1.5); err == nil {
+		t.Error("q=1.5 accepted")
+	}
+	if _, err := ConvergenceBound(0, 1, 1, 1, 0.5); err == nil {
+		t.Error("bad bound args accepted")
+	}
+}
+
+// TestPaperConclusion reproduces the Section IV-B headline: "for training
+// ImageNet (|N| = 1.2e6) on any number of workers 4 <= |M| <= 100,000 and b
+// giving a total mini-batch under 100K, the shuffling error ~ 1" — which
+// exceeds the sqrt(b|M|/|N|) threshold, so the error dominates Equation 6.
+func TestPaperConclusion(t *testing.T) {
+	const n = 1_200_000
+	// Q=1 is excluded: a full balanced exchange degenerates to global
+	// shuffling and reaches every permutation (σ' = |N|!, ε = 0), so the
+	// paper's blanket "ε ≈ 1 for any Q" only holds for partial exchanges.
+	for _, m := range []int{4, 128, 2048, 100_000} {
+		for _, q := range []float64{0, 0.1, 0.5} {
+			eps, err := ShufflingError(n, m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eps < 0.999999 {
+				t.Fatalf("epsilon(N=1.2M, M=%d, Q=%v) = %v, paper says ~1", m, q, eps)
+			}
+			// Total mini-batch < 100K: pick b so that b*m <= 100_000.
+			b := 100_000 / m
+			if b == 0 {
+				b = 1
+			}
+			dom, err := Dominates(n, m, b, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dom {
+				t.Fatalf("shuffling error does not dominate at M=%d b=%d, contradicting the paper", m, b)
+			}
+		}
+	}
+}
+
+// TestFullExchangeIsGlobalShuffle: under the corrected count, Q=1 reaches
+// every permutation of the dataset (any balanced redistribution plus local
+// orders), i.e. partial local shuffling with Q=1 degenerates to a full
+// global shuffle with zero shuffling error — matching Section III-A's
+// statement that "a value of Q = 1 results in a full global shuffle".
+func TestFullExchangeIsGlobalShuffle(t *testing.T) {
+	ls, err := LogSigmaCorrected(1_200_000, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ls-LogFactorial(1_200_000)) > 1e-6*ls {
+		t.Fatalf("Q=1 corrected sigma = %v, want ln N! = %v", ls, LogFactorial(1_200_000))
+	}
+	eps, err := ShufflingError(1_200_000, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 1e-9 {
+		t.Fatalf("Q=1 epsilon = %v, want ~0", eps)
+	}
+}
+
+func TestDominationThreshold(t *testing.T) {
+	// sqrt(32*512/1.2e6) ~= 0.1168
+	got := DominationThreshold(1_200_000, 512, 32)
+	if math.Abs(got-math.Sqrt(32*512.0/1_200_000)) > 1e-12 {
+		t.Fatalf("threshold = %v", got)
+	}
+}
+
+func TestBoundTermsAndDominant(t *testing.T) {
+	b, err := ConvergenceBound(1_200_000, 512, 32, 90, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.T1 <= 0 || b.T2 <= 0 || b.T3 <= 0 {
+		t.Fatalf("terms: %+v", b)
+	}
+	// With eps ~ 1, T3 = N/(bM) = 73 >> T1, T2.
+	if b.Dominant() != "T3" {
+		t.Fatalf("dominant term = %s, want T3 (%+v)", b.Dominant(), b)
+	}
+	// With a tiny eps the optimization term dominates instead.
+	b2, err := ConvergenceBound(1_200_000, 512, 32, 90, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Dominant() == "T3" {
+		t.Fatalf("T3 should not dominate with eps=1e-6: %+v", b2)
+	}
+}
+
+// TestSigmaMonotoneInQ: more exchange can only reach more permutations
+// (P(n,k) is non-decreasing in k), so sigma is non-decreasing in Q.
+func TestSigmaMonotoneInQ(t *testing.T) {
+	for _, f := range []func(int, int, float64) (float64, error){LogSigmaPaper, LogSigmaCorrected} {
+		prev := -1.0
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+			ls, err := f(1000, 10, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls < prev {
+				t.Fatalf("sigma decreased at q=%v", q)
+			}
+			prev = ls
+		}
+	}
+}
+
+func BenchmarkShufflingError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ShufflingError(1_200_000, 2048, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSample hardens the wire format against malformed exchange
+// payloads: decoding must never panic, and any buffer it accepts must
+// round-trip back to identical bytes.
+func FuzzDecodeSample(f *testing.F) {
+	f.Add(Sample{ID: 1, Label: 2, Features: []float32{1, 2, 3}, Bytes: 99}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 28))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		s, err := DecodeSample(buf)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(s.Encode(), buf) {
+			t.Fatalf("accepted buffer does not round-trip (%d bytes)", len(buf))
+		}
+	})
+}

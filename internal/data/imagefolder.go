@@ -1,0 +1,150 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the on-disk dataset layout of the paper's tool:
+// PLS.ImageFolder(train_dir, class_file, transformations) in Figure 3 —
+// one directory per class, one file per sample, plus a class_file listing
+// the class names. WriteImageFolder materializes a synthetic dataset in
+// that layout and LoadImageFolder reads it back, so integration tests and
+// examples can exercise the real filesystem path end to end.
+
+// classFileName is the manifest the loader consumes (the paper's
+// "class_file" argument).
+const classFileName = "class_file"
+
+// WriteImageFolder writes the dataset's training samples under dir in the
+// ImageFolder layout:
+//
+//	dir/class_file            one class name per line, in label order
+//	dir/<class>/<id>.sample   encoded samples
+//	dir/val/<id>.sample       validation samples (flat)
+func WriteImageFolder(dir string, d *Dataset) error {
+	if d == nil || len(d.Train) == 0 {
+		return fmt.Errorf("data: WriteImageFolder: empty dataset")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("data: WriteImageFolder: %w", err)
+	}
+	manifest, err := os.Create(filepath.Join(dir, classFileName))
+	if err != nil {
+		return fmt.Errorf("data: WriteImageFolder: %w", err)
+	}
+	w := bufio.NewWriter(manifest)
+	for c := 0; c < d.Classes; c++ {
+		fmt.Fprintf(w, "class%04d\n", c)
+	}
+	if err := w.Flush(); err != nil {
+		manifest.Close()
+		return fmt.Errorf("data: WriteImageFolder: %w", err)
+	}
+	if err := manifest.Close(); err != nil {
+		return fmt.Errorf("data: WriteImageFolder: %w", err)
+	}
+	write := func(sub string, s Sample) error {
+		p := filepath.Join(dir, sub)
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(p, strconv.Itoa(s.ID)+".sample"), s.Encode(), 0o644)
+	}
+	for _, s := range d.Train {
+		if err := write(fmt.Sprintf("class%04d", s.Label), s); err != nil {
+			return fmt.Errorf("data: WriteImageFolder: %w", err)
+		}
+	}
+	for _, s := range d.Val {
+		if err := write("val", s); err != nil {
+			return fmt.Errorf("data: WriteImageFolder: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadImageFolder reads a dataset written by WriteImageFolder. Training
+// samples come back sorted by ID; labels are re-derived from the class
+// directories and verified against the encoded samples.
+func LoadImageFolder(dir string) (*Dataset, error) {
+	manifest, err := os.Open(filepath.Join(dir, classFileName))
+	if err != nil {
+		return nil, fmt.Errorf("data: LoadImageFolder: missing class_file: %w", err)
+	}
+	defer manifest.Close()
+	var classes []string
+	sc := bufio.NewScanner(manifest)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name != "" {
+			classes = append(classes, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: LoadImageFolder: %w", err)
+	}
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("data: LoadImageFolder: class_file lists %d classes", len(classes))
+	}
+
+	d := &Dataset{Name: filepath.Base(dir), Classes: len(classes)}
+	readDir := func(sub string, wantLabel int) ([]Sample, error) {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		var out []Sample
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".sample") {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, sub, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			s, err := DecodeSample(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sub, e.Name(), err)
+			}
+			if wantLabel >= 0 && s.Label != wantLabel {
+				return nil, fmt.Errorf("%s/%s: encoded label %d does not match directory class %d", sub, e.Name(), s.Label, wantLabel)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	for c, name := range classes {
+		ss, err := readDir(name, c)
+		if err != nil {
+			return nil, fmt.Errorf("data: LoadImageFolder: %w", err)
+		}
+		d.Train = append(d.Train, ss...)
+	}
+	if len(d.Train) == 0 {
+		return nil, fmt.Errorf("data: LoadImageFolder: no training samples under %s", dir)
+	}
+	sort.Slice(d.Train, func(i, j int) bool { return d.Train[i].ID < d.Train[j].ID })
+	val, err := readDir("val", -1)
+	if err != nil {
+		return nil, fmt.Errorf("data: LoadImageFolder: %w", err)
+	}
+	sort.Slice(val, func(i, j int) bool { return val[i].ID < val[j].ID })
+	d.Val = val
+	d.FeatureDim = len(d.Train[0].Features)
+	d.SampleBytes = d.Train[0].Bytes
+	for _, s := range d.Train {
+		if len(s.Features) != d.FeatureDim {
+			return nil, fmt.Errorf("data: LoadImageFolder: inconsistent feature dimension (%d vs %d)", len(s.Features), d.FeatureDim)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,117 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestImageFolderRoundtrip(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{
+		Name: "ifolder", NumSamples: 64, NumVal: 16, Classes: 4,
+		FeatureDim: 8, ClassSep: 3, NoiseStd: 1, Bytes: 500, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "train_dir")
+	if err := WriteImageFolder(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImageFolder(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Train) != 64 || len(got.Val) != 16 {
+		t.Fatalf("sizes: %d train %d val", len(got.Train), len(got.Val))
+	}
+	if got.Classes != 4 || got.FeatureDim != 8 || got.SampleBytes != 500 {
+		t.Fatalf("metadata: %+v", got)
+	}
+	for i := range ds.Train {
+		a, b := ds.Train[i], got.Train[i]
+		if a.ID != b.ID || a.Label != b.Label || a.Bytes != b.Bytes {
+			t.Fatalf("train sample %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Features {
+			if a.Features[j] != b.Features[j] {
+				t.Fatalf("train sample %d feature %d mismatch", i, j)
+			}
+		}
+	}
+	for i := range ds.Val {
+		if ds.Val[i].ID != got.Val[i].ID {
+			t.Fatalf("val sample %d mismatch", i)
+		}
+	}
+}
+
+func TestImageFolderLayout(t *testing.T) {
+	ds, _ := Generate(SyntheticSpec{
+		Name: "layout", NumSamples: 8, NumVal: 2, Classes: 2,
+		FeatureDim: 4, ClassSep: 3, NoiseStd: 1, Bytes: 100, Seed: 1,
+	})
+	dir := filepath.Join(t.TempDir(), "d")
+	if err := WriteImageFolder(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's layout: class_file manifest + one directory per class.
+	if _, err := os.Stat(filepath.Join(dir, "class_file")); err != nil {
+		t.Fatal("class_file missing")
+	}
+	for _, sub := range []string{"class0000", "class0001", "val"} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("%s is empty", sub)
+		}
+	}
+}
+
+func TestImageFolderErrors(t *testing.T) {
+	if err := WriteImageFolder(t.TempDir(), nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := LoadImageFolder(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	// Corrupt a sample file: the loader must fail loudly.
+	ds, _ := Generate(SyntheticSpec{
+		Name: "bad", NumSamples: 8, NumVal: 0, Classes: 2,
+		FeatureDim: 4, ClassSep: 3, NoiseStd: 1, Bytes: 100, Seed: 1,
+	})
+	dir := filepath.Join(t.TempDir(), "bad")
+	if err := WriteImageFolder(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(filepath.Join(dir, "class0000"))
+	if err := os.WriteFile(filepath.Join(dir, "class0000", entries[0].Name()), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImageFolder(dir); err == nil {
+		t.Fatal("corrupt sample accepted")
+	}
+}
+
+func TestImageFolderLabelDirectoryMismatch(t *testing.T) {
+	ds, _ := Generate(SyntheticSpec{
+		Name: "mv", NumSamples: 8, NumVal: 0, Classes: 2,
+		FeatureDim: 4, ClassSep: 3, NoiseStd: 1, Bytes: 100, Seed: 1,
+	})
+	dir := filepath.Join(t.TempDir(), "mv")
+	if err := WriteImageFolder(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Move a class-0 sample into class-1's directory.
+	entries, _ := os.ReadDir(filepath.Join(dir, "class0000"))
+	src := filepath.Join(dir, "class0000", entries[0].Name())
+	dst := filepath.Join(dir, "class0001", "999999.sample")
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImageFolder(dir); err == nil {
+		t.Fatal("label/directory mismatch accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package data
+
+import "fmt"
+
+// DatasetInfo records Table I of the paper: the real dataset's metadata and
+// the models trained on it, together with the scaled-down synthetic proxy
+// used by this reproduction.
+type DatasetInfo struct {
+	Name       string
+	Models     []string // proxy model names (see nn.ProxySpec)
+	RealN      int64    // number of training samples in the real dataset
+	RealBytes  int64    // total size of the real dataset
+	Notes      string
+	Proxy      SyntheticSpec
+	Pretrained bool // the paper fine-tunes a pretrained model (Stanford Cars)
+}
+
+// BytesPerSample returns the real dataset's average sample size.
+func (d DatasetInfo) BytesPerSample() int64 {
+	if d.RealN == 0 {
+		return 0
+	}
+	return d.RealBytes / d.RealN
+}
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+	tib = int64(1) << 40
+)
+
+// registry holds Table I. Proxy sizes keep a full accuracy experiment in
+// the seconds range while preserving the class structure; the proxy Bytes
+// field carries the *real* per-sample byte size so storage accounting and
+// the performance model see paper-scale volumes.
+var registry = map[string]DatasetInfo{
+	"imagenet-1k": {
+		Name:      "ImageNet-1K",
+		Models:    []string{"resnet50", "densenet161"},
+		RealN:     1_281_167,
+		RealBytes: 140 * gib,
+		Notes:     "1000 classes; the paper's primary accuracy benchmark",
+		Proxy: SyntheticSpec{
+			Name: "imagenet-1k-proxy", NumSamples: 8192, NumVal: 2048,
+			Classes: 32, FeatureDim: 48, ClassSep: 4, NoiseStd: 1.2,
+			Bytes: 117 * kib, Seed: 1001,
+		},
+	},
+	"imagenet-50": {
+		Name:      "ImageNet-50",
+		Models:    []string{"resnet50"},
+		RealN:     65_000,
+		RealBytes: 2 * gib,
+		Notes:     "50-class subset; the paper's most shuffle-sensitive dataset",
+		Proxy: SyntheticSpec{
+			Name: "imagenet-50-proxy", NumSamples: 4096, NumVal: 1024,
+			Classes: 64, FeatureDim: 48, ClassSep: 4, NoiseStd: 1.4,
+			Bytes: 32 * kib, Seed: 1002,
+		},
+	},
+	"imagenet-21k": {
+		Name:      "ImageNet-21K",
+		Models:    []string{"resnet50"},
+		RealN:     9_300_000,
+		RealBytes: 1126 * gib, // ~1.1 TiB
+		Notes:     "pretraining corpus (classes with >=500 samples kept, per Ridnik et al.)",
+		Proxy: SyntheticSpec{
+			Name: "imagenet-21k-proxy", NumSamples: 12288, NumVal: 2048,
+			Classes: 48, FeatureDim: 48, ClassSep: 3.5, NoiseStd: 1.3,
+			Bytes: 118 * kib, Seed: 1003,
+		},
+	},
+	"cifar-100": {
+		Name:      "CIFAR-100",
+		Models:    []string{"wideresnet28", "inceptionv4"},
+		RealN:     50_000,
+		RealBytes: 160 * mib,
+		Notes:     "100 classes of 500 samples",
+		Proxy: SyntheticSpec{
+			Name: "cifar-100-proxy", NumSamples: 6144, NumVal: 1536,
+			Classes: 40, FeatureDim: 40, ClassSep: 4, NoiseStd: 1.3,
+			Bytes: 3 * kib, Seed: 1004,
+		},
+	},
+	"stanford-cars": {
+		Name:       "Stanford Cars",
+		Models:     []string{"resnet50"},
+		RealN:      8_144,
+		RealBytes:  934 * mib,
+		Notes:      "fine-grained; the paper fine-tunes a pretrained ResNet50",
+		Pretrained: true,
+		Proxy: SyntheticSpec{
+			Name: "stanford-cars-proxy", NumSamples: 2048, NumVal: 512,
+			Classes: 16, FeatureDim: 40, ClassSep: 5, NoiseStd: 1.1,
+			Bytes: 115 * kib, Seed: 1005,
+		},
+	},
+	"deepcam": {
+		Name:      "DeepCAM",
+		Models:    []string{"deepcam"},
+		RealN:     121_266,
+		RealBytes: 8396 * gib, // ~8.2 TiB
+		Notes:     "climate segmentation; does not fit node-local storage, so the paper has no GS baseline",
+		Proxy: SyntheticSpec{
+			Name: "deepcam-proxy", NumSamples: 4096, NumVal: 1024,
+			Classes: 3, FeatureDim: 40, ClassSep: 2.2, NoiseStd: 1.5,
+			Bytes: 70 * mib, Seed: 1006,
+		},
+	},
+}
+
+// Info returns the registry entry for a dataset key ("imagenet-1k",
+// "imagenet-50", "imagenet-21k", "cifar-100", "stanford-cars", "deepcam").
+func Info(key string) (DatasetInfo, error) {
+	d, ok := registry[key]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("data: unknown dataset %q (known: %v)", key, DatasetKeys())
+	}
+	return d, nil
+}
+
+// DatasetKeys lists the registry keys in Table I order.
+func DatasetKeys() []string {
+	return []string{"imagenet-1k", "imagenet-50", "cifar-100", "stanford-cars", "imagenet-21k", "deepcam"}
+}
+
+// LoadProxy generates the synthetic proxy dataset for a registry key.
+func LoadProxy(key string) (*Dataset, error) {
+	info, err := Info(key)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(info.Proxy)
+}

@@ -1,0 +1,76 @@
+// Package eventsim is a discrete-event simulator for distributed training
+// epochs. Where internal/perfmodel computes closed-form epoch times, this
+// simulator plays out the epoch event by event: workers issue I/O requests
+// against shared processor-sharing resources (the PFS, NICs), compute for
+// modeled durations, meet in allreduce barriers, and exchange samples as
+// messages through the receivers' links. Stragglers and congestion are
+// EMERGENT — they arise from contention and per-request jitter rather
+// than from a fitted coefficient — which makes the simulator an
+// independent cross-check of the analytic model (see the eventsim-vs-model
+// experiment).
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int // tie-breaker for deterministic ordering
+	fn   func()
+}
+
+type eventPQ []*event
+
+func (q eventPQ) Len() int { return len(q) }
+func (q eventPQ) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventPQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventPQ) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Engine is a sequential discrete-event engine. Time is in seconds.
+type Engine struct {
+	now    float64
+	seq    int
+	queue  eventPQ
+	nsteps int
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of simulated time.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: Schedule(%v): negative delay", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains. It returns the final time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.time
+		e.nsteps++
+		if e.nsteps > 50_000_000 {
+			panic("eventsim: event budget exceeded (runaway simulation)")
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Steps returns the number of processed events (diagnostics).
+func (e *Engine) Steps() int { return e.nsteps }

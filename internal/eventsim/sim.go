@@ -1,0 +1,220 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+
+	"plshuffle/internal/cluster"
+	"plshuffle/internal/perfmodel"
+	"plshuffle/internal/rng"
+	"plshuffle/internal/shuffle"
+)
+
+// Config describes one epoch to simulate. It reuses the machine
+// descriptions and workload definitions of the analytic model so the two
+// can be compared point for point.
+type Config struct {
+	Machine  cluster.Machine
+	Workload perfmodel.Workload
+	Workers  int
+	Strategy shuffle.Strategy
+	Seed     uint64
+}
+
+// Result is the simulated epoch outcome, in seconds.
+type Result struct {
+	EpochTime float64 // completion of the slowest worker
+	IOMean    float64 // mean per-worker time spent reading samples
+	IOSlowest float64 // slowest worker's read time (emergent straggler)
+	FWBW      float64 // mean compute time
+	GEWU      float64 // mean gradient-exchange time incl. barrier waits
+	Exchange  float64 // mean exposed sample-exchange time
+	Events    int     // processed simulation events (diagnostics)
+}
+
+// Topology constants for the interconnect fabric: a fat-tree with the
+// given switch radix and 2:1 tapering per level above the edge. The
+// bisection bandwidth — and with it the all-to-all exchange capacity —
+// degrades as the node count forces deeper trees; this is how at-scale
+// exchange congestion EMERGES in the simulator instead of being fitted.
+const (
+	switchRadix = 16
+	taperFactor = 2.0
+)
+
+// fabricCapacity returns the aggregate exchange bandwidth available to
+// nodes of the machine at the given worker count.
+func fabricCapacity(mc cluster.Machine, workers int) float64 {
+	nodes := (workers + mc.WorkersPerNode - 1) / mc.WorkersPerNode
+	injection := float64(workers) * mc.InjectionBW
+	levels := 1
+	for capacity := switchRadix; capacity < nodes; capacity *= switchRadix / 2 {
+		levels++
+	}
+	oversub := math.Pow(taperFactor, float64(levels-1))
+	return injection / oversub
+}
+
+// jitter multipliers: per-request service-time noise plus a persistent
+// per-worker PFS multiplier. The per-request noise is heavy-tailed but
+// averages out over an epoch's hundreds of requests; the paper's 11.9 s
+// fastest vs 142 s slowest reader (Section V-F) reflects *persistent*
+// asymmetry — unlucky object-storage-target placement, shared-server
+// contention — which the per-worker multiplier models. Both are drawn
+// from seeded streams, so stragglers emerge deterministically per seed.
+const (
+	pfsJitterSigma       = 0.6
+	pfsWorkerJitterSigma = 0.8
+	localJitterSigma     = 0.08
+	computeJitterSigma   = 0.04
+)
+
+func lognormal(r *rng.Rand, sigma float64) float64 {
+	return math.Exp(sigma*r.NormFloat64() - sigma*sigma/2) // mean 1
+}
+
+// workerState accumulates one worker's phase times.
+type workerState struct {
+	io, fwbw, gewu float64
+	arrived        float64 // time of the last barrier arrival
+	computeDone    float64
+	exchangeDone   float64
+	finished       float64
+}
+
+// SimulateEpoch plays out one epoch and returns its phase decomposition.
+func SimulateEpoch(cfg Config) (Result, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Strategy.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Workers <= 0 {
+		return Result{}, fmt.Errorf("eventsim: workers must be positive, got %d", cfg.Workers)
+	}
+	mc, w, m := cfg.Machine, cfg.Workload, cfg.Workers
+	spw := w.N / m
+	iters := spw / w.LocalBatch
+	if iters < 1 {
+		iters = 1
+	}
+	batchBytes := float64(w.LocalBatch) * float64(w.BytesPerSample)
+
+	eng := NewEngine()
+	pfs := NewPSResource(eng, mc.PFSEffectiveBW, mc.PFSPerClientBW)
+	fabric := NewPSResource(eng, fabricCapacity(mc, m), mc.InjectionBW)
+	allreduce := NewBarrier(eng, m, 2*float64(w.Model.ParamBytes)/mc.AllreduceBW)
+
+	states := make([]*workerState, m)
+	rands := make([]*rng.Rand, m)
+	pfsWorkerJitter := make([]float64, m)
+	for i := range states {
+		states[i] = &workerState{}
+		rands[i] = rng.NewStream(cfg.Seed, 0xe5, uint64(i))
+		pfsWorkerJitter[i] = lognormal(rands[i], pfsWorkerJitterSigma)
+	}
+
+	localBW := mc.LocalReadBW
+	if w.Sequential {
+		localBW = mc.LocalSeqBW
+	}
+
+	var done int
+	finishWorker := func(r int) {
+		st := states[r]
+		st.finished = math.Max(st.computeDone, st.exchangeDone)
+		done++
+	}
+
+	// Exchange: one aggregate inbound flow per worker through the fabric,
+	// plus a serial per-message processing cost at the receiver.
+	exchanging := cfg.Strategy.Kind == shuffle.PartialLocal && cfg.Strategy.Q > 0
+	if exchanging {
+		k := shuffle.Slots(cfg.Strategy.Q, w.N, m)
+		for r := 0; r < m; r++ {
+			r := r
+			vol := float64(k) * float64(w.BytesPerSample) * lognormal(rands[r], localJitterSigma)
+			perMsg := float64(k) * mc.ExchangeLatency
+			fabric.Submit(vol, func() {
+				eng.Schedule(perMsg, func() {
+					states[r].exchangeDone = eng.Now()
+					if states[r].computeDone > 0 {
+						finishWorker(r)
+					}
+				})
+			})
+		}
+	}
+
+	// The per-iteration training loop, in continuation-passing style.
+	var step func(r, iter int)
+	step = func(r, iter int) {
+		st := states[r]
+		if iter == iters {
+			st.computeDone = eng.Now()
+			if !exchanging || st.exchangeDone > 0 {
+				finishWorker(r)
+			}
+			return
+		}
+		ioStart := eng.Now()
+		afterIO := func() {
+			st.io += eng.Now() - ioStart
+			compute := batchBytes / float64(w.BytesPerSample) * w.Model.ComputePerSample *
+				lognormal(rands[r], computeJitterSigma)
+			eng.Schedule(compute, func() {
+				st.fwbw += compute
+				st.arrived = eng.Now()
+				allreduce.Arrive(func() {
+					st.gewu += eng.Now() - st.arrived
+					step(r, iter+1)
+				})
+			})
+		}
+		if cfg.Strategy.Kind == shuffle.Global {
+			// PFS read: shared bandwidth, per-client cap, metadata cost,
+			// heavy-tailed per-request jitter on top of the worker's
+			// persistent placement multiplier.
+			jit := pfsWorkerJitter[r] * lognormal(rands[r], pfsJitterSigma)
+			meta := float64(w.LocalBatch) * mc.PFSMetadataCost
+			pfs.Submit(batchBytes*jit, func() {
+				eng.Schedule(meta, afterIO)
+			})
+		} else {
+			// Node-local read: private bandwidth, light jitter.
+			t := batchBytes / localBW * lognormal(rands[r], localJitterSigma)
+			eng.Schedule(t, afterIO)
+		}
+	}
+	for r := 0; r < m; r++ {
+		step(r, 0)
+	}
+	eng.Run()
+	if done != m {
+		return Result{}, fmt.Errorf("eventsim: only %d of %d workers finished (simulation bug)", done, m)
+	}
+
+	var res Result
+	res.Events = eng.Steps()
+	for _, st := range states {
+		res.IOMean += st.io
+		res.FWBW += st.fwbw
+		res.GEWU += st.gewu
+		if st.io > res.IOSlowest {
+			res.IOSlowest = st.io
+		}
+		if exchanging {
+			res.Exchange += math.Max(0, st.exchangeDone-st.computeDone)
+		}
+		if st.finished > res.EpochTime {
+			res.EpochTime = st.finished
+		}
+	}
+	fm := float64(m)
+	res.IOMean /= fm
+	res.FWBW /= fm
+	res.GEWU /= fm
+	res.Exchange /= fm
+	return res, nil
+}

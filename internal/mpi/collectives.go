@@ -1,0 +1,297 @@
+package mpi
+
+import "fmt"
+
+// Op identifies a reduction operator for Reduce/Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+// Number constrains the element types supported by the numeric collectives.
+type Number interface {
+	~int | ~int32 | ~int64 | ~float32 | ~float64
+}
+
+func reduceInto[T Number](dst, src []T, op Op) {
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpProd:
+		for i, v := range src {
+			dst[i] *= v
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduction op %d", op))
+	}
+}
+
+// collTag derives a unique internal (negative) tag for one phase of one
+// collective invocation. seq is the per-comm collective sequence number,
+// which advances identically on all ranks, and phase distinguishes message
+// rounds within a single collective. The phase space is wide enough for
+// ring algorithms on worlds of up to half a million ranks.
+func collTag(seq, phase int) int {
+	const phaseSpace = 1 << 20
+	return -(1 + seq*phaseSpace + phase)
+}
+
+// nextSeq reserves a collective sequence number on this rank.
+func (c *Comm) nextSeq() int {
+	s := c.collSeq
+	c.collSeq++
+	return s
+}
+
+// Bcast distributes root's buffer to every rank using a binomial tree.
+// Every rank must pass a buffer of identical length; non-root buffers are
+// overwritten.
+func Bcast[T any](c *Comm, buf []T, root int) {
+	c.checkRank(root, "Bcast")
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	// Rotate ranks so the tree is rooted at 0.
+	vrank := (rank - root + size) % size
+	// Receive from parent (except the root).
+	if vrank != 0 {
+		// Parent is vrank with the lowest set bit cleared.
+		parent := ((vrank & (vrank - 1)) + root) % size
+		payload, _ := c.irecvInternal(parent, collTag(seq, 0)).Wait()
+		copy(buf, payload.([]T))
+	}
+	// Forward to children: vrank | (1<<k) for increasing k above our own
+	// lowest set bit.
+	lowBit := vrank & (-vrank)
+	if vrank == 0 {
+		lowBit = size // root forwards on all bits
+	}
+	for bit := 1; bit < lowBit && bit < size; bit <<= 1 {
+		child := vrank | bit
+		if child < size {
+			c.isendInternal((child+root)%size, collTag(seq, 0), append([]T(nil), buf...))
+		}
+	}
+}
+
+// Reduce combines each rank's buffer element-wise with op into root's
+// buffer. It gathers up a binomial tree. Non-root buffers are left
+// unchanged (a scratch copy is reduced).
+func Reduce[T Number](c *Comm, buf []T, op Op, root int) {
+	c.checkRank(root, "Reduce")
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	vrank := (rank - root + size) % size
+	acc := append([]T(nil), buf...)
+	// Binomial tree reduction: at round k, vranks with bit k set send to
+	// vrank with that bit cleared, then retire.
+	for bit := 1; bit < size; bit <<= 1 {
+		if vrank&bit != 0 {
+			// Send the partial reduction to the partner and retire.
+			dest := ((vrank &^ bit) + root) % size
+			c.isendInternal(dest, collTag(seq, 0), acc)
+			return
+		}
+		// We are a receiver in this round if our partner exists.
+		partner := vrank | bit
+		if partner < size {
+			payload, _ := c.irecvInternal((partner+root)%size, collTag(seq, 0)).Wait()
+			reduceInto(acc, payload.([]T), op)
+		}
+	}
+	if rank == root {
+		copy(buf, acc)
+	}
+}
+
+// Allreduce combines every rank's buffer element-wise with op and leaves
+// the result in every rank's buffer, using a bandwidth-optimal ring
+// (reduce-scatter followed by allgather). Works for any world size,
+// including sizes that do not divide the buffer length.
+func Allreduce[T Number](c *Comm, buf []T, op Op) {
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	n := len(buf)
+	// Partition buf into size contiguous chunks (some possibly empty).
+	bounds := make([]int, size+1)
+	for i := 0; i <= size; i++ {
+		bounds[i] = i * n / size
+	}
+	chunk := func(i int) []T { i = ((i % size) + size) % size; return buf[bounds[i]:bounds[i+1]] }
+
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+
+	// Phase 1: reduce-scatter. After size-1 steps, chunk (rank+1) holds the
+	// fully reduced values for that segment.
+	for step := 0; step < size-1; step++ {
+		sendIdx := rank - step
+		recvIdx := rank - step - 1
+		req := c.irecvInternal(left, collTag(seq, step))
+		c.isendInternal(right, collTag(seq, step), append([]T(nil), chunk(sendIdx)...))
+		payload, _ := req.Wait()
+		reduceInto(chunk(recvIdx), payload.([]T), op)
+	}
+	// Phase 2: allgather of the reduced chunks around the ring.
+	for step := 0; step < size-1; step++ {
+		sendIdx := rank - step + 1
+		recvIdx := rank - step
+		req := c.irecvInternal(left, collTag(seq, size+step))
+		c.isendInternal(right, collTag(seq, size+step), append([]T(nil), chunk(sendIdx)...))
+		payload, _ := req.Wait()
+		copy(chunk(recvIdx), payload.([]T))
+	}
+}
+
+// AllreduceNaive gathers every buffer to rank 0, reduces there, and
+// broadcasts the result. It exists as the ablation baseline for the ring
+// algorithm (DESIGN.md: BenchmarkAblationAllreduce).
+func AllreduceNaive[T Number](c *Comm, buf []T, op Op) {
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	if rank == 0 {
+		reqs := make([]*Request, size-1)
+		for r := 1; r < size; r++ {
+			reqs[r-1] = c.irecvInternal(r, collTag(seq, 0))
+		}
+		for _, req := range reqs {
+			payload, _ := req.Wait()
+			reduceInto(buf, payload.([]T), op)
+		}
+		for r := 1; r < size; r++ {
+			c.isendInternal(r, collTag(seq, 1), buf)
+		}
+	} else {
+		c.isendInternal(0, collTag(seq, 0), append([]T(nil), buf...))
+		payload, _ := c.irecvInternal(0, collTag(seq, 1)).Wait()
+		copy(buf, payload.([]T))
+	}
+}
+
+// Gather collects each rank's send buffer at root. At root the return value
+// has size*len(send) elements ordered by rank; other ranks receive nil.
+func Gather[T any](c *Comm, send []T, root int) []T {
+	c.checkRank(root, "Gather")
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if rank != root {
+		c.isendInternal(root, collTag(seq, 0), append([]T(nil), send...))
+		return nil
+	}
+	out := make([]T, size*len(send))
+	copy(out[rank*len(send):], send)
+	reqs := make(map[int]*Request, size-1)
+	for r := 0; r < size; r++ {
+		if r != root {
+			reqs[r] = c.irecvInternal(r, collTag(seq, 0))
+		}
+	}
+	for r, req := range reqs {
+		payload, _ := req.Wait()
+		copy(out[r*len(send):], payload.([]T))
+	}
+	return out
+}
+
+// Allgather collects each rank's equal-length send buffer on every rank,
+// ordered by rank, using a ring.
+func Allgather[T any](c *Comm, send []T) []T {
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	out := make([]T, size*len(send))
+	copy(out[rank*len(send):(rank+1)*len(send)], send)
+	if size == 1 {
+		return out
+	}
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	k := len(send)
+	for step := 0; step < size-1; step++ {
+		sendIdx := ((rank-step)%size + size) % size
+		recvIdx := ((rank-step-1)%size + size) % size
+		req := c.irecvInternal(left, collTag(seq, step))
+		c.isendInternal(right, collTag(seq, step), append([]T(nil), out[sendIdx*k:(sendIdx+1)*k]...))
+		payload, _ := req.Wait()
+		copy(out[recvIdx*k:(recvIdx+1)*k], payload.([]T))
+	}
+	return out
+}
+
+// AllgatherVarLen collects variable-length buffers from every rank on every
+// rank, returned indexed by source rank. It is the building block for
+// metadata exchanges whose sizes differ per rank.
+func AllgatherVarLen[T any](c *Comm, send []T) [][]T {
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	out := make([][]T, size)
+	out[rank] = append([]T(nil), send...)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		c.isendInternal(r, collTag(seq, 0), append([]T(nil), send...))
+		reqs = append(reqs, c.irecvInternal(r, collTag(seq, 0)))
+	}
+	for _, req := range reqs {
+		payload, st := req.Wait()
+		out[st.Source] = payload.([]T)
+	}
+	return out
+}
+
+// Alltoall performs a personalized all-to-all exchange: send[i] is
+// delivered to rank i, and the result's element i is what rank i sent to
+// this rank. Slices may have differing lengths (MPI_Alltoallv-style).
+func Alltoall[T any](c *Comm, send [][]T) [][]T {
+	seq := c.nextSeq()
+	size, rank := c.Size(), c.Rank()
+	if len(send) != size {
+		panic(fmt.Sprintf("mpi: Alltoall: len(send)=%d, want world size %d", len(send), size))
+	}
+	out := make([][]T, size)
+	out[rank] = append([]T(nil), send[rank]...)
+	reqs := make([]*Request, 0, size-1)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		c.isendInternal(r, collTag(seq, 0), append([]T(nil), send[r]...))
+		reqs = append(reqs, c.irecvInternal(r, collTag(seq, 0)))
+	}
+	for _, req := range reqs {
+		payload, st := req.Wait()
+		out[st.Source] = payload.([]T)
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+// Package mpi implements an in-process message-passing runtime with MPI-like
+// semantics: ranks, non-blocking point-to-point operations with tag and
+// ANY_SOURCE matching, and the collectives required by distributed SGD
+// (Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall, Gather).
+//
+// The paper's sample-exchange scheme (Algorithm 1) is specified in terms of
+// MPI_Isend/MPI_Irecv with MPI_ANY_SOURCE, and the trainer relies on
+// Allreduce for gradient averaging. This package reproduces those semantics
+// over goroutines and channels so the full system runs on a single machine:
+//
+//   - Message matching follows the MPI ordering rule: messages between a
+//     pair of ranks with the same tag are non-overtaking (FIFO), and a
+//     posted receive matches the earliest acceptable message.
+//   - Isend completes eagerly (the payload is copied into the runtime), so a
+//     send request is always immediately complete, as with small-message
+//     eager protocols in real MPI implementations.
+//   - Collectives must be invoked by every rank of the world in the same
+//     program order; they are internally sequenced so that back-to-back
+//     collectives never interfere.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a receive against messages from any sending rank,
+// mirroring MPI_ANY_SOURCE.
+const AnySource = -1
+
+// AnyTag matches a receive against messages with any tag, mirroring
+// MPI_ANY_TAG. User tags must be non-negative; negative tags are reserved
+// for internal collective traffic.
+const AnyTag = -1
+
+// Status describes a completed receive: which rank the message came from and
+// with which tag it was sent.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// message is a queued in-flight message.
+type message struct {
+	src     int
+	tag     int
+	payload any
+}
+
+// pendingRecv is a posted, not-yet-matched receive.
+type pendingRecv struct {
+	src int // AnySource allowed
+	tag int // AnyTag allowed
+	req *Request
+}
+
+// Request represents an outstanding non-blocking operation. Wait blocks
+// until the operation completes and returns the received payload (nil for
+// sends) together with its Status.
+type Request struct {
+	world   *World
+	done    chan struct{}
+	payload any
+	status  Status
+}
+
+func completedRequest() *Request {
+	r := &Request{done: make(chan struct{})}
+	close(r.done)
+	return r
+}
+
+// abortSignal is the panic value used to unwind a rank when the world is
+// aborted (another rank failed). Run recovers it and reports an abort
+// error for the rank, mirroring MPI_Abort semantics.
+type abortSignal struct{}
+
+// Wait blocks until the request completes. For receives it returns the
+// payload and the source/tag status; for sends payload is nil. If the
+// world is aborted while waiting, Wait panics with an abort signal that
+// Run converts into a per-rank error.
+func (r *Request) Wait() (any, Status) {
+	select {
+	case <-r.done:
+		return r.payload, r.status
+	default:
+	}
+	if r.world == nil {
+		<-r.done
+		return r.payload, r.status
+	}
+	select {
+	case <-r.done:
+		return r.payload, r.status
+	case <-r.world.abortCh:
+		panic(abortSignal{})
+	}
+}
+
+// Test reports whether the request has completed without blocking. When it
+// returns true, payload and status carry the same values Wait would return.
+func (r *Request) Test() (bool, any, Status) {
+	select {
+	case <-r.done:
+		return true, r.payload, r.status
+	default:
+		return false, nil, Status{}
+	}
+}
+
+// WaitAll waits for every request in reqs.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// mailbox is the per-rank matching engine: a queue of unexpected messages
+// and a queue of posted receives, guarded by a mutex. Matching follows MPI
+// semantics (earliest acceptable entry wins; per-(src,tag) FIFO order is
+// preserved because senders append in their program order and receivers
+// scan in arrival order).
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []message
+	posted     []pendingRecv
+}
+
+// deliver hands an incoming message to the engine, completing the earliest
+// matching posted receive or queueing the message as unexpected.
+func (mb *mailbox) deliver(m message) {
+	mb.mu.Lock()
+	for i, pr := range mb.posted {
+		if (pr.src == AnySource || pr.src == m.src) && (pr.tag == AnyTag || pr.tag == m.tag) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			mb.mu.Unlock()
+			pr.req.payload = m.payload
+			pr.req.status = Status{Source: m.src, Tag: m.tag}
+			close(pr.req.done)
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, m)
+	mb.mu.Unlock()
+}
+
+// post registers a receive, completing it immediately if a matching
+// unexpected message has already arrived.
+func (mb *mailbox) post(src, tag int, req *Request) {
+	mb.mu.Lock()
+	for i, m := range mb.unexpected {
+		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			mb.mu.Unlock()
+			req.payload = m.payload
+			req.status = Status{Source: m.src, Tag: m.tag}
+			close(req.done)
+			return
+		}
+	}
+	mb.posted = append(mb.posted, pendingRecv{src: src, tag: tag, req: req})
+	mb.mu.Unlock()
+}
+
+// World is a set of communicating ranks living in one process.
+type World struct {
+	size      int
+	mailboxes []mailbox
+	barrier   *barrier
+	comms     []*Comm
+	abortCh   chan struct{}
+	abortOnce sync.Once
+}
+
+// NewWorld creates a world with the given number of ranks. It panics if
+// size is not positive, since a world without ranks cannot host a program.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: NewWorld(%d): size must be positive", size))
+	}
+	w := &World{
+		size:      size,
+		mailboxes: make([]mailbox, size),
+		barrier:   newBarrier(size),
+		abortCh:   make(chan struct{}),
+	}
+	w.comms = make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{world: w, rank: r}
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Abort wakes every rank blocked in a Wait or Barrier; they unwind with an
+// abort error. It is the in-process analogue of MPI_Abort and is invoked
+// automatically by Run when any rank returns an error or panics, so a
+// failing rank cannot strand its peers in a collective.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() {
+		close(w.abortCh)
+		w.barrier.abort()
+	})
+}
+
+// Comm returns the communicator endpoint for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: Comm(%d): rank out of range [0,%d)", rank, w.size))
+	}
+	return w.comms[rank]
+}
+
+// Comm is one rank's endpoint into a World. A Comm must only be used by the
+// goroutine that owns the rank (the usual MPI single-threaded-rank model);
+// the runtime itself synchronizes cross-rank delivery.
+type Comm struct {
+	world *World
+	rank  int
+	// collSeq sequences collective operations. Every rank calls collectives
+	// in the same program order, so the counters stay in lock-step and the
+	// derived internal tags never collide across concurrent collectives.
+	collSeq int
+}
+
+// Rank returns this endpoint's rank in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Isend starts a non-blocking send of payload to rank dest with the given
+// tag. The payload is copied for common slice types (see clonePayload), so
+// the caller may reuse its buffers immediately. The returned request is
+// already complete; Wait on it is allowed and returns instantly.
+func (c *Comm) Isend(dest, tag int, payload any) *Request {
+	c.checkRank(dest, "Isend")
+	c.checkUserTag(tag, "Isend")
+	c.world.mailboxes[dest].deliver(message{src: c.rank, tag: tag, payload: clonePayload(payload)})
+	return completedRequest()
+}
+
+// Irecv posts a non-blocking receive matching the given source (or
+// AnySource) and tag (or AnyTag). The returned request completes when a
+// matching message arrives.
+func (c *Comm) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		c.checkRank(src, "Irecv")
+	}
+	if tag != AnyTag {
+		c.checkUserTag(tag, "Irecv")
+	}
+	req := &Request{world: c.world, done: make(chan struct{})}
+	c.world.mailboxes[c.rank].post(src, tag, req)
+	return req
+}
+
+// Send is a blocking send (Isend + Wait).
+func (c *Comm) Send(dest, tag int, payload any) {
+	c.Isend(dest, tag, payload).Wait()
+}
+
+// Recv is a blocking receive (Irecv + Wait).
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	return c.Irecv(src, tag).Wait()
+}
+
+// SendRecv performs a combined send and receive, safe against the pairwise
+// exchange deadlock (both sides send first, then receive).
+func (c *Comm) SendRecv(dest, sendTag int, payload any, src, recvTag int) (any, Status) {
+	req := c.Irecv(src, recvTag)
+	c.Isend(dest, sendTag, payload)
+	return req.Wait()
+}
+
+// Barrier blocks until every rank in the world has entered the barrier.
+func (c *Comm) Barrier() {
+	c.world.barrier.await()
+}
+
+func (c *Comm) checkRank(r int, op string) {
+	if r < 0 || r >= c.world.size {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, r, c.world.size))
+	}
+}
+
+func (c *Comm) checkUserTag(tag int, op string) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: %s: tag %d is negative; negative tags are reserved", op, tag))
+	}
+}
+
+// isendInternal bypasses the user-tag check for collective traffic.
+func (c *Comm) isendInternal(dest, tag int, payload any) {
+	c.checkRank(dest, "isendInternal")
+	c.world.mailboxes[dest].deliver(message{src: c.rank, tag: tag, payload: clonePayload(payload)})
+}
+
+func (c *Comm) irecvInternal(src, tag int) *Request {
+	req := &Request{world: c.world, done: make(chan struct{})}
+	c.world.mailboxes[c.rank].post(src, tag, req)
+	return req
+}
+
+// barrier is a reusable counting barrier with generations and abort
+// support.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	aborted bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(abortSignal{})
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	aborted := b.aborted
+	b.mu.Unlock()
+	if aborted {
+		panic(abortSignal{})
+	}
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// clonePayload defensively copies the slice types commonly exchanged by the
+// library (gradients, sample bytes, ID lists) so distributed-memory
+// semantics hold: after a send, mutating the caller's buffer must not affect
+// the receiver. Other payload types are passed by reference; callers sending
+// custom types must treat them as immutable after the send.
+func clonePayload(p any) any {
+	switch v := p.(type) {
+	case []float32:
+		out := make([]float32, len(v))
+		copy(out, v)
+		return out
+	case []float64:
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out
+	case []int:
+		out := make([]int, len(v))
+		copy(out, v)
+		return out
+	case []byte:
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out
+	default:
+		return p
+	}
+}
+
+// Run creates a world of n ranks, runs fn once per rank in its own
+// goroutine, and waits for all ranks to finish. The returned error joins
+// every per-rank error. If any rank returns an error or panics, the world
+// is aborted: ranks blocked in Wait or Barrier unwind with an abort error
+// instead of deadlocking (MPI_Abort semantics).
+func Run(n int, fn func(c *Comm) error) error {
+	w := NewWorld(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(abortSignal); ok {
+						errs[rank] = fmt.Errorf("mpi: rank %d aborted because another rank failed", rank)
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
+					w.Abort()
+				}
+			}()
+			if err := fn(w.Comm(rank)); err != nil {
+				errs[rank] = err
+				w.Abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,31 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadWeights hardens checkpoint loading against corrupt or hostile
+// files: it must never panic, only return errors (or succeed on the valid
+// seed corpus).
+func FuzzLoadWeights(f *testing.F) {
+	spec := ModelSpec{Name: "fuzz", InputDim: 4, Hidden: []int{4}, Classes: 2, BatchNorm: true}
+	model, err := spec.Build(1, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := SaveWeights(&valid, model); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("PLSW\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		target, err := spec.Build(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = LoadWeights(bytes.NewReader(buf), target) // must not panic
+	})
+}

@@ -1,0 +1,463 @@
+// Package nn implements the small neural-network substrate used to run the
+// paper's training experiments: fully-connected layers, ReLU, batch
+// normalization (the mechanism Section IV-A.1 identifies as the main source
+// of accuracy loss under local shuffling), dropout, softmax cross-entropy,
+// SGD with momentum, LARS (used by the paper for large-batch runs), and
+// learning-rate schedules with warmup.
+//
+// The paper trains convolutional networks in PyTorch; this package provides
+// MLP proxies for those architectures (see model.go and DESIGN.md §2 for
+// why the substitution preserves the studied behaviour).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"plshuffle/internal/rng"
+	"plshuffle/internal/tensor"
+)
+
+// Param is a flat view of one learnable parameter tensor and its gradient.
+// Optimizers and the gradient allreduce operate on these views, so updating
+// them updates the layer in place.
+type Param struct {
+	Name string
+	W    []float32 // weights (view into the layer's storage)
+	G    []float32 // gradient, same length as W
+}
+
+// Layer is one differentiable module. Forward must be called before
+// Backward for the same batch; train selects training vs inference
+// behaviour (batch statistics, dropout).
+type Layer interface {
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	Params() []Param
+}
+
+// Linear is a fully-connected layer: y = x·W + b, with W of shape in×out.
+type Linear struct {
+	In, Out int
+	W       *tensor.Matrix
+	B       []float32
+	GW      *tensor.Matrix
+	GB      []float32
+	x       *tensor.Matrix // cached input for backward
+}
+
+// NewLinear creates a Linear layer with He (Kaiming) initialization, the
+// standard choice for ReLU networks.
+func NewLinear(in, out int, r *rng.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:  tensor.New(in, out),
+		B:  make([]float32, out),
+		GW: tensor.New(in, out),
+		GB: make([]float32, out),
+	}
+	l.W.KaimingInit(r, in)
+	return l
+}
+
+// Forward computes y = x·W + b and caches x for the backward pass.
+func (l *Linear) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear.Forward: input has %d features, want %d", x.Cols, l.In))
+	}
+	l.x = x
+	y := tensor.MatMul(x, l.W)
+	y.AddRowVec(l.B)
+	return y
+}
+
+// Backward computes parameter gradients (averaged over the batch is the
+// caller's responsibility via the loss scaling) and returns dx = dy·Wᵀ.
+func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	gw := tensor.MatMulTA(l.x, dout) // xᵀ·dy
+	copy(l.GW.Data, gw.Data)
+	copy(l.GB, dout.ColSum())
+	return tensor.MatMulTB(dout, l.W) // dy·Wᵀ
+}
+
+// Params exposes W and b with their gradients.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "linear.W", W: l.W.Data, G: l.GW.Data},
+		{Name: "linear.b", W: l.B, G: l.GB},
+	}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative inputs.
+func (l *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (l *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	out := dout.Clone()
+	for i := range out.Data {
+		if !l.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no learnable parameters.
+func (l *ReLU) Params() []Param { return nil }
+
+// BatchNorm normalizes each feature over the mini-batch during training and
+// with running statistics during inference. This layer is central to the
+// reproduction: the paper (following Yang et al.) attributes the accuracy
+// gap of local shuffling at scale primarily to batch statistics being
+// computed on each worker's local, fixed mini-batches.
+type BatchNorm struct {
+	Dim      int
+	Gamma    []float32
+	Beta     []float32
+	GGamma   []float32
+	GBeta    []float32
+	RunMean  []float32
+	RunVar   []float32
+	Momentum float32 // running-stats update rate (PyTorch default 0.1)
+	Eps      float32
+
+	// Sync, when non-nil, sums a statistics vector across all
+	// data-parallel workers (an allreduce). With it set, the layer
+	// computes batch statistics over the GLOBAL mini-batch — PyTorch's
+	// SyncBatchNorm — in both the forward and backward passes. Every
+	// worker must call Forward/Backward in lock-step (which synchronous
+	// SGD guarantees). Without it, statistics are per-worker, which is
+	// the standard behaviour whose shard bias Section IV-A.1 identifies
+	// as the cause of local shuffling's accuracy loss.
+	Sync func([]float32)
+
+	// cached values for backward
+	xhat   *tensor.Matrix
+	invStd []float32
+	countN float32 // batch size used in the last training forward (global when synced)
+}
+
+// NewBatchNorm creates a BatchNorm layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{
+		Dim:      dim,
+		Gamma:    make([]float32, dim),
+		Beta:     make([]float32, dim),
+		GGamma:   make([]float32, dim),
+		GBeta:    make([]float32, dim),
+		RunMean:  make([]float32, dim),
+		RunVar:   make([]float32, dim),
+		Momentum: 0.1,
+		Eps:      1e-5,
+	}
+	for i := range bn.Gamma {
+		bn.Gamma[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes x per feature. In training mode it uses the batch's
+// own mean/variance (the locally-biased statistics the paper discusses) and
+// updates the running estimates; in inference mode it uses the running
+// estimates.
+func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != l.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm.Forward: input has %d features, want %d", x.Cols, l.Dim))
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	n := float32(x.Rows)
+	if train {
+		// Accumulate per-feature sums and sums of squares; with a Sync
+		// hook these are reduced across workers so the statistics cover
+		// the global mini-batch.
+		stats := make([]float32, 2*l.Dim+1)
+		sums := stats[:l.Dim]
+		sumsq := stats[l.Dim : 2*l.Dim]
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				sums[j] += v
+				sumsq[j] += v * v
+			}
+		}
+		stats[2*l.Dim] = n
+		if l.Sync != nil {
+			l.Sync(stats)
+			n = stats[2*l.Dim]
+		}
+		l.countN = n
+		mean := make([]float32, l.Dim)
+		variance := make([]float32, l.Dim)
+		for j := range mean {
+			mean[j] = sums[j] / n
+			v := sumsq[j]/n - mean[j]*mean[j]
+			if v < 0 {
+				v = 0 // numerical cancellation guard
+			}
+			variance[j] = v
+		}
+		l.invStd = make([]float32, l.Dim)
+		for j := range l.invStd {
+			l.invStd[j] = 1 / float32(math.Sqrt(float64(variance[j]+l.Eps)))
+		}
+		l.xhat = tensor.New(x.Rows, x.Cols)
+		for i := 0; i < x.Rows; i++ {
+			xr, hr, or := x.Row(i), l.xhat.Row(i), out.Row(i)
+			for j := range xr {
+				h := (xr[j] - mean[j]) * l.invStd[j]
+				hr[j] = h
+				or[j] = l.Gamma[j]*h + l.Beta[j]
+			}
+		}
+		// Update running statistics (unbiased variance, as PyTorch does).
+		unbias := n / float32(math.Max(1, float64(n-1)))
+		for j := range mean {
+			l.RunMean[j] = (1-l.Momentum)*l.RunMean[j] + l.Momentum*mean[j]
+			l.RunVar[j] = (1-l.Momentum)*l.RunVar[j] + l.Momentum*variance[j]*unbias
+		}
+		return out
+	}
+	for i := 0; i < x.Rows; i++ {
+		xr, or := x.Row(i), out.Row(i)
+		for j := range xr {
+			inv := 1 / float32(math.Sqrt(float64(l.RunVar[j]+l.Eps)))
+			or[j] = l.Gamma[j]*(xr[j]-l.RunMean[j])*inv + l.Beta[j]
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient. With a Sync hook
+// the reduction terms are summed across workers, matching the gradient of
+// the globally-normalized forward pass.
+func (l *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	nRows := dout.Rows
+	n := l.countN
+	if n == 0 {
+		n = float32(nRows)
+	}
+	dx := tensor.New(dout.Rows, dout.Cols)
+	// dGamma_j = sum_i dout_ij * xhat_ij ; dBeta_j = sum_i dout_ij
+	stats := make([]float32, 2*l.Dim)
+	sumDy := stats[:l.Dim]
+	sumDyXhat := stats[l.Dim:]
+	for i := 0; i < nRows; i++ {
+		dr, hr := dout.Row(i), l.xhat.Row(i)
+		for j := range dr {
+			sumDy[j] += dr[j]
+			sumDyXhat[j] += dr[j] * hr[j]
+		}
+	}
+	// Parameter gradients stay local: the trainer's gradient allreduce
+	// sums them across workers (summing before and after would double
+	// count).
+	copy(l.GBeta, sumDy)
+	copy(l.GGamma, sumDyXhat)
+	if l.Sync != nil {
+		l.Sync(stats)
+	}
+	// dx = (gamma*invStd/n) * (n*dy - sumDy - xhat*sumDyXhat)
+	for i := 0; i < nRows; i++ {
+		dr, hr, xr := dout.Row(i), l.xhat.Row(i), dx.Row(i)
+		for j := range dr {
+			xr[j] = l.Gamma[j] * l.invStd[j] / n * (n*dr[j] - sumDy[j] - hr[j]*sumDyXhat[j])
+		}
+	}
+	return dx
+}
+
+// Params exposes gamma and beta with their gradients.
+func (l *BatchNorm) Params() []Param {
+	return []Param{
+		{Name: "bn.gamma", W: l.Gamma, G: l.GGamma},
+		{Name: "bn.beta", W: l.Beta, G: l.GBeta},
+	}
+}
+
+// Dropout randomly zeroes activations during training (inverted dropout,
+// so inference is the identity).
+type Dropout struct {
+	P    float32
+	rand *rng.Rand
+	mask []float32
+}
+
+// NewDropout creates a dropout layer with drop probability p, drawing its
+// masks from r (one generator per worker keeps runs deterministic).
+func NewDropout(p float32, r *rng.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: NewDropout: p=%v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rand: r}
+}
+
+// Forward applies the mask in training mode and is the identity otherwise.
+func (l *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || l.P == 0 {
+		l.mask = nil
+		return x
+	}
+	out := x.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]float32, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	scale := 1 / (1 - l.P)
+	for i := range out.Data {
+		if l.rand.Float32() < l.P {
+			l.mask[i] = 0
+			out.Data[i] = 0
+		} else {
+			l.mask[i] = scale
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (l *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if l.mask == nil {
+		return dout
+	}
+	out := dout.Clone()
+	for i := range out.Data {
+		out.Data[i] *= l.mask[i]
+	}
+	return out
+}
+
+// Params returns nil: dropout has no learnable parameters.
+func (l *Dropout) Params() []Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse order.
+func (s *Sequential) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params concatenates every layer's parameters.
+func (s *Sequential) Params() []Param {
+	var out []Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W)
+	}
+	return n
+}
+
+// FlattenGrads copies all gradients into dst (allocated if nil) in Params
+// order, producing the buffer the trainer allreduces across workers.
+func FlattenGrads(params []Param, dst []float32) []float32 {
+	n := 0
+	for _, p := range params {
+		n += len(p.G)
+	}
+	if dst == nil || len(dst) != n {
+		dst = make([]float32, n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.G)
+		off += len(p.G)
+	}
+	return dst
+}
+
+// UnflattenGrads scatters src (produced by FlattenGrads, possibly after an
+// allreduce) back into the parameter gradients.
+func UnflattenGrads(params []Param, src []float32) {
+	off := 0
+	for _, p := range params {
+		copy(p.G, src[off:off+len(p.G)])
+		off += len(p.G)
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: UnflattenGrads: consumed %d of %d values", off, len(src)))
+	}
+}
+
+// TransferWeights copies weights from src into dst wherever the parameter
+// shapes match, skipping mismatched tensors — the transfer-learning
+// initializer for the Fig 8 experiment, where the pretrained backbone is
+// kept and the classifier head (whose class count differs) is left at its
+// fresh initialization. It returns the number of parameters transferred.
+func TransferWeights(dst, src []Param) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	copied := 0
+	for i := 0; i < n; i++ {
+		if len(dst[i].W) == len(src[i].W) {
+			copy(dst[i].W, src[i].W)
+			copied++
+		}
+	}
+	return copied
+}
+
+// CopyWeights copies all weights from src params into dst params; shapes
+// must match. Used to clone model replicas across workers and for the
+// pretrain/fine-tune experiment (Fig 8).
+func CopyWeights(dst, src []Param) {
+	if len(dst) != len(src) {
+		panic("nn: CopyWeights: parameter count mismatch")
+	}
+	for i := range dst {
+		if len(dst[i].W) != len(src[i].W) {
+			panic(fmt.Sprintf("nn: CopyWeights: param %d length mismatch", i))
+		}
+		copy(dst[i].W, src[i].W)
+	}
+}

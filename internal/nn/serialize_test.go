@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"plshuffle/internal/rng"
+	"plshuffle/internal/tensor"
+)
+
+func trainedModel(t *testing.T) (*Sequential, *tensor.Matrix, []int) {
+	t.Helper()
+	r := rng.New(51)
+	spec := ModelSpec{Name: "ckpt", InputDim: 8, Hidden: []int{16, 8}, Classes: 4, BatchNorm: true}
+	model, err := spec.Build(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := smallBatch(r, 32, 8, 4)
+	opt := NewSGD(0.9, 1e-4)
+	var ce SoftmaxCrossEntropy
+	for i := 0; i < 10; i++ {
+		logits := model.Forward(x, true)
+		ce.Forward(logits, labels)
+		model.Backward(ce.Backward())
+		opt.Step(model.Params(), 0.1)
+	}
+	return model, x, labels
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	model, x, labels := trainedModel(t)
+	want := model.Forward(x, false)
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	spec := ModelSpec{Name: "ckpt", InputDim: 8, Hidden: []int{16, 8}, Classes: 4, BatchNorm: true}
+	fresh, err := spec.Build(99, 98) // different init: must be overwritten
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Forward(x, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("restored model diverges at output %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	_ = labels
+}
+
+func TestSaveIncludesRunningStats(t *testing.T) {
+	model, _, _ := trainedModel(t)
+	var bn *BatchNorm
+	for _, l := range model.Layers {
+		if b, ok := l.(*BatchNorm); ok {
+			bn = b
+			break
+		}
+	}
+	if bn == nil {
+		t.Fatal("no BatchNorm layer")
+	}
+	if bn.RunMean[0] == 0 && bn.RunMean[1] == 0 {
+		t.Fatal("running stats untouched; test setup broken")
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	spec := ModelSpec{Name: "ckpt", InputDim: 8, Hidden: []int{16, 8}, Classes: 4, BatchNorm: true}
+	fresh, _ := spec.Build(7, 7)
+	if err := LoadWeights(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	var fbn *BatchNorm
+	for _, l := range fresh.Layers {
+		if b, ok := l.(*BatchNorm); ok {
+			fbn = b
+			break
+		}
+	}
+	for j := range bn.RunMean {
+		if fbn.RunMean[j] != bn.RunMean[j] || fbn.RunVar[j] != bn.RunVar[j] {
+			t.Fatal("running statistics not restored")
+		}
+	}
+}
+
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	model, _, _ := trainedModel(t)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	// Different hidden width.
+	other, _ := ModelSpec{Name: "other", InputDim: 8, Hidden: []int{32}, Classes: 4, BatchNorm: true}.Build(1, 1)
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+	// Different norm (tensor names differ).
+	gn, _ := ModelSpec{Name: "gn", InputDim: 8, Hidden: []int{16, 8}, Classes: 4, Norm: NormGroup}.Build(1, 1)
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), gn); err == nil {
+		t.Fatal("different normalization accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	model, _, _ := trainedModel(t)
+	if err := LoadWeights(bytes.NewReader([]byte("not a checkpoint")), model); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	fresh, _ := ModelSpec{Name: "ckpt", InputDim: 8, Hidden: []int{16, 8}, Classes: 4, BatchNorm: true}.Build(1, 1)
+	if err := LoadWeights(bytes.NewReader(truncated), fresh); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	model, _, _ := trainedModel(t)
+	var a, b bytes.Buffer
+	if err := SaveWeights(&a, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(&b, model); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("checkpoint bytes are not deterministic")
+	}
+}

@@ -1,0 +1,277 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"plshuffle/internal/cluster"
+	"plshuffle/internal/shuffle"
+)
+
+// imagenet1k returns the ImageNet-1K/ResNet50 workload on ABCI that Figures
+// 9 and 10 measure.
+func imagenet1k(t testing.TB, model string) Workload {
+	t.Helper()
+	p, err := Profile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{N: 1_281_167, BytesPerSample: 117 << 10, LocalBatch: 32, Model: p}
+}
+
+func deepcam(t testing.TB) Workload {
+	t.Helper()
+	p, err := Profile("deepcam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{N: 121_266, BytesPerSample: 70 << 20, LocalBatch: 8, Model: p, Sequential: true}
+}
+
+func epoch(t testing.TB, mc cluster.Machine, w Workload, workers int, s shuffle.Strategy) Breakdown {
+	t.Helper()
+	b, err := EpochTime(mc, w, workers, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestProfileLookup(t *testing.T) {
+	for _, name := range []string{"resnet50", "densenet161", "wideresnet28", "inceptionv4", "deepcam"} {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ParamBytes <= 0 || p.ComputePerSample <= 0 {
+			t.Fatalf("%s profile incomplete: %+v", name, p)
+		}
+	}
+	if _, err := Profile("vgg"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "resnet50")
+	if _, err := EpochTime(mc, w, 0, shuffle.LocalShuffling()); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad := w
+	bad.N = 0
+	if _, err := EpochTime(mc, bad, 8, shuffle.LocalShuffling()); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+	if _, err := EpochTime(mc, w, 8, shuffle.Partial(2)); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+// TestFig9GlobalVsLocalRatio checks the headline Figure 9 claim: "global
+// shuffling on 128 workers is almost 5x slower than local shuffling".
+func TestFig9GlobalVsLocalRatio(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "resnet50")
+	gs := epoch(t, mc, w, 128, shuffle.GlobalShuffling())
+	ls := epoch(t, mc, w, 128, shuffle.LocalShuffling())
+	ratio := gs.Total() / ls.Total()
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("GS/LS epoch-time ratio at 128 workers = %.2f, paper reports ~5x", ratio)
+	}
+}
+
+// TestFig10IOCalibration checks the Section V-F measurements at 512
+// workers: DenseNet LS reads in ~8 s, GS averages ~19.6 s with a spread
+// reaching ~142 s on the slowest worker.
+func TestFig10IOCalibration(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "densenet161")
+	ls := epoch(t, mc, w, 512, shuffle.LocalShuffling())
+	if ls.IO < 5 || ls.IO > 12 {
+		t.Fatalf("LS I/O at 512 = %.1f s, paper reports ~8 s", ls.IO)
+	}
+	gs := epoch(t, mc, w, 512, shuffle.GlobalShuffling())
+	if gs.IO < 15 || gs.IO > 40 {
+		t.Fatalf("GS average I/O at 512 = %.1f s, paper reports ~19.6 s", gs.IO)
+	}
+	if gs.IOSlowest < 100 || gs.IOSlowest > 250 {
+		t.Fatalf("GS slowest I/O at 512 = %.1f s, paper reports ~142 s", gs.IOSlowest)
+	}
+	spread := gs.IOSlowest / gs.IO
+	if spread < 5 || spread > 10 {
+		t.Fatalf("GS straggler spread = %.1fx, paper implies ~7x", spread)
+	}
+	// The stragglers inflate the gradient-exchange wait (paper: ~70 s).
+	if gs.GEWU < 50 || gs.GEWU > 250 {
+		t.Fatalf("GS GE+WU at 512 = %.1f s, paper reports ~70 s", gs.GEWU)
+	}
+	if ls.GEWU > 20 {
+		t.Fatalf("LS GE+WU at 512 = %.1f s, should be small", ls.GEWU)
+	}
+}
+
+// TestFig9PartialMatchesLocalUntil512 checks that partial-0.1 tracks local
+// shuffling up to 512 workers, then degrades at 1,024 and 2,048 as the
+// overlap window shrinks (Section V-F).
+func TestFig9PartialMatchesLocalUntil512(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "resnet50")
+	ratioAt := func(workers int) float64 {
+		p := epoch(t, mc, w, workers, shuffle.Partial(0.1))
+		l := epoch(t, mc, w, workers, shuffle.LocalShuffling())
+		return p.Total() / l.Total()
+	}
+	for _, m := range []int{16, 32, 64, 128, 256, 512} {
+		if r := ratioAt(m); r > 1.10 {
+			t.Errorf("partial-0.1 / local at %d workers = %.3f, want ~1", m, r)
+		}
+	}
+	r1024, r2048 := ratioAt(1024), ratioAt(2048)
+	if r1024 < 1.03 {
+		t.Errorf("partial-0.1 / local at 1024 = %.3f, paper shows degradation", r1024)
+	}
+	if r2048 < 1.15 {
+		t.Errorf("partial-0.1 / local at 2048 = %.3f, paper shows significant degradation", r2048)
+	}
+	if r2048 <= r1024 {
+		t.Errorf("degradation should grow with scale: 1024=%.3f 2048=%.3f", r1024, r2048)
+	}
+}
+
+// TestFig10ExchangeGrowsWithQ checks the Figure 10 sweep at 512 workers:
+// FW+BW constant, EXCHANGE growing with Q, total degradation bounded by
+// ~1.37x.
+func TestFig10ExchangeGrowsWithQ(t *testing.T) {
+	mc := cluster.ABCI()
+	for _, model := range []string{"resnet50", "densenet161"} {
+		w := imagenet1k(t, model)
+		ls := epoch(t, mc, w, 512, shuffle.LocalShuffling())
+		prevExch := -1.0
+		maxRatio := 0.0
+		for _, q := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			b := epoch(t, mc, w, 512, shuffle.Partial(q))
+			if b.FWBW != ls.FWBW {
+				t.Fatalf("%s: FW+BW changed with Q", model)
+			}
+			if b.IO != ls.IO {
+				t.Fatalf("%s: PLS I/O should equal LS I/O (same local volume)", model)
+			}
+			if b.Exchange < prevExch {
+				t.Fatalf("%s: EXCHANGE not monotone in Q: %f after %f", model, b.Exchange, prevExch)
+			}
+			prevExch = b.Exchange
+			if r := b.Total() / ls.Total(); r > maxRatio {
+				maxRatio = r
+			}
+		}
+		if maxRatio < 1.05 || maxRatio > 1.5 {
+			t.Errorf("%s: max PLS degradation = %.2fx, paper reports up to 1.37x", model, maxRatio)
+		}
+	}
+}
+
+// TestFig7bDeepCAM checks that PLS epoch times on DeepCAM sit well below
+// the paper's PFS lower-bound line ("we still perform multiple times
+// better"), with the exchange overhead growing with Q.
+func TestFig7bDeepCAM(t *testing.T) {
+	mc := cluster.ABCI()
+	w := deepcam(t)
+	bound := PFSLowerBound(mc, int64(w.N)*w.BytesPerSample)
+	if bound < 60 || bound > 140 {
+		t.Fatalf("DeepCAM PFS lower bound = %.0f s; 8.2 TiB over a ~100 GB/s peak should be ~90 s", bound)
+	}
+	prev := -1.0
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		b := epoch(t, mc, w, 1024, shuffle.Partial(q))
+		if b.Total() >= bound/1.5 {
+			t.Errorf("PLS q=%v total %.0f s not multiple times better than bound %.0f s", q, b.Total(), bound)
+		}
+		if b.Exchange < prev {
+			t.Errorf("DeepCAM exchange overhead should grow with Q")
+		}
+		if b.Exchange <= 0 {
+			t.Errorf("DeepCAM q=%v: exchange overhead should be noticeable", q)
+		}
+		prev = b.Exchange
+	}
+	ls := epoch(t, mc, w, 1024, shuffle.LocalShuffling())
+	if ls.Exchange != 0 {
+		t.Fatal("LS has exchange cost")
+	}
+}
+
+func TestStorageRequired(t *testing.T) {
+	w := imagenet1k(t, "resnet50")
+	total := int64(w.N) * w.BytesPerSample
+	if got := StorageRequired(w, 512, shuffle.GlobalShuffling()); got != total {
+		t.Fatalf("GS storage = %d, want full dataset %d", got, total)
+	}
+	if got := StorageRequired(w, 512, shuffle.LocalShuffling()); got != total/512 {
+		t.Fatalf("LS storage = %d, want %d", got, total/512)
+	}
+	pls := StorageRequired(w, 512, shuffle.Partial(0.3))
+	if pls <= total/512 || pls > total/512*2 {
+		t.Fatalf("PLS storage = %d, want within (N/M, 2N/M]", pls)
+	}
+}
+
+// TestStorageFeasibility reproduces the storage arguments: DeepCAM cannot
+// be replicated for GS on ABCI; ImageNet-1K cannot be replicated on
+// Fugaku's 50 GB slices but its LS partition fits at 4,096 workers
+// (0.03%·(1+Q) of the dataset, Section V-E).
+func TestStorageFeasibility(t *testing.T) {
+	abci, fugaku := cluster.ABCI(), cluster.Fugaku()
+	dc := deepcam(t)
+	if FitsLocalStorage(abci, dc, 1024, shuffle.GlobalShuffling()) {
+		t.Fatal("DeepCAM GS should not fit ABCI local storage")
+	}
+	if !FitsLocalStorage(abci, dc, 1024, shuffle.Partial(0.9)) {
+		t.Fatal("DeepCAM PLS should fit ABCI local storage at 1024 workers")
+	}
+	in := imagenet1k(t, "resnet50")
+	if FitsLocalStorage(fugaku, in, 4096, shuffle.GlobalShuffling()) {
+		t.Fatal("ImageNet-1K replication should not fit Fugaku's 50 GB slice")
+	}
+	if !FitsLocalStorage(fugaku, in, 4096, shuffle.Partial(0.1)) {
+		t.Fatal("ImageNet-1K partial-0.1 should fit Fugaku at 4096 workers")
+	}
+	// Section V-E: at 4,096 workers with Q=0.1 each worker stores ~0.03%
+	// of the dataset.
+	frac := float64(StorageRequired(in, 4096, shuffle.Partial(0.1))) / float64(int64(in.N)*in.BytesPerSample)
+	if frac < 0.0002 || frac > 0.0004 {
+		t.Fatalf("per-worker storage fraction = %.5f%%, paper says ~0.03%%", frac*100)
+	}
+}
+
+func TestEpochTimeShrinksWithWorkers(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "resnet50")
+	prev := 1e18
+	for _, m := range []int{16, 64, 256, 1024} {
+		b := epoch(t, mc, w, m, shuffle.LocalShuffling())
+		if b.Total() >= prev {
+			t.Fatalf("LS epoch time not shrinking with workers at %d", m)
+		}
+		prev = b.Total()
+	}
+}
+
+func TestPartialQZeroEqualsLocal(t *testing.T) {
+	mc := cluster.ABCI()
+	w := imagenet1k(t, "resnet50")
+	p := epoch(t, mc, w, 128, shuffle.Partial(0))
+	l := epoch(t, mc, w, 128, shuffle.LocalShuffling())
+	if p.Total() != l.Total() {
+		t.Fatalf("partial-0 %.2f != local %.2f", p.Total(), l.Total())
+	}
+}
+
+func BenchmarkEpochTime(b *testing.B) {
+	mc := cluster.ABCI()
+	w := imagenet1k(b, "resnet50")
+	for i := 0; i < b.N; i++ {
+		if _, err := EpochTime(mc, w, 512, shuffle.Partial(0.3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

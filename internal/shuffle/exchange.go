@@ -1,0 +1,144 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/rng"
+)
+
+// ExchangePlan is one worker's view of one epoch's global exchange
+// (Algorithm 1): for each slot i, send local sample SendIDs[i] to rank
+// Dests[i]. Because Dests[i] is this worker's entry in a permutation of all
+// ranks shared (via the seed) by every worker, each rank sends and receives
+// exactly one sample per slot — the balanced communication property of
+// Section III-B.
+type ExchangePlan struct {
+	Epoch   int
+	SendIDs []int
+	Dests   []int
+}
+
+// Slots returns the number of exchange rounds in the plan.
+func (p ExchangePlan) Slots() int { return len(p.SendIDs) }
+
+// PlanExchange computes rank's exchange plan for an epoch.
+//
+// Following Algorithm 1: p ← a random permutation of the local samples
+// (each worker's private stream, so the exchanged samples are themselves
+// randomized); for each slot i, dest ← the rank's entry in a shared-seed
+// random permutation of all ranks (one permutation per (epoch, slot)).
+//
+// totalN and size determine the shared slot count via Slots(q, totalN,
+// size); localIDs is this worker's current local sample set. A plan is
+// valid only if the worker holds at least Slots samples, which the
+// (1+Q)·N/M storage scheme guarantees.
+func PlanExchange(rank, size int, localIDs []int, q float64, totalN int, seed uint64, epoch int) (ExchangePlan, error) {
+	if rank < 0 || rank >= size {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchange: rank %d out of [0,%d)", rank, size)
+	}
+	if q < 0 || q > 1 {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchange: fraction %v out of [0,1]", q)
+	}
+	k := Slots(q, totalN, size)
+	if k > len(localIDs) {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchange: %d slots but only %d local samples on rank %d", k, len(localIDs), rank)
+	}
+	plan := ExchangePlan{Epoch: epoch, SendIDs: make([]int, k), Dests: make([]int, k)}
+	if k == 0 {
+		return plan, nil
+	}
+	// Line 1: p <- random permutation of the local samples (private stream).
+	p := rng.NewStream(seed, saltSend, uint64(epoch), uint64(rank)).Perm(len(localIDs))
+	// Lines 2-4: per-slot shared destination permutation of all ranks.
+	destPerm := make([]int, size)
+	for i := 0; i < k; i++ {
+		rng.NewStream(seed, saltDest, uint64(epoch), uint64(i)).PermInto(destPerm)
+		plan.SendIDs[i] = localIDs[p[i]]
+		plan.Dests[i] = destPerm[rank]
+	}
+	return plan, nil
+}
+
+// ExchangeResult reports what one epoch's exchange moved.
+type ExchangeResult struct {
+	SentIDs  []int
+	Received []data.Sample
+}
+
+// Execute runs the plan synchronously over the communicator: it posts all
+// non-blocking sends and ANY_SOURCE receives (lines 4-5 of Algorithm 1),
+// then waits for completion (line 7). lookup resolves a local sample ID to
+// its sample (typically store.Local.Get). The per-epoch message tag keeps
+// epochs separated.
+//
+// Execute is the bulk (non-overlapped) variant; the Scheduler chunk-wise
+// variant interleaves the same traffic with training iterations.
+func (p ExchangePlan) Execute(c *mpi.Comm, lookup func(id int) (data.Sample, error)) (ExchangeResult, error) {
+	res := ExchangeResult{SentIDs: append([]int(nil), p.SendIDs...)}
+	recvReqs := make([]*mpi.Request, p.Slots())
+	for i, id := range p.SendIDs {
+		s, err := lookup(id)
+		if err != nil {
+			return ExchangeResult{}, fmt.Errorf("shuffle: Execute: looking up sample %d: %w", id, err)
+		}
+		c.Isend(p.Dests[i], exchangeTag(p.Epoch), s.Encode())
+		recvReqs[i] = c.Irecv(mpi.AnySource, exchangeTag(p.Epoch))
+	}
+	for _, req := range recvReqs {
+		payload, _ := req.Wait()
+		s, err := data.DecodeSample(payload.([]byte))
+		if err != nil {
+			return ExchangeResult{}, fmt.Errorf("shuffle: Execute: decoding received sample: %w", err)
+		}
+		res.Received = append(res.Received, s)
+	}
+	return res, nil
+}
+
+// exchangeTag is the user-level tag for epoch's sample exchange traffic.
+func exchangeTag(epoch int) int { return epoch }
+
+// PlanExchangeUnbalanced is the ablation baseline (DESIGN.md §5): each
+// worker draws destinations uniformly at random from its own private
+// stream, as a naive implementation (and the prior systems the paper cites,
+// whose exchange split "is itself random") would. Send counts remain k per
+// worker but receive counts become multinomial — workers can no longer post
+// a fixed number of receives, so the scheme needs an extra metadata round
+// and produces unbalanced storage and communication. CountImbalance
+// quantifies the skew without running messages.
+func PlanExchangeUnbalanced(rank, size int, localIDs []int, q float64, totalN int, seed uint64, epoch int) (ExchangePlan, error) {
+	if rank < 0 || rank >= size {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeUnbalanced: rank %d out of [0,%d)", rank, size)
+	}
+	k := Slots(q, totalN, size)
+	if k > len(localIDs) {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeUnbalanced: %d slots but only %d local samples", k, len(localIDs))
+	}
+	plan := ExchangePlan{Epoch: epoch, SendIDs: make([]int, k), Dests: make([]int, k)}
+	if k == 0 {
+		return plan, nil
+	}
+	r := rng.NewStream(seed, saltSend, uint64(epoch), uint64(rank))
+	p := r.Perm(len(localIDs))
+	for i := 0; i < k; i++ {
+		plan.SendIDs[i] = localIDs[p[i]]
+		plan.Dests[i] = r.Intn(size)
+	}
+	return plan, nil
+}
+
+// CountImbalance returns, for a set of per-rank plans, each rank's receive
+// count. For balanced plans every entry equals the slot count; for the
+// unbalanced ablation the spread demonstrates why Algorithm 1 uses shared
+// permutations.
+func CountImbalance(plans []ExchangePlan, size int) []int {
+	counts := make([]int, size)
+	for _, p := range plans {
+		for _, d := range p.Dests {
+			counts[d]++
+		}
+	}
+	return counts
+}

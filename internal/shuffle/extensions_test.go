@@ -1,0 +1,266 @@
+package shuffle
+
+import (
+	"fmt"
+	"testing"
+
+	"plshuffle/internal/mpi"
+)
+
+func TestHierarchicalPlanIsBalancedPermutation(t *testing.T) {
+	const n, m, groupSize = 256, 16, 4
+	parts, _ := Partition(n, m, 5)
+	plans := make([]ExchangePlan, m)
+	for r := 0; r < m; r++ {
+		p, err := PlanExchangeHierarchical(r, m, groupSize, parts[r], 0.5, n, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[r] = p
+	}
+	k := Slots(0.5, n, m)
+	// Per slot, destinations across ranks form a permutation (balance).
+	for i := 0; i < k; i++ {
+		seen := make([]bool, m)
+		for r := 0; r < m; r++ {
+			d := plans[r].Dests[i]
+			if d < 0 || d >= m || seen[d] {
+				t.Fatalf("slot %d: rank %d destination %d breaks the permutation", i, r, d)
+			}
+			seen[d] = true
+		}
+	}
+	// Group alignment: each group sends into exactly one destination group
+	// per slot, and destination groups permute.
+	if err := GroupAlignment(plans, groupSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	ids := []int{1, 2, 3, 4}
+	if _, err := PlanExchangeHierarchical(0, 8, 3, ids, 0.5, 64, 1, 0); err == nil {
+		t.Error("group size not dividing world accepted")
+	}
+	if _, err := PlanExchangeHierarchical(9, 8, 4, ids, 0.5, 64, 1, 0); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := PlanExchangeHierarchical(0, 8, 4, ids, 1.5, 64, 1, 0); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if _, err := PlanExchangeHierarchical(0, 8, 4, ids, 1, 64, 1, 0); err == nil {
+		t.Error("insufficient local samples accepted")
+	}
+}
+
+func TestFlatPlansFailGroupAlignment(t *testing.T) {
+	// The flat exchange should (with overwhelming probability) violate the
+	// alignment property the hierarchical plan guarantees.
+	const n, m, groupSize = 256, 16, 4
+	parts, _ := Partition(n, m, 5)
+	plans := make([]ExchangePlan, m)
+	for r := 0; r < m; r++ {
+		p, err := PlanExchange(r, m, parts[r], 0.5, n, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[r] = p
+	}
+	if err := GroupAlignment(plans, groupSize); err == nil {
+		t.Fatal("flat plans unexpectedly satisfy group alignment")
+	}
+}
+
+func TestSchedulerHierarchicalConservation(t *testing.T) {
+	const n, m, groupSize = 128, 8, 4
+	stores, _ := mkStores(t, n, m, 31, 0)
+	perWorker := make([]int, m)
+	for r := range stores {
+		perWorker[r] = stores[r].Len()
+	}
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		sched, err := NewScheduler(c, stores[c.Rank()], 0.4, n, 31)
+		if err != nil {
+			return err
+		}
+		if err := sched.UseHierarchical(groupSize); err != nil {
+			return err
+		}
+		for e := 0; e < 3; e++ {
+			if err := sched.RunEpochExchange(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, stores, n, perWorker)
+}
+
+func TestUseHierarchicalValidation(t *testing.T) {
+	stores, _ := mkStores(t, 16, 4, 1, 0)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		sched, err := NewScheduler(c, stores[c.Rank()], 0.5, 16, 1)
+		if err != nil {
+			return err
+		}
+		if err := sched.UseHierarchical(3); err == nil {
+			return fmt.Errorf("group size 3 accepted for world 4")
+		}
+		if err := sched.UseHierarchical(0); err == nil {
+			return fmt.Errorf("group size 0 accepted")
+		}
+		if err := sched.UseHierarchical(2); err != nil {
+			return err
+		}
+		if err := sched.Scheduling(0); err != nil {
+			return err
+		}
+		if err := sched.UseHierarchical(4); err == nil {
+			return fmt.Errorf("mode switch mid-epoch accepted")
+		}
+		if err := sched.Synchronize(); err != nil {
+			return err
+		}
+		return sched.CleanLocalStorage()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedOrderIsPermutation(t *testing.T) {
+	ids := []int{3, 1, 4, 1 + 4, 9, 2, 6}
+	w := map[int]float64{3: 10, 9: 0.1}
+	out := WeightedOrder(ids, w, 7, 0, 0)
+	if len(out) != len(ids) {
+		t.Fatalf("length %d", len(out))
+	}
+	seen := map[int]bool{}
+	for _, id := range out {
+		if seen[id] {
+			t.Fatalf("duplicate %d", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("missing %d", id)
+		}
+	}
+}
+
+func TestWeightedOrderDeterministic(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5}
+	w := map[int]float64{0: 5, 5: 2}
+	a := WeightedOrder(ids, w, 9, 3, 1)
+	b := WeightedOrder(ids, w, 9, 3, 1)
+	c := WeightedOrder(ids, w, 9, 4, 1)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same stream differs")
+	}
+	if !diff {
+		t.Fatal("different epochs identical")
+	}
+}
+
+func TestWeightedOrderPrefersHighWeights(t *testing.T) {
+	// Statistically: an id with 100x weight should land in the first half
+	// far more often than chance.
+	const trials = 200
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	w := map[int]float64{7: 100}
+	for i := range ids {
+		if i != 7 {
+			w[i] = 1
+		}
+	}
+	firstHalf := 0
+	for trial := 0; trial < trials; trial++ {
+		out := WeightedOrder(ids, w, uint64(trial), 0, 0)
+		for pos, id := range out {
+			if id == 7 {
+				if pos < 10 {
+					firstHalf++
+				}
+				break
+			}
+		}
+	}
+	if firstHalf < 170 { // chance would be ~100
+		t.Fatalf("high-weight id in first half only %d/%d times", firstHalf, trials)
+	}
+}
+
+func TestSendPrioritySelectsTopWeights(t *testing.T) {
+	const n, m = 64, 4
+	stores, _ := mkStores(t, n, m, 41, 0)
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		st := stores[c.Rank()]
+		sched, err := NewScheduler(c, st, 0.25, n, 41)
+		if err != nil {
+			return err
+		}
+		// Give four local samples overwhelming weight; with Q=0.25 exactly
+		// 4 slots exist, so those four must be the ones sent.
+		ids := st.IDs()
+		weights := map[int]float64{}
+		want := map[int]bool{}
+		for i, id := range ids {
+			if i < 4 {
+				weights[id] = 1e12
+				want[id] = true
+			} else {
+				weights[id] = 1e-12
+			}
+		}
+		sched.SetSendPriority(weights)
+		if err := sched.Scheduling(0); err != nil {
+			return err
+		}
+		for _, id := range sched.plan.SendIDs {
+			if !want[id] {
+				return fmt.Errorf("rank %d sent low-priority sample %d", c.Rank(), id)
+			}
+		}
+		if err := sched.Synchronize(); err != nil {
+			return err
+		}
+		return sched.CleanLocalStorage()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedOrderEmptyWeights(t *testing.T) {
+	ids := []int{5, 6, 7}
+	out := WeightedOrder(ids, map[int]float64{}, 1, 0, 0)
+	if len(out) != 3 {
+		t.Fatal("empty weights broke ordering")
+	}
+}
+
+func BenchmarkHierarchicalPlan(b *testing.B) {
+	parts, _ := Partition(16384, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanExchangeHierarchical(5, 64, 4, parts[5], 0.3, 16384, 1, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"plshuffle/internal/rng"
+)
+
+// Stream salts for the hierarchical exchange's two permutation levels.
+const (
+	saltGroupDest uint64 = 0x96f0
+	saltIntraDest uint64 = 0x1276
+)
+
+// PlanExchangeHierarchical computes a two-level exchange plan, the
+// "hierarchical global exchange scheme that maps to the hierarchy of
+// connection between computing nodes" the paper proposes as the remedy
+// for the all-to-all congestion of the flat exchange at scale
+// (Section V-F).
+//
+// Workers are grouped into size/groupSize groups (a group models the
+// workers sharing one node or switch). For slot i the destination of
+// worker (group a, index l) is (Q_i[a], P_i[l]), the composition of a
+// shared-seed permutation Q_i of the groups with a shared-seed
+// permutation P_i of the intra-group indices. The composition is still a
+// permutation of all ranks — so the exchange stays perfectly balanced —
+// but all members of a group send into the *same* destination group,
+// collapsing the per-slot inter-node traffic pattern from up to M
+// node-pairs to exactly M/groupSize aligned group-pairs.
+func PlanExchangeHierarchical(rank, size, groupSize int, localIDs []int, q float64, totalN int, seed uint64, epoch int) (ExchangePlan, error) {
+	if rank < 0 || rank >= size {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeHierarchical: rank %d out of [0,%d)", rank, size)
+	}
+	if groupSize <= 0 || size%groupSize != 0 {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeHierarchical: group size %d must divide world size %d", groupSize, size)
+	}
+	if q < 0 || q > 1 {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeHierarchical: fraction %v out of [0,1]", q)
+	}
+	k := Slots(q, totalN, size)
+	if k > len(localIDs) {
+		return ExchangePlan{}, fmt.Errorf("shuffle: PlanExchangeHierarchical: %d slots but only %d local samples on rank %d", k, len(localIDs), rank)
+	}
+	plan := ExchangePlan{Epoch: epoch, SendIDs: make([]int, k), Dests: make([]int, k)}
+	if k == 0 {
+		return plan, nil
+	}
+	groups := size / groupSize
+	group := rank / groupSize
+	index := rank % groupSize
+	p := rng.NewStream(seed, saltSend, uint64(epoch), uint64(rank)).Perm(len(localIDs))
+	groupPerm := make([]int, groups)
+	intraPerm := make([]int, groupSize)
+	for i := 0; i < k; i++ {
+		rng.NewStream(seed, saltGroupDest, uint64(epoch), uint64(i)).PermInto(groupPerm)
+		rng.NewStream(seed, saltIntraDest, uint64(epoch), uint64(i)).PermInto(intraPerm)
+		plan.SendIDs[i] = localIDs[p[i]]
+		plan.Dests[i] = groupPerm[group]*groupSize + intraPerm[index]
+	}
+	return plan, nil
+}
+
+// GroupAlignment verifies the hierarchy property of a set of per-rank
+// hierarchical plans: for every slot, all ranks of one group send to a
+// single destination group, and the destination groups across source
+// groups form a permutation. It returns an error describing the first
+// violation, or nil.
+func GroupAlignment(plans []ExchangePlan, groupSize int) error {
+	size := len(plans)
+	if size == 0 || groupSize <= 0 || size%groupSize != 0 {
+		return fmt.Errorf("shuffle: GroupAlignment: bad shape (%d plans, group size %d)", size, groupSize)
+	}
+	groups := size / groupSize
+	slots := plans[0].Slots()
+	for i := 0; i < slots; i++ {
+		destGroupOf := make([]int, groups)
+		for g := range destGroupOf {
+			destGroupOf[g] = -1
+		}
+		for r := 0; r < size; r++ {
+			g := r / groupSize
+			dg := plans[r].Dests[i] / groupSize
+			if destGroupOf[g] == -1 {
+				destGroupOf[g] = dg
+			} else if destGroupOf[g] != dg {
+				return fmt.Errorf("slot %d: group %d sends to both group %d and %d", i, g, destGroupOf[g], dg)
+			}
+		}
+		seen := make([]bool, groups)
+		for g, dg := range destGroupOf {
+			if dg < 0 || dg >= groups || seen[dg] {
+				return fmt.Errorf("slot %d: destination groups are not a permutation (group %d -> %d)", i, g, dg)
+			}
+			seen[dg] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package shuffle
+
+import (
+	"math"
+	"sort"
+
+	"plshuffle/internal/rng"
+)
+
+// Stream salt for importance-weighted ordering.
+const saltImportance uint64 = 0x14b5
+
+// WeightedOrder returns the ids ordered by an importance-weighted random
+// ranking: ids with larger weight tend to appear earlier, with randomness
+// injected via the Gumbel-top-k trick (key_i = log w_i + Gumbel noise;
+// sorting keys descending is equivalent to successive sampling without
+// replacement proportional to w).
+//
+// This implements the paper's Section IV-B outlook: "importance sampling
+// schemes [Zhao & Zhang, ICML'15] can be expanded to investigate the
+// effect of the sampling bias" — the trainer uses per-sample loss as the
+// weight, both for the local iteration order and for choosing which
+// samples to push into the global exchange (high-loss samples circulate,
+// countering the bias of a static partition).
+//
+// Weights must be non-negative; ids with zero or missing weight receive a
+// small floor so every sample retains a chance of being drawn. The result
+// is deterministic in (seed, epoch, rank).
+func WeightedOrder(ids []int, weights map[int]float64, seed uint64, epoch, rank int) []int {
+	r := rng.NewStream(seed, saltImportance, uint64(epoch), uint64(rank))
+	type keyed struct {
+		id  int
+		key float64
+	}
+	// Floor: a tenth of the mean weight, so unseen samples still circulate.
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		if w, ok := weights[id]; ok && w > 0 {
+			sum += w
+			n++
+		}
+	}
+	floor := 1e-9
+	if n > 0 {
+		floor = math.Max(floor, 0.1*sum/float64(n))
+	}
+	keys := make([]keyed, len(ids))
+	for i, id := range ids {
+		// Missing or non-positive weights get the floor; explicit weights
+		// are respected so callers can express strong preferences.
+		w := floor
+		if v, ok := weights[id]; ok && v > 0 {
+			w = v
+		}
+		// Gumbel(0,1) = -log(-log U).
+		u := r.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		g := -math.Log(-math.Log(u))
+		keys[i] = keyed{id: id, key: math.Log(w) + g}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].key != keys[b].key {
+			return keys[a].key > keys[b].key
+		}
+		return keys[a].id < keys[b].id
+	})
+	out := make([]int, len(ids))
+	for i, k := range keys {
+		out[i] = k.id
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"plshuffle/internal/rng"
+)
+
+// Stream salts keep the independent random streams of the scheme from
+// colliding: the initial partition, the per-slot destination permutations,
+// each worker's send selection, the local epoch orders, and the global
+// sampler all draw from disjoint streams of the same user seed.
+const (
+	saltPartition uint64 = 0x5ea1
+	saltDest      uint64 = 0xde57
+	saltSend      uint64 = 0x5e4d
+	saltEpoch     uint64 = 0xe90c
+	saltGlobal    uint64 = 0x61b0
+)
+
+// Partition splits sample IDs [0, n) across m workers as Figure 2 of the
+// paper describes: a seeded random permutation of the dataset is cut into m
+// contiguous chunks, so "the worker to whom a sample belongs is determined
+// by the order in which it appears in the permutation". When m does not
+// divide n, the first n%m workers receive one extra sample.
+//
+// Every worker calling Partition with the same arguments computes the same
+// result, so no communication is needed to agree on the initial layout.
+func Partition(n, m int, seed uint64) ([][]int, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("shuffle: Partition(n=%d, m=%d): arguments must be positive", n, m)
+	}
+	if m > n {
+		return nil, fmt.Errorf("shuffle: Partition(n=%d, m=%d): more workers than samples", n, m)
+	}
+	perm := rng.NewStream(seed, saltPartition).Perm(n)
+	out := make([][]int, m)
+	base := n / m
+	extra := n % m
+	off := 0
+	for r := 0; r < m; r++ {
+		size := base
+		if r < extra {
+			size++
+		}
+		out[r] = append([]int(nil), perm[off:off+size]...)
+		off += size
+	}
+	return out, nil
+}
+
+// Slots returns the number of exchange rounds per epoch for exchange
+// fraction q on a dataset of n samples over m workers: floor(q * floor(n/m)).
+// Using the *global* floor(n/m) — not each worker's local count — keeps the
+// slot count identical on every rank, which the balanced per-slot rank
+// permutations of Algorithm 1 require; flooring keeps the peak-storage
+// bound (1+Q)·N/M of Section III-A exact.
+func Slots(q float64, n, m int) int {
+	if q <= 0 {
+		return 0
+	}
+	perWorker := n / m
+	k := int(q*float64(perWorker) + 1e-9)
+	if k > perWorker {
+		k = perWorker
+	}
+	return k
+}
+
+// EpochOrder returns a per-epoch, per-worker shuffled copy of ids: the
+// local full shuffle the paper performs before the designated ratio is
+// exchanged ("the actual samples exchanged are also randomized") and again
+// when iterating batches.
+func EpochOrder(ids []int, seed uint64, epoch, rank int) []int {
+	out := append([]int(nil), ids...)
+	r := rng.NewStream(seed, saltEpoch, uint64(epoch), uint64(rank))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// GlobalEpochPartition computes epoch's global-shuffling assignment: a
+// fresh shared-seed permutation of all n sample IDs, cut into m chunks.
+// This is what PyTorch's DistributedSampler(shuffle=True) does each epoch.
+func GlobalEpochPartition(n, m int, seed uint64, epoch int) ([][]int, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("shuffle: GlobalEpochPartition(n=%d, m=%d): arguments must be positive", n, m)
+	}
+	perm := rng.NewStream(seed, saltGlobal, uint64(epoch)).Perm(n)
+	out := make([][]int, m)
+	base := n / m
+	extra := n % m
+	off := 0
+	for r := 0; r < m; r++ {
+		size := base
+		if r < extra {
+			size++
+		}
+		out[r] = append([]int(nil), perm[off:off+size]...)
+		off += size
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/store"
+)
+
+// Scheduler manages the per-epoch global exchange for one worker, mirroring
+// the PLS.Scheduler lifecycle the paper adds to PyTorch training scripts
+// (Figure 3):
+//
+//	sched.Scheduling(epoch)      // plan this epoch's exchange
+//	// training loop; optionally sched.Communicate(chunk) per iteration
+//	sched.Communicate(-1)        // post any remaining non-blocking traffic
+//	sched.Synchronize()          // wait for the exchange to finish
+//	sched.CleanLocalStorage()    // remove sent samples, store received ones
+//
+// Posting the traffic in per-iteration chunks (Q·b samples per iteration,
+// Section III-C / Figure 4) overlaps the exchange with the forward and
+// backward phases; Synchronize at the epoch boundary then has little left
+// to wait for.
+type Scheduler struct {
+	comm      *mpi.Comm
+	st        *store.Local
+	q         float64
+	totalN    int
+	seed      uint64
+	groupSize int // 0 = flat exchange; >0 = hierarchical (Section V-F)
+
+	epoch    int
+	plan     ExchangePlan
+	posted   int
+	recvReqs []*mpi.Request
+	received []data.Sample
+	state    schedState
+
+	// sendPriority, when non-nil, biases which local samples enter the
+	// global exchange: Scheduling draws the send set by importance-weighted
+	// sampling without replacement instead of a uniform permutation
+	// (the Section IV-B importance-sampling extension).
+	sendPriority map[int]float64
+}
+
+type schedState int
+
+const (
+	stateIdle schedState = iota
+	stateScheduled
+	stateSynchronized
+)
+
+// NewScheduler creates a scheduler for one worker. totalN is the global
+// number of training samples (used to derive the shared slot count); q is
+// the exchange fraction.
+func NewScheduler(comm *mpi.Comm, st *store.Local, q float64, totalN int, seed uint64) (*Scheduler, error) {
+	if comm == nil || st == nil {
+		return nil, fmt.Errorf("shuffle: NewScheduler: nil communicator or store")
+	}
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("shuffle: NewScheduler: fraction %v out of [0,1]", q)
+	}
+	if totalN <= 0 {
+		return nil, fmt.Errorf("shuffle: NewScheduler: totalN must be positive, got %d", totalN)
+	}
+	return &Scheduler{comm: comm, st: st, q: q, totalN: totalN, seed: seed}, nil
+}
+
+// UseHierarchical switches the scheduler to the two-level exchange with
+// the given group size (the workers sharing one node); groupSize must
+// divide the world size. Call it before the first Scheduling.
+func (s *Scheduler) UseHierarchical(groupSize int) error {
+	if groupSize <= 0 || s.comm.Size()%groupSize != 0 {
+		return fmt.Errorf("shuffle: UseHierarchical: group size %d must divide world size %d", groupSize, s.comm.Size())
+	}
+	if s.state != stateIdle {
+		return fmt.Errorf("shuffle: UseHierarchical: cannot switch modes mid-epoch")
+	}
+	s.groupSize = groupSize
+	return nil
+}
+
+// SetSendPriority installs per-sample importance weights (typically the
+// latest per-sample losses); subsequent epochs select the exchanged
+// samples by weighted sampling without replacement instead of uniformly.
+// Pass nil to return to the uniform Algorithm 1 selection.
+func (s *Scheduler) SetSendPriority(weights map[int]float64) {
+	s.sendPriority = weights
+}
+
+// Scheduling plans the exchange for the given epoch from the worker's
+// current local sample set. It must be called once per epoch before
+// Communicate.
+func (s *Scheduler) Scheduling(epoch int) error {
+	if s.state == stateScheduled {
+		return fmt.Errorf("shuffle: Scheduling(%d): previous epoch %d not yet synchronized and cleaned", epoch, s.epoch)
+	}
+	ids := s.st.IDs()
+	if s.sendPriority != nil {
+		// Importance-weighted send selection: pass the ids pre-ordered by
+		// weighted ranking; the planners take a private permutation of the
+		// given order, so we substitute the permutation source instead.
+		ids = WeightedOrder(ids, s.sendPriority, s.seed, epoch, s.comm.Rank())
+	}
+	var plan ExchangePlan
+	var err error
+	if s.groupSize > 0 {
+		plan, err = PlanExchangeHierarchical(s.comm.Rank(), s.comm.Size(), s.groupSize, ids, s.q, s.totalN, s.seed, epoch)
+	} else {
+		plan, err = PlanExchange(s.comm.Rank(), s.comm.Size(), ids, s.q, s.totalN, s.seed, epoch)
+	}
+	if err != nil {
+		return err
+	}
+	if s.sendPriority != nil && plan.Slots() > 0 {
+		// Override the planner's uniform pick: send exactly the top-k of
+		// the weighted ranking (the destinations keep the balanced
+		// shared-seed permutations).
+		copy(plan.SendIDs, ids[:plan.Slots()])
+	}
+	s.epoch = epoch
+	s.plan = plan
+	s.posted = 0
+	s.recvReqs = s.recvReqs[:0]
+	s.received = s.received[:0]
+	s.state = stateScheduled
+	return nil
+}
+
+// Slots returns the number of samples this epoch's plan exchanges.
+func (s *Scheduler) Slots() int { return s.plan.Slots() }
+
+// Communicate posts non-blocking sends and receives for up to n slots
+// (n < 0 posts everything remaining) and returns the number of slots now
+// outstanding. Calling it repeatedly with small n from the training loop
+// implements the Figure 4 overlap; a single Communicate(-1) matches the
+// plain non-blocking exchange of Figure 3.
+func (s *Scheduler) Communicate(n int) (int, error) {
+	if s.state != stateScheduled {
+		return 0, fmt.Errorf("shuffle: Communicate called without a scheduled epoch")
+	}
+	end := s.plan.Slots()
+	if n >= 0 && s.posted+n < end {
+		end = s.posted + n
+	}
+	for i := s.posted; i < end; i++ {
+		sample, err := s.st.Get(s.plan.SendIDs[i])
+		if err != nil {
+			return 0, fmt.Errorf("shuffle: Communicate: slot %d: %w", i, err)
+		}
+		s.comm.Isend(s.plan.Dests[i], exchangeTag(s.epoch), sample.Encode())
+		s.recvReqs = append(s.recvReqs, s.comm.Irecv(mpi.AnySource, exchangeTag(s.epoch)))
+	}
+	s.posted = end
+	return len(s.recvReqs), nil
+}
+
+// Synchronize posts any remaining traffic, waits for all outstanding
+// receives (line 7 of Algorithm 1), and decodes the received samples.
+func (s *Scheduler) Synchronize() error {
+	if s.state != stateScheduled {
+		return fmt.Errorf("shuffle: Synchronize called without a scheduled epoch")
+	}
+	if _, err := s.Communicate(-1); err != nil {
+		return err
+	}
+	for _, req := range s.recvReqs {
+		payload, _ := req.Wait()
+		sample, err := data.DecodeSample(payload.([]byte))
+		if err != nil {
+			return fmt.Errorf("shuffle: Synchronize: decoding received sample: %w", err)
+		}
+		s.received = append(s.received, sample)
+	}
+	s.state = stateSynchronized
+	return nil
+}
+
+// Received returns the samples obtained in the last synchronized exchange
+// (valid between Synchronize and CleanLocalStorage).
+func (s *Scheduler) Received() []data.Sample { return s.received }
+
+// CleanLocalStorage applies the exchange to the local store: received
+// samples are saved and transmitted samples removed. Receives are applied
+// before deletes — that ordering is what makes the worker's peak storage
+// (1+Q)·N/M rather than N/M (Section III-A), and the store's Peak()
+// measures it. Self-sends (a slot whose shared permutation maps this rank
+// to itself) cancel out and leave the sample in place.
+func (s *Scheduler) CleanLocalStorage() error {
+	if s.state != stateSynchronized {
+		return fmt.Errorf("shuffle: CleanLocalStorage called before Synchronize")
+	}
+	sent := make(map[int]bool, len(s.plan.SendIDs))
+	for _, id := range s.plan.SendIDs {
+		sent[id] = true
+	}
+	for _, sample := range s.received {
+		if sent[sample.ID] && s.st.Has(sample.ID) {
+			// Self-send: the sample never left; cancel the delete.
+			delete(sent, sample.ID)
+			continue
+		}
+		if err := s.st.Put(sample); err != nil {
+			return fmt.Errorf("shuffle: CleanLocalStorage: storing received sample %d: %w", sample.ID, err)
+		}
+	}
+	for id := range sent {
+		if err := s.st.Delete(id); err != nil {
+			return fmt.Errorf("shuffle: CleanLocalStorage: removing sent sample %d: %w", id, err)
+		}
+	}
+	s.state = stateIdle
+	return nil
+}
+
+// RunEpochExchange is the convenience bundle Scheduling → Communicate(-1)
+// → Synchronize → CleanLocalStorage for callers that do not overlap.
+func (s *Scheduler) RunEpochExchange(epoch int) error {
+	if err := s.Scheduling(epoch); err != nil {
+		return err
+	}
+	if err := s.Synchronize(); err != nil {
+		return err
+	}
+	return s.CleanLocalStorage()
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plshuffle/internal/data"
+)
+
+func newDisk(t *testing.T, capacity int64) *Disk {
+	t.Helper()
+	d, err := NewDisk(filepath.Join(t.TempDir(), "samples"), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func diskSample(id int, bytes int64) data.Sample {
+	return data.Sample{ID: id, Label: id % 3, Features: []float32{1, 2, float32(id)}, Bytes: bytes}
+}
+
+func TestDiskPutGetDelete(t *testing.T) {
+	d := newDisk(t, 0)
+	s := diskSample(7, 100)
+	if err := d.Put(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Label != s.Label || got.Features[2] != 7 {
+		t.Fatalf("Get returned %+v", got)
+	}
+	if !d.Has(7) || d.Has(8) {
+		t.Fatal("Has wrong")
+	}
+	if d.Len() != 1 || d.Used() != 100 {
+		t.Fatalf("Len=%d Used=%d", d.Len(), d.Used())
+	}
+	if err := d.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.Used() != 0 {
+		t.Fatal("delete did not release")
+	}
+	if _, err := d.Get(7); err == nil {
+		t.Fatal("Get after delete succeeded")
+	}
+}
+
+func TestDiskFilesActuallyOnDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "x")
+	d, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(diskSample(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "3.sample" {
+		t.Fatalf("directory contents: %v", entries)
+	}
+	if err := d.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatal("file not removed")
+	}
+}
+
+func TestDiskCapacityAndDuplicates(t *testing.T) {
+	d := newDisk(t, 15)
+	if err := d.Put(diskSample(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(diskSample(2, 10)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("overflow error = %v", err)
+	}
+	if err := d.Put(diskSample(1, 1)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestDiskPeakAndIDs(t *testing.T) {
+	d := newDisk(t, 0)
+	for _, id := range []int{5, 1, 3} {
+		if err := d.Put(diskSample(id, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Peak() != 30 || d.Used() != 20 {
+		t.Fatalf("peak=%d used=%d", d.Peak(), d.Used())
+	}
+	ids := d.IDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestDiskClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "c")
+	d, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(diskSample(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("Close did not remove the directory")
+	}
+}
+
+func TestDiskCorruptFileSurfaces(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "k")
+	d, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(diskSample(9, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "9.sample"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(9); err == nil {
+		t.Fatal("corrupt sample file accepted")
+	}
+}
+
+func TestDiskNegativeCapacity(t *testing.T) {
+	if _, err := NewDisk(t.TempDir(), -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package tensor provides the dense float32 matrix kernels underlying the
+// neural-network substrate: parallel blocked matrix multiplication (plus the
+// transposed variants needed by backpropagation), element-wise operations,
+// and reductions.
+//
+// Matrices are row-major. Kernels parallelize across row blocks with
+// goroutines once the work is large enough to amortize the fork/join cost,
+// following the fan-out/drain pattern for data-parallel loops.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"plshuffle/internal/rng"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: New(%d, %d): negative dimension", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// FromSlice wraps data (len r*c) as an r×c matrix without copying.
+func FromSlice(r, c int, data []float32) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice: len(data)=%d, want %d", len(data), r*c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Randn fills the matrix with normal(0, std) values from r.
+func (m *Matrix) Randn(r *rng.Rand, std float32) {
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32() * std
+	}
+}
+
+// KaimingInit fills the matrix with the He initialization used for
+// ReLU networks: normal(0, sqrt(2/fanIn)).
+func (m *Matrix) KaimingInit(r *rng.Rand, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	m.Randn(r, std)
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each
+// chunk concurrently. Small workloads run inline to avoid goroutine
+// overhead; work is an estimate of per-row flops.
+func parallelRows(rows int, workPerRow int, fn func(lo, hi int)) {
+	const minParallelWork = 1 << 16
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows*workPerRow < minParallelWork {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rows / workers
+		hi := (w + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkMul(a, b *Matrix, inner string, ak, bk int) {
+	if ak != bk {
+		panic(fmt.Sprintf("tensor: %s: inner dimensions %d and %d differ", inner, ak, bk))
+	}
+}
+
+// MatMul returns A·B as a new (a.Rows × b.Cols) matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	checkMul(a, b, "MatMul", a.Cols, b.Rows)
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = A·B. dst must be a.Rows × b.Cols and is
+// overwritten. The kernel iterates i-k-j so the inner loop streams both B
+// and dst rows sequentially (cache-friendly for row-major storage).
+func MatMulInto(dst, a, b *Matrix) {
+	checkMul(a, b, "MatMulInto", a.Cols, b.Rows)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	parallelRows(n, 2*k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.Data[i*m : (i+1)*m]
+			for j := range di {
+				di[j] = 0
+			}
+			ai := a.Data[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				av := ai[kk]
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[kk*m : (kk+1)*m]
+				for j, bv := range bk {
+					di[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTA returns Aᵀ·B (a is k×n, b is k×m, result n×m). This is the
+// weight-gradient kernel: dW = Xᵀ·dY.
+func MatMulTA(a, b *Matrix) *Matrix {
+	checkMul(a, b, "MatMulTA", a.Rows, b.Rows)
+	n, k, m := a.Cols, a.Rows, b.Cols
+	out := New(n, m)
+	// Accumulate row-blocks of the output; each output row i gathers
+	// contributions a[kk][i] * b[kk][:].
+	parallelRows(n, 2*k*m, func(lo, hi int) {
+		for kk := 0; kk < k; kk++ {
+			ak := a.Data[kk*n : (kk+1)*n]
+			bk := b.Data[kk*m : (kk+1)*m]
+			for i := lo; i < hi; i++ {
+				av := ak[i]
+				if av == 0 {
+					continue
+				}
+				oi := out.Data[i*m : (i+1)*m]
+				for j, bv := range bk {
+					oi[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTB returns A·Bᵀ (a is n×k, b is m×k, result n×m). This is the
+// input-gradient kernel: dX = dY·Wᵀ.
+func MatMulTB(a, b *Matrix) *Matrix {
+	checkMul(a, b, "MatMulTB", a.Cols, b.Cols)
+	n, k, m := a.Rows, a.Cols, b.Rows
+	out := New(n, m)
+	parallelRows(n, 2*k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			oi := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for kk, av := range ai {
+					sum += av * bj[kk]
+				}
+				oi[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// Add computes m += other element-wise.
+func (m *Matrix) Add(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: Add: shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled computes m += alpha*other element-wise.
+func (m *Matrix) AddScaled(other *Matrix, alpha float32) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: AddScaled: shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m *Matrix) Scale(alpha float32) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AddRowVec adds vector v (len = Cols) to every row; the bias-add kernel.
+func (m *Matrix) AddRowVec(v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec: length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// ColSum returns the per-column sums (len = Cols); the bias-gradient kernel.
+func (m *Matrix) ColSum() []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// ColMean returns per-column means (len = Cols).
+func (m *Matrix) ColMean() []float32 {
+	out := m.ColSum()
+	inv := 1 / float32(m.Rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// ArgmaxRows returns, for each row, the column index of the maximum value.
+func (m *Matrix) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bestJ := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}
+
+// Norm2 returns the Euclidean norm of all elements (accumulated in float64
+// for stability; used by LARS trust ratios).
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Norm2Slice returns the Euclidean norm of a float32 vector.
+func Norm2Slice(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plshuffle/internal/rng"
+)
+
+func almostEq(a, b float32, tol float64) bool {
+	return math.Abs(float64(a)-float64(b)) <= tol
+}
+
+// naiveMul is the reference O(n^3) triple loop used to validate the
+// optimized kernels.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func randomMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32()
+	}
+	return m
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, tol float64, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("%s: element %d: got %v want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {16, 16, 16}, {33, 17, 9}, {128, 64, 32}}
+	for _, s := range shapes {
+		a := randomMatrix(r, s[0], s[1])
+		b := randomMatrix(r, s[1], s[2])
+		matricesClose(t, MatMul(a, b), naiveMul(a, b), 1e-3, "MatMul")
+	}
+}
+
+func TestMatMulTAMatchesTransposeMul(t *testing.T) {
+	r := rng.New(2)
+	for _, s := range [][3]int{{4, 3, 5}, {17, 9, 13}, {64, 32, 8}} {
+		a := randomMatrix(r, s[0], s[1]) // k×n
+		b := randomMatrix(r, s[0], s[2]) // k×m
+		matricesClose(t, MatMulTA(a, b), naiveMul(transpose(a), b), 1e-3, "MatMulTA")
+	}
+}
+
+func TestMatMulTBMatchesMulTranspose(t *testing.T) {
+	r := rng.New(3)
+	for _, s := range [][3]int{{4, 3, 5}, {17, 9, 13}, {8, 64, 32}} {
+		a := randomMatrix(r, s[0], s[1]) // n×k
+		b := randomMatrix(r, s[2], s[1]) // m×k
+		matricesClose(t, MatMulTB(a, b), naiveMul(a, transpose(b)), 1e-3, "MatMulTB")
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%10 + 1
+		r := rng.New(seed)
+		a := randomMatrix(r, n, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+		}
+		out := MatMul(a, id)
+		for i := range out.Data {
+			if !almostEq(out.Data[i], a.Data[i], 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIntoReusesBuffer(t *testing.T) {
+	r := rng.New(4)
+	a := randomMatrix(r, 5, 6)
+	b := randomMatrix(r, 6, 7)
+	dst := New(5, 7)
+	for i := range dst.Data {
+		dst.Data[i] = 999 // stale garbage must be overwritten
+	}
+	MatMulInto(dst, a, b)
+	matricesClose(t, dst, naiveMul(a, b), 1e-3, "MatMulInto")
+}
+
+func TestMatMulPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}
+
+func TestAddAndAddScaled(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	a.Add(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("Add: got %v", a.Data)
+	}
+	a.AddScaled(b, 0.5)
+	if a.At(0, 0) != 16 {
+		t.Fatalf("AddScaled: got %v", a.Data)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, -2, 3})
+	a.Scale(-2)
+	want := []float32{-2, 4, -6}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Scale: got %v", a.Data)
+		}
+	}
+}
+
+func TestAddRowVecAndColSum(t *testing.T) {
+	a := New(3, 2)
+	a.AddRowVec([]float32{1, 2})
+	cs := a.ColSum()
+	if cs[0] != 3 || cs[1] != 6 {
+		t.Fatalf("ColSum after AddRowVec: %v", cs)
+	}
+	cm := a.ColMean()
+	if cm[0] != 1 || cm[1] != 2 {
+		t.Fatalf("ColMean: %v", cm)
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	a := FromSlice(3, 3, []float32{
+		0, 5, 1,
+		9, 2, 3,
+		-1, -5, -2,
+	})
+	got := a.ArgmaxRows()
+	want := []int{1, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgmaxRows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	a := FromSlice(1, 2, []float32{3, 4})
+	if n := a.Norm2(); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("Norm2 = %v, want 5", n)
+	}
+	if n := Norm2Slice([]float32{3, 4}); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("Norm2Slice = %v, want 5", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestKaimingInitVariance(t *testing.T) {
+	r := rng.New(10)
+	fanIn := 256
+	m := New(200, fanIn)
+	m.KaimingInit(r, fanIn)
+	var sum, sumsq float64
+	for _, v := range m.Data {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	n := float64(len(m.Data))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	want := 2.0 / float64(fanIn)
+	if math.Abs(variance-want)/want > 0.1 {
+		t.Fatalf("Kaiming variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(2, 3)
+	m.Row(1)[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row did not return a view")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) { benchMatMul(b, 128) }
+func BenchmarkMatMul512(b *testing.B) { benchMatMul(b, 512) }
+
+func benchMatMul(b *testing.B, n int) {
+	r := rng.New(1)
+	a := randomMatrix(r, n, n)
+	c := randomMatrix(r, n, n)
+	dst := New(n, n)
+	b.SetBytes(int64(2 * n * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, c)
+	}
+}

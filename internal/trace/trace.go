@@ -1,0 +1,129 @@
+// Package trace records structured per-phase events from distributed
+// training runs — the instrumentation behind the Figure 10 style
+// breakdowns. Workers emit one event per (epoch, phase) with duration and
+// byte volume; the recorder aggregates them and can export JSON Lines for
+// external analysis.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase names used by the trainer, matching Figure 10's decomposition.
+const (
+	PhaseIO       = "io"
+	PhaseExchange = "exchange"
+	PhaseFWBW     = "fwbw"
+	PhaseGEWU     = "gewu"
+	PhaseValidate = "validate"
+)
+
+// Event is one recorded phase execution.
+type Event struct {
+	Rank     int           `json:"rank"`
+	Epoch    int           `json:"epoch"`
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+	Bytes    int64         `json:"bytes,omitempty"`
+}
+
+// Recorder collects events from concurrent workers. The zero value is not
+// usable; create recorders with NewRecorder. All methods are safe for
+// concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events, ordered by (epoch, rank,
+// phase) for deterministic output regardless of goroutine interleaving.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Epoch != out[j].Epoch {
+			return out[i].Epoch < out[j].Epoch
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// PhaseTotals sums durations per phase across all ranks and epochs.
+func (r *Recorder) PhaseTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, e := range r.Events() {
+		out[e.Phase] += e.Duration
+	}
+	return out
+}
+
+// EpochBreakdown returns, for one epoch, the mean per-rank duration of
+// each phase — one bar of a Figure 10 style plot.
+func (r *Recorder) EpochBreakdown(epoch int) map[string]time.Duration {
+	sums := map[string]time.Duration{}
+	counts := map[string]int{}
+	for _, e := range r.Events() {
+		if e.Epoch != epoch {
+			continue
+		}
+		sums[e.Phase] += e.Duration
+		counts[e.Phase]++
+	}
+	out := map[string]time.Duration{}
+	for p, s := range sums {
+		out[p] = s / time.Duration(counts[p])
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per event.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: WriteJSONL: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses events written by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: ReadJSONL: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

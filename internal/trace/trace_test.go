@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEventsOrdering(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 1, Epoch: 0, Phase: PhaseIO, Duration: time.Second})
+	r.Record(Event{Rank: 0, Epoch: 1, Phase: PhaseFWBW, Duration: time.Second})
+	r.Record(Event{Rank: 0, Epoch: 0, Phase: PhaseGEWU, Duration: time.Second})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Epoch != 0 || ev[0].Rank != 0 {
+		t.Fatalf("ordering wrong: %+v", ev[0])
+	}
+	if ev[2].Epoch != 1 {
+		t.Fatalf("ordering wrong: %+v", ev[2])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for e := 0; e < 100; e++ {
+				r.Record(Event{Rank: rank, Epoch: e, Phase: PhaseIO, Duration: time.Millisecond})
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Epoch: 0, Phase: PhaseIO, Duration: 2 * time.Second})
+	r.Record(Event{Rank: 1, Epoch: 0, Phase: PhaseIO, Duration: 3 * time.Second})
+	r.Record(Event{Rank: 0, Epoch: 0, Phase: PhaseFWBW, Duration: time.Second})
+	totals := r.PhaseTotals()
+	if totals[PhaseIO] != 5*time.Second {
+		t.Fatalf("io total = %v", totals[PhaseIO])
+	}
+	if totals[PhaseFWBW] != time.Second {
+		t.Fatalf("fwbw total = %v", totals[PhaseFWBW])
+	}
+}
+
+func TestEpochBreakdownAverages(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Epoch: 2, Phase: PhaseExchange, Duration: 2 * time.Second})
+	r.Record(Event{Rank: 1, Epoch: 2, Phase: PhaseExchange, Duration: 4 * time.Second})
+	r.Record(Event{Rank: 0, Epoch: 3, Phase: PhaseExchange, Duration: 100 * time.Second})
+	bd := r.EpochBreakdown(2)
+	if bd[PhaseExchange] != 3*time.Second {
+		t.Fatalf("epoch 2 exchange mean = %v, want 3s", bd[PhaseExchange])
+	}
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Epoch: 0, Phase: PhaseIO, Duration: time.Second, Bytes: 1234})
+	r.Record(Event{Rank: 1, Epoch: 0, Phase: PhaseGEWU, Duration: 2 * time.Second})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Bytes != 1234 || got[1].Phase != PhaseGEWU {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,580 @@
+// Package train runs distributed synchronous SGD over the message-passing
+// runtime with any of the paper's shuffling strategies. One goroutine plays
+// each worker: it holds a model replica (identical initial weights via a
+// shared seed, as Section IV-A assumes), draws batches according to the
+// strategy, averages gradients with a ring allreduce every iteration
+// (Equation 1), and — for partial local shuffling — drives the exchange
+// scheduler chunk-by-chunk so the sample traffic interleaves with the
+// forward/backward phases (Figure 4).
+//
+// By default batch-norm statistics are per-worker, matching standard
+// data-parallel practice; this is the mechanism Section IV-A.1 identifies
+// as the main source of accuracy loss under local shuffling, and keeping
+// it faithful is what lets the accuracy experiments reproduce the paper's
+// shapes. The FullSyncBatchNorm and SyncBatchNormStats options switch the
+// statistics handling to isolate that mechanism (see the norm-ablation
+// experiment).
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/nn"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/store"
+	"plshuffle/internal/tensor"
+	"plshuffle/internal/trace"
+)
+
+// Config describes one training run.
+type Config struct {
+	Workers  int
+	Strategy shuffle.Strategy
+	Dataset  *data.Dataset
+	Model    nn.ModelSpec // input dim / classes already bound (WithData)
+
+	Epochs    int
+	BatchSize int // local mini-batch b per worker
+
+	BaseLR      float32
+	Schedule    nn.Schedule // nil = Constant{BaseLR}
+	Momentum    float32
+	WeightDecay float32
+	UseLARS     bool
+	LARSEta     float32 // 0 = default 0.01
+	// Optimizer selects the update rule by name: "" or "sgd", "lars" (same
+	// as UseLARS), or "lamb". The large-batch optimizers are what the
+	// paper's biggest configurations require (LARS per Mikami et al.).
+	Optimizer string
+
+	Seed uint64
+	// PartitionLocality biases the initial partition toward class-contiguous
+	// shards (0 = the paper's uniform random permutation, 1 = fully
+	// class-sorted). It calibrates shard-statistics divergence so the
+	// Gaussian proxies match the divergence of small shards of real image
+	// data; see shuffle.PartitionWithLocality.
+	PartitionLocality float64
+	// LocalCapacityBytes bounds each worker's storage area (0 = unlimited);
+	// exceeding it fails the run, reproducing the feasibility constraints.
+	LocalCapacityBytes int64
+	// ExchangeGroupSize, when non-zero, uses the hierarchical two-level
+	// exchange (Section V-F) with groups of that many workers; it must
+	// divide Workers.
+	ExchangeGroupSize int
+	// SyncBatchNormStats averages batch-norm running statistics across
+	// workers after every epoch. Standard data-parallel training does NOT
+	// do this — which is exactly why local shuffling degrades (Section
+	// IV-A.1). Enabling it isolates that mechanism: with synchronized
+	// statistics the LS-vs-GS gap shrinks (see the norm-ablation
+	// experiment).
+	SyncBatchNormStats bool
+	// FullSyncBatchNorm computes batch-norm statistics over the GLOBAL
+	// mini-batch every iteration (PyTorch SyncBatchNorm): forward and
+	// backward reductions cross workers. This removes the per-shard batch
+	// statistics entirely and — as the mechanism experiments show — it is
+	// the train-time statistics, not the running estimates, that cause
+	// local shuffling's accuracy loss. It costs two extra allreduces per
+	// BatchNorm layer per iteration.
+	FullSyncBatchNorm bool
+	// ImportanceSampling enables the Section IV-B extension: per-sample
+	// losses weight both the local iteration order (hard samples first)
+	// and the selection of samples pushed into the global exchange (hard
+	// samples circulate between workers).
+	ImportanceSampling bool
+	// WarmStart, if non-nil, initializes every worker's weights from these
+	// parameters instead of random init (Fig 8 downstream training and the
+	// pretrained ResNet50 of Fig 5d). Lengths must match the built model's.
+	WarmStart []nn.Param
+	// Trace, if non-nil, receives one event per (rank, epoch, phase) with
+	// duration and byte volume — the Figure 10 instrumentation.
+	Trace *trace.Recorder
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("train: Workers must be positive, got %d", c.Workers)
+	}
+	if c.Dataset == nil || len(c.Dataset.Train) == 0 {
+		return fmt.Errorf("train: empty dataset")
+	}
+	if len(c.Dataset.Train) < c.Workers {
+		return fmt.Errorf("train: %d samples over %d workers", len(c.Dataset.Train), c.Workers)
+	}
+	if c.Epochs <= 0 || c.BatchSize <= 0 {
+		return fmt.Errorf("train: Epochs and BatchSize must be positive (%d, %d)", c.Epochs, c.BatchSize)
+	}
+	if c.BaseLR <= 0 {
+		return fmt.Errorf("train: BaseLR must be positive, got %v", c.BaseLR)
+	}
+	if err := c.Strategy.Validate(); err != nil {
+		return err
+	}
+	switch c.Optimizer {
+	case "", "sgd", "lars", "lamb":
+	default:
+		return fmt.Errorf("train: unknown optimizer %q (want sgd, lars, or lamb)", c.Optimizer)
+	}
+	return c.Model.Validate()
+}
+
+// EpochStats records one epoch's outcome and phase accounting.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64 // mean loss across workers and iterations
+	ValAcc    float64 // top-1 validation accuracy (sharded evaluation)
+
+	// Simulated byte volumes (per worker, using Sample.Bytes).
+	LocalReadBytes int64
+	PFSReadBytes   int64
+	ExchangeBytes  int64
+
+	// Wall-clock phase times on this process (for the testing.B benches;
+	// the paper-scale times come from internal/perfmodel).
+	IOTime, ExchangeTime, FWBWTime, GEWUTime time.Duration
+}
+
+// Result aggregates a run.
+type Result struct {
+	Strategy    shuffle.Strategy
+	Epochs      []EpochStats
+	FinalValAcc float64
+	BestValAcc  float64
+	// PeakStorageBytes is the maximum over workers of the storage
+	// high-water mark — bounded by (1+Q)·N/M·sampleBytes for PLS.
+	PeakStorageBytes int64
+	// FinalParams are rank 0's weights after training (for downstream
+	// fine-tuning in the Fig 8 experiment).
+	FinalParams []nn.Param
+	// FinalModel is rank 0's trained replica, including batch-norm running
+	// statistics — what a checkpoint saves (nn.SaveWeights).
+	FinalModel *nn.Sequential
+}
+
+// Run executes the configured training and returns aggregated statistics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = nn.Constant{Base: cfg.BaseLR}
+	}
+	n := len(cfg.Dataset.Train)
+	m := cfg.Workers
+
+	// Initial partition for the local-family strategies.
+	var parts [][]int
+	if cfg.Strategy.Kind != shuffle.Global {
+		var err error
+		if cfg.PartitionLocality > 0 {
+			labels := make([]int, n)
+			for i, s := range cfg.Dataset.Train {
+				labels[i] = s.Label
+			}
+			parts, err = shuffle.PartitionWithLocality(labels, m, cfg.PartitionLocality, cfg.Seed)
+		} else {
+			parts, err = shuffle.Partition(n, m, cfg.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	pfs := store.NewPFS(cfg.Dataset.Train)
+
+	perEpoch := make([][]EpochStats, m)
+	peaks := make([]int64, m)
+	finals := make([][]nn.Param, m)
+	models := make([]*nn.Sequential, m)
+
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		w, err := newWorker(c, cfg, sched, parts, pfs)
+		if err != nil {
+			return err
+		}
+		stats, err := w.train()
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		perEpoch[c.Rank()] = stats
+		if w.local != nil {
+			peaks[c.Rank()] = w.local.Peak()
+		}
+		finals[c.Rank()] = w.model.Params()
+		models[c.Rank()] = w.model
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Strategy: cfg.Strategy, Epochs: perEpoch[0], FinalParams: finals[0], FinalModel: models[0]}
+	for _, p := range peaks {
+		if p > res.PeakStorageBytes {
+			res.PeakStorageBytes = p
+		}
+	}
+	for _, e := range res.Epochs {
+		if e.ValAcc > res.BestValAcc {
+			res.BestValAcc = e.ValAcc
+		}
+	}
+	if len(res.Epochs) > 0 {
+		res.FinalValAcc = res.Epochs[len(res.Epochs)-1].ValAcc
+	}
+	return res, nil
+}
+
+// worker is one rank's training state.
+type worker struct {
+	cfg    Config
+	sched  nn.Schedule
+	comm   *mpi.Comm
+	model  *nn.Sequential
+	params []nn.Param
+	opt    nn.Optimizer
+	loss   nn.SoftmaxCrossEntropy
+
+	local     *store.Local       // LS/PLS storage area
+	exchanger *shuffle.Scheduler // PLS only
+	pfs       *store.PFS
+
+	gradBuf []float32
+	xBuf    *tensor.Matrix
+	yBuf    []int
+
+	// lossByID holds the latest per-sample loss, the importance weight of
+	// the ImportanceSampling extension.
+	lossByID map[int]float64
+}
+
+func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *store.PFS) (*worker, error) {
+	// Same init seed on every rank: identical starting weights. Dropout
+	// streams differ per rank.
+	model, err := cfg.Model.Build(cfg.Seed, cfg.Seed+uint64(1000+c.Rank()))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmStart != nil {
+		nn.CopyWeights(model.Params(), cfg.WarmStart)
+	}
+	w := &worker{
+		cfg:    cfg,
+		sched:  sched,
+		comm:   c,
+		model:  model,
+		params: model.Params(),
+		pfs:    pfs,
+	}
+	if cfg.ImportanceSampling {
+		w.lossByID = make(map[int]float64)
+	}
+	if cfg.FullSyncBatchNorm {
+		for _, layer := range model.Layers {
+			if bn, ok := layer.(*nn.BatchNorm); ok {
+				bn.Sync = func(stats []float32) {
+					mpi.Allreduce(c, stats, mpi.OpSum)
+				}
+			}
+		}
+	}
+	switch {
+	case cfg.Optimizer == "lamb":
+		w.opt = nn.NewLAMB(cfg.WeightDecay)
+	case cfg.Optimizer == "lars" || (cfg.Optimizer == "" && cfg.UseLARS):
+		eta := cfg.LARSEta
+		if eta == 0 {
+			eta = 0.01
+		}
+		w.opt = nn.NewLARS(cfg.Momentum, cfg.WeightDecay, eta)
+	default:
+		w.opt = nn.NewSGD(cfg.Momentum, cfg.WeightDecay)
+	}
+	if cfg.Strategy.Kind != shuffle.Global {
+		w.local = store.NewLocal(cfg.LocalCapacityBytes)
+		for _, id := range parts[c.Rank()] {
+			s, err := pfs.Read(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.local.Put(s); err != nil {
+				return nil, fmt.Errorf("staging initial partition: %w", err)
+			}
+		}
+		if cfg.Strategy.Kind == shuffle.PartialLocal {
+			w.exchanger, err = shuffle.NewScheduler(c, w.local, cfg.Strategy.Q, len(cfg.Dataset.Train), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.ExchangeGroupSize > 0 {
+				if err := w.exchanger.UseHierarchical(cfg.ExchangeGroupSize); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+func (w *worker) train() ([]EpochStats, error) {
+	stats := make([]EpochStats, 0, w.cfg.Epochs)
+	for epoch := 0; epoch < w.cfg.Epochs; epoch++ {
+		es, err := w.runEpoch(epoch)
+		if err != nil {
+			return nil, err
+		}
+		if w.cfg.SyncBatchNormStats {
+			w.syncBatchNormStats()
+		}
+		tv := time.Now()
+		es.ValAcc = w.validate()
+		w.emitTrace(epoch, es, time.Since(tv))
+		stats = append(stats, es)
+	}
+	return stats, nil
+}
+
+// emitTrace records the epoch's phase durations and byte volumes.
+func (w *worker) emitTrace(epoch int, es EpochStats, valTime time.Duration) {
+	rec := w.cfg.Trace
+	if rec == nil {
+		return
+	}
+	rank := w.comm.Rank()
+	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseIO,
+		Duration: es.IOTime, Bytes: es.LocalReadBytes + es.PFSReadBytes})
+	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseExchange,
+		Duration: es.ExchangeTime, Bytes: es.ExchangeBytes})
+	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseFWBW,
+		Duration: es.FWBWTime})
+	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseGEWU,
+		Duration: es.GEWUTime})
+	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseValidate,
+		Duration: valTime})
+}
+
+// syncBatchNormStats averages every BatchNorm layer's running mean and
+// variance across all workers (one allreduce over the concatenated
+// statistics).
+func (w *worker) syncBatchNormStats() {
+	var stats []float32
+	var layers []*nn.BatchNorm
+	for _, l := range w.model.Layers {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			layers = append(layers, bn)
+			stats = append(stats, bn.RunMean...)
+			stats = append(stats, bn.RunVar...)
+		}
+	}
+	if len(layers) == 0 {
+		return
+	}
+	mpi.Allreduce(w.comm, stats, mpi.OpSum)
+	inv := 1 / float32(w.comm.Size())
+	off := 0
+	for _, bn := range layers {
+		for j := range bn.RunMean {
+			bn.RunMean[j] = stats[off+j] * inv
+		}
+		off += len(bn.RunMean)
+		for j := range bn.RunVar {
+			bn.RunVar[j] = stats[off+j] * inv
+		}
+		off += len(bn.RunVar)
+	}
+}
+
+// epochIDs returns the sample IDs this worker trains on this epoch, in
+// iteration order.
+func (w *worker) epochIDs(epoch int) ([]int, error) {
+	if w.cfg.Strategy.Kind == shuffle.Global {
+		parts, err := shuffle.GlobalEpochPartition(len(w.cfg.Dataset.Train), w.comm.Size(), w.cfg.Seed, epoch)
+		if err != nil {
+			return nil, err
+		}
+		if w.lossByID != nil {
+			return shuffle.WeightedOrder(parts[w.comm.Rank()], w.lossByID, w.cfg.Seed, epoch, w.comm.Rank()), nil
+		}
+		return parts[w.comm.Rank()], nil
+	}
+	if w.lossByID != nil {
+		return shuffle.WeightedOrder(w.local.IDs(), w.lossByID, w.cfg.Seed, epoch, w.comm.Rank()), nil
+	}
+	return shuffle.EpochOrder(w.local.IDs(), w.cfg.Seed, epoch, w.comm.Rank()), nil
+}
+
+func (w *worker) readSample(id int, es *EpochStats) (data.Sample, error) {
+	if w.cfg.Strategy.Kind == shuffle.Global {
+		s, err := w.pfs.Read(id)
+		if err == nil {
+			es.PFSReadBytes += s.Bytes
+		}
+		return s, err
+	}
+	s, err := w.local.Get(id)
+	if err == nil {
+		es.LocalReadBytes += s.Bytes
+	}
+	return s, err
+}
+
+func (w *worker) runEpoch(epoch int) (EpochStats, error) {
+	es := EpochStats{Epoch: epoch}
+	ids, err := w.epochIDs(epoch)
+	if err != nil {
+		return es, err
+	}
+	// Iteration count and effective batch are derived from the GLOBAL
+	// shape (drop-last semantics): every rank must execute the same number
+	// of collectives per epoch, even when N is not divisible by M and
+	// local counts differ by one.
+	b := w.cfg.BatchSize
+	minLocal := len(w.cfg.Dataset.Train) / w.comm.Size()
+	if b > minLocal {
+		b = minLocal
+	}
+	iters := minLocal / b
+
+	// Plan this epoch's exchange and derive the per-iteration chunk
+	// (Q·b samples per iteration, Section III-C).
+	chunk := 0
+	if w.exchanger != nil {
+		if w.lossByID != nil {
+			w.exchanger.SetSendPriority(w.lossByID)
+		}
+		if err := w.exchanger.Scheduling(epoch); err != nil {
+			return es, err
+		}
+		chunk = (w.exchanger.Slots() + iters - 1) / iters
+	}
+
+	lr := w.sched.LR(float64(epoch))
+	var lossSum float64
+	for it := 0; it < iters; it++ {
+		// Phase: I/O — assemble the mini-batch from storage.
+		t0 := time.Now()
+		batch := ids[it*b : (it+1)*b]
+		if err := w.loadBatch(batch, &es); err != nil {
+			return es, err
+		}
+		es.IOTime += time.Since(t0)
+
+		// Phase: overlapped sample exchange (post this iteration's chunk).
+		if w.exchanger != nil && chunk > 0 {
+			t0 = time.Now()
+			before := es.ExchangeBytes
+			if _, err := w.exchanger.Communicate(chunk); err != nil {
+				return es, err
+			}
+			_ = before
+			es.ExchangeTime += time.Since(t0)
+		}
+
+		// Phase: forward + backward.
+		t0 = time.Now()
+		logits := w.model.Forward(w.xBuf, true)
+		lossSum += w.loss.Forward(logits, w.yBuf)
+		if w.lossByID != nil {
+			for bi, l := range w.loss.PerSample() {
+				w.lossByID[batch[bi]] = l
+			}
+		}
+		w.model.Backward(w.loss.Backward())
+		es.FWBWTime += time.Since(t0)
+
+		// Phase: gradient exchange + weight update (Equation 1: average
+		// the per-worker gradients, then step).
+		t0 = time.Now()
+		w.gradBuf = nn.FlattenGrads(w.params, w.gradBuf)
+		mpi.Allreduce(w.comm, w.gradBuf, mpi.OpSum)
+		inv := 1 / float32(w.comm.Size())
+		for i := range w.gradBuf {
+			w.gradBuf[i] *= inv
+		}
+		nn.UnflattenGrads(w.params, w.gradBuf)
+		w.opt.Step(w.params, lr)
+		es.GEWUTime += time.Since(t0)
+	}
+
+	// Epoch boundary: finish the exchange and swap storage.
+	if w.exchanger != nil {
+		t0 := time.Now()
+		if err := w.exchanger.Synchronize(); err != nil {
+			return es, err
+		}
+		for _, s := range w.exchanger.Received() {
+			es.ExchangeBytes += s.Bytes
+		}
+		if err := w.exchanger.CleanLocalStorage(); err != nil {
+			return es, err
+		}
+		es.ExchangeTime += time.Since(t0)
+	}
+
+	// Average the reported loss across workers so every rank logs the
+	// same curve.
+	buf := []float64{lossSum / float64(iters)}
+	mpi.Allreduce(w.comm, buf, mpi.OpSum)
+	es.TrainLoss = buf[0] / float64(w.comm.Size())
+	return es, nil
+}
+
+// loadBatch fills the reusable batch tensors from storage.
+func (w *worker) loadBatch(ids []int, es *EpochStats) error {
+	dim := w.cfg.Dataset.FeatureDim
+	if w.xBuf == nil || w.xBuf.Rows != len(ids) {
+		w.xBuf = tensor.New(len(ids), dim)
+		w.yBuf = make([]int, len(ids))
+	}
+	for i, id := range ids {
+		s, err := w.readSample(id, es)
+		if err != nil {
+			return err
+		}
+		copy(w.xBuf.Row(i), s.Features)
+		w.yBuf[i] = s.Label
+	}
+	return nil
+}
+
+// validate evaluates the model on a shard of the validation set and
+// combines correct counts across workers. Each worker evaluates with its
+// own replica — weights are identical, but batch-norm running statistics
+// are local, so a worker whose statistics drifted (the LS failure mode)
+// drags the global accuracy down exactly as in real data-parallel eval.
+func (w *worker) validate() float64 {
+	val := w.cfg.Dataset.Val
+	if len(val) == 0 {
+		return 0
+	}
+	m, r := w.comm.Size(), w.comm.Rank()
+	lo := r * len(val) / m
+	hi := (r + 1) * len(val) / m
+	correct := 0
+	const evalBatch = 256
+	for start := lo; start < hi; start += evalBatch {
+		end := start + evalBatch
+		if end > hi {
+			end = hi
+		}
+		x := tensor.New(end-start, w.cfg.Dataset.FeatureDim)
+		y := make([]int, end-start)
+		for i := start; i < end; i++ {
+			copy(x.Row(i-start), val[i].Features)
+			y[i-start] = val[i].Label
+		}
+		logits := w.model.Forward(x, false)
+		pred := logits.ArgmaxRows()
+		for i := range pred {
+			if pred[i] == y[i] {
+				correct++
+			}
+		}
+	}
+	buf := []float64{float64(correct)}
+	mpi.Allreduce(w.comm, buf, mpi.OpSum)
+	return buf[0] / float64(len(val))
+}
