@@ -1,0 +1,62 @@
+// Command plsd is the single-rank worker daemon: it plays exactly one rank
+// of a distributed training world over the TCP transport. Start one plsd
+// per rank (on one host or many), pointing them all at the same rendezvous
+// address; rank 0 binds the rendezvous and prints the run report.
+//
+// A 4-rank world on one machine:
+//
+//	plsd -rank 0 -world 4 -rendezvous 127.0.0.1:7077 -strategy partial -q 0.25 &
+//	plsd -rank 1 -world 4 -rendezvous 127.0.0.1:7077 -strategy partial -q 0.25 &
+//	plsd -rank 2 -world 4 -rendezvous 127.0.0.1:7077 -strategy partial -q 0.25 &
+//	plsd -rank 3 -world 4 -rendezvous 127.0.0.1:7077 -strategy partial -q 0.25
+//
+// Every rank must be given identical training flags; the dataset, model,
+// and initial partition are derived deterministically from the seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plshuffle/internal/distrun"
+)
+
+func main() {
+	rank := flag.Int("rank", 0, "this process's rank in [0, world)")
+	world := flag.Int("world", 1, "number of ranks in the world")
+	rendezvous := flag.String("rendezvous", "127.0.0.1:7077", "host:port rank 0 listens on for bootstrap")
+	dataset := flag.String("dataset", "imagenet-50", "paper dataset key")
+	model := flag.String("model", "resnet50", "proxy model name")
+	strategy := flag.String("strategy", "partial", "global | local | partial")
+	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	epochs := flag.Int("epochs", 5, "training epochs")
+	batch := flag.Int("batch", 16, "local mini-batch size")
+	lr := flag.Float64("lr", 0.05, "base learning rate")
+	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
+	lars := flag.Bool("lars", false, "use the LARS optimizer")
+	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
+	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
+	flag.Parse()
+
+	err := distrun.Run(distrun.Options{
+		Rank:       *rank,
+		World:      *world,
+		Rendezvous: *rendezvous,
+		Dataset:    *dataset,
+		Model:      *model,
+		Strategy:   *strategy,
+		Q:          *q,
+		Epochs:     *epochs,
+		Batch:      *batch,
+		LR:         *lr,
+		Locality:   *locality,
+		LARS:       *lars,
+		Seed:       *seed,
+		Timeout:    *timeout,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,18 +1,31 @@
 // Command plsrun runs a single distributed training configuration and
 // prints the per-epoch accuracy curve and phase accounting.
 //
+// By default the workers are goroutines in this process (the inproc
+// transport). With -launch N the same configuration runs as N OS processes
+// exchanging samples and gradients over localhost TCP: plsrun reserves a
+// rendezvous port, forks N-1 copies of itself as worker ranks, and plays
+// rank 0 itself.
+//
 // Examples:
 //
 //	plsrun -dataset imagenet-50 -model resnet50 -workers 32 -strategy partial -q 0.3
 //	plsrun -dataset cifar-100 -model inceptionv4 -workers 16 -strategy local -locality 0.9
+//	plsrun -launch 4 -dataset imagenet-50 -strategy partial -q 0.25 -epochs 3 -timeout 2m
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
+	"strconv"
+	"time"
 
 	"plshuffle"
+	"plshuffle/internal/distrun"
 )
 
 func main() {
@@ -27,8 +40,12 @@ func main() {
 	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
 	lars := flag.Bool("lars", false, "use the LARS optimizer")
 	seed := flag.Uint64("seed", 42, "run seed")
+	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
+	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
 	saveWeights := flag.String("save-weights", "", "write the trained model checkpoint to this file")
 	listDatasets := flag.Bool("list-datasets", false, "list dataset keys and exit")
+	workerRank := flag.Int("worker-rank", -1, "internal: play one rank of a -launch world")
+	rendezvous := flag.String("rendezvous", "", "internal: rendezvous address of a -launch world")
 	flag.Parse()
 
 	if *listDatasets {
@@ -39,50 +56,175 @@ func main() {
 		return
 	}
 
+	opts := distrun.Options{
+		Dataset:  *dataset,
+		Model:    *model,
+		Strategy: *strategy,
+		Q:        *q,
+		Epochs:   *epochs,
+		Batch:    *batch,
+		LR:       *lr,
+		Locality: *locality,
+		LARS:     *lars,
+		Seed:     *seed,
+		Timeout:  *timeout,
+	}
+
+	if *workerRank >= 0 {
+		// Forked worker: play one rank of the distributed world and exit.
+		opts.Rank = *workerRank
+		opts.World = *launch
+		opts.Rendezvous = *rendezvous
+		if err := distrun.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *launch > 0 {
+		if err := runLaunched(*launch, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runInproc(*workers, *strategy, *q, *dataset, *model, *epochs, *batch, *lr,
+		*locality, *lars, *seed, *timeout, *saveWeights)
+}
+
+// runLaunched forks world-1 copies of this binary as worker ranks and plays
+// rank 0 itself, all connected over localhost TCP.
+func runLaunched(world int, opts distrun.Options) error {
+	if world < 1 {
+		return fmt.Errorf("plsrun: -launch %d: need at least one rank", world)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("plsrun: locating own binary: %w", err)
+	}
+	// Reserve the rendezvous port race-free: bind it here, hand the listener
+	// to rank 0, and advertise the bound address to the forked workers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("plsrun: reserving rendezvous port: %w", err)
+	}
+	opts.Rank = 0
+	opts.World = world
+	opts.Rendezvous = ln.Addr().String()
+	opts.RendezvousListener = ln
+
+	args := []string{
+		"-launch", strconv.Itoa(world),
+		"-rendezvous", opts.Rendezvous,
+		"-dataset", opts.Dataset,
+		"-model", opts.Model,
+		"-strategy", opts.Strategy,
+		"-q", fmt.Sprint(opts.Q),
+		"-epochs", strconv.Itoa(opts.Epochs),
+		"-batch", strconv.Itoa(opts.Batch),
+		"-lr", fmt.Sprint(opts.LR),
+		"-locality", fmt.Sprint(opts.Locality),
+		"-seed", strconv.FormatUint(opts.Seed, 10),
+		"-timeout", opts.Timeout.String(),
+	}
+	if opts.LARS {
+		args = append(args, "-lars")
+	}
+	cmds := make([]*exec.Cmd, 0, world-1)
+	for r := 1; r < world; r++ {
+		cmd := exec.Command(exe, append([]string{"-worker-rank", strconv.Itoa(r)}, args...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("plsrun: starting worker rank %d: %w", r, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+
+	errs := []error{distrun.Run(opts, os.Stdout)}
+	for i, cmd := range cmds {
+		if werr := cmd.Wait(); werr != nil {
+			errs = append(errs, fmt.Errorf("worker rank %d: %w", i+1, werr))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runInproc is the original single-process path (goroutine workers).
+func runInproc(workers int, strategy string, q float64, dataset, model string,
+	epochs, batch int, lr, locality float64, lars bool, seed uint64,
+	timeout time.Duration, saveWeights string) {
 	var strat plshuffle.Strategy
-	switch *strategy {
+	switch strategy {
 	case "global":
 		strat = plshuffle.Global()
 	case "local":
 		strat = plshuffle.Local()
 	case "partial":
-		strat = plshuffle.Partial(*q)
+		strat = plshuffle.Partial(q)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", strategy)
 		os.Exit(2)
 	}
 
-	ds, err := plshuffle.ProxyDataset(*dataset)
+	ds, err := plshuffle.ProxyDataset(dataset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	spec, err := plshuffle.ProxyModel(*model)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	res, err := plshuffle.Train(plshuffle.TrainConfig{
-		Workers:           *workers,
-		Strategy:          strat,
-		Dataset:           ds,
-		Model:             spec.WithData(ds.FeatureDim, ds.Classes),
-		Epochs:            *epochs,
-		BatchSize:         *batch,
-		BaseLR:            float32(*lr),
-		Momentum:          0.9,
-		WeightDecay:       1e-4,
-		UseLARS:           *lars,
-		Seed:              *seed,
-		PartitionLocality: *locality,
-	})
+	spec, err := plshuffle.ProxyModel(model)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
+	type trained struct {
+		res *plshuffle.TrainResult
+		err error
+	}
+	done := make(chan trained, 1)
+	go func() {
+		res, err := plshuffle.Train(plshuffle.TrainConfig{
+			Workers:           workers,
+			Strategy:          strat,
+			Dataset:           ds,
+			Model:             spec.WithData(ds.FeatureDim, ds.Classes),
+			Epochs:            epochs,
+			BatchSize:         batch,
+			BaseLR:            float32(lr),
+			Momentum:          0.9,
+			WeightDecay:       1e-4,
+			UseLARS:           lars,
+			Seed:              seed,
+			PartitionLocality: locality,
+		})
+		done <- trained{res, err}
+	}()
+	var t trained
+	if timeout > 0 {
+		select {
+		case t = <-done:
+		case <-time.After(timeout):
+			fmt.Fprintf(os.Stderr, "plsrun: run made no progress within %v; aborting instead of hanging\n", timeout)
+			os.Exit(1)
+		}
+	} else {
+		t = <-done
+	}
+	if t.err != nil {
+		fmt.Fprintln(os.Stderr, t.err)
+		os.Exit(1)
+	}
+	res := t.res
+
 	fmt.Printf("%s on %s proxy, %d workers, strategy %s (locality %.2f)\n",
-		*model, *dataset, *workers, strat, *locality)
+		model, dataset, workers, strat, locality)
 	fmt.Printf("%-6s  %-8s  %-8s  %-12s  %-12s\n", "epoch", "loss", "val-acc", "local-read", "exchanged")
 	for _, e := range res.Epochs {
 		fmt.Printf("%-6d  %-8.4f  %-8.4f  %-12d  %-12d\n",
@@ -90,8 +232,8 @@ func main() {
 	}
 	fmt.Printf("final=%.4f best=%.4f peak-storage/worker=%d bytes\n",
 		res.FinalValAcc, res.BestValAcc, res.PeakStorageBytes)
-	if *saveWeights != "" {
-		f, err := os.Create(*saveWeights)
+	if saveWeights != "" {
+		f, err := os.Create(saveWeights)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -101,6 +243,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("checkpoint written to %s\n", *saveWeights)
+		fmt.Printf("checkpoint written to %s\n", saveWeights)
 	}
 }

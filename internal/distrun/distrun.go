@@ -1,0 +1,201 @@
+// Package distrun runs one rank of a distributed training world over the
+// TCP transport. It is the shared engine behind cmd/plsd (one rank per
+// process, launched manually or by a scheduler) and cmd/plsrun's -launch
+// mode (which forks a local world and plays rank 0 itself).
+//
+// Every rank receives the identical Options; datasets, models, and the
+// initial partition are derived deterministically from the seed, so no
+// state crosses processes except the MPI traffic itself.
+package distrun
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/nn"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/train"
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/tcp"
+)
+
+// Options describes one rank's share of a distributed run. The training
+// fields must be identical on every rank.
+type Options struct {
+	Rank       int
+	World      int
+	Rendezvous string
+	// RendezvousListener, when non-nil on rank 0, is a pre-bound listener —
+	// the launcher reserves the port race-free before forking workers.
+	RendezvousListener net.Listener
+
+	Dataset  string // paper dataset key (data.LoadProxy)
+	Model    string // proxy model name (nn.ProxySpec)
+	Strategy string // global | local | partial
+	Q        float64
+	Epochs   int
+	Batch    int
+	LR       float64
+	Locality float64
+	LARS     bool
+	Seed     uint64
+
+	// Timeout bounds the whole run. When it expires — typically because a
+	// peer died before reaching a collective — the rank unwinds with a clear
+	// error instead of blocking forever. Zero means no watchdog.
+	Timeout time.Duration
+}
+
+func (o Options) strategy() (shuffle.Strategy, error) {
+	switch o.Strategy {
+	case "global":
+		return shuffle.GlobalShuffling(), nil
+	case "local":
+		return shuffle.LocalShuffling(), nil
+	case "partial":
+		return shuffle.Partial(o.Q), nil
+	default:
+		return shuffle.Strategy{}, fmt.Errorf("distrun: unknown strategy %q (want global, local, or partial)", o.Strategy)
+	}
+}
+
+// Run executes one rank to completion: connect over TCP, train, verify the
+// sample balance, report on rank 0, and tear the transport down. out
+// receives rank 0's run report (other ranks write nothing).
+func Run(o Options, out io.Writer) error {
+	strat, err := o.strategy()
+	if err != nil {
+		return err
+	}
+	ds, err := data.LoadProxy(o.Dataset)
+	if err != nil {
+		return err
+	}
+	spec, err := nn.ProxySpec(o.Model)
+	if err != nil {
+		return err
+	}
+
+	bootstrap := 30 * time.Second
+	if o.Timeout > 0 && o.Timeout < bootstrap {
+		bootstrap = o.Timeout
+	}
+	comm, err := mpi.Connect(func(h transport.Handler) (transport.Conn, error) {
+		return tcp.New(tcp.Config{
+			Rank:               o.Rank,
+			Size:               o.World,
+			Rendezvous:         o.Rendezvous,
+			RendezvousListener: o.RendezvousListener,
+			BootstrapTimeout:   bootstrap,
+		}, h)
+	})
+	if err != nil {
+		return fmt.Errorf("distrun: rank %d: %w", o.Rank, err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Execute(comm, func(c *mpi.Comm) error {
+			if err := trainRank(c, o, strat, ds, spec, out); err != nil {
+				return err
+			}
+			// Quiesce before teardown: no rank may close its transport while
+			// peers still expect frames.
+			c.Barrier()
+			return nil
+		})
+	}()
+
+	if o.Timeout > 0 {
+		select {
+		case err = <-done:
+		case <-time.After(o.Timeout):
+			// Break the rank out of whatever collective it is stuck in, then
+			// tear the transport down so peers unstick too.
+			comm.Abort()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+			}
+			comm.Close()
+			return fmt.Errorf("distrun: rank %d: no progress within %v — a peer likely exited before reaching a collective; aborting instead of hanging", o.Rank, o.Timeout)
+		}
+	} else {
+		err = <-done
+	}
+	if cerr := comm.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("distrun: rank %d: close: %w", o.Rank, cerr)
+	}
+	return err
+}
+
+// trainRank is the per-rank program: train, gather balance/peak/byte
+// accounting at rank 0, and print the report there.
+func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, out io.Writer) error {
+	rr, err := train.RunRank(c, train.Config{
+		Workers:           c.Size(),
+		Strategy:          strat,
+		Dataset:           ds,
+		Model:             spec.WithData(ds.FeatureDim, ds.Classes),
+		Epochs:            o.Epochs,
+		BatchSize:         o.Batch,
+		BaseLR:            float32(o.LR),
+		Momentum:          0.9,
+		WeightDecay:       1e-4,
+		UseLARS:           o.LARS,
+		Seed:              o.Seed,
+		PartitionLocality: o.Locality,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Cross-rank accounting: final local sample counts (the balance
+	// invariant), storage peaks, and real wire traffic.
+	st := c.Transport().Stats()
+	counts := mpi.Gather(c, []int64{int64(rr.FinalLocalSamples)}, 0)
+	peaks := mpi.Gather(c, []int64{rr.PeakStorageBytes}, 0)
+	wire := mpi.Gather(c, []int64{st.BytesSent, st.BytesRecv}, 0)
+	if c.Rank() != 0 {
+		return nil
+	}
+
+	fmt.Fprintf(out, "%s on %s proxy, %d ranks over tcp, strategy %s (locality %.2f)\n",
+		o.Model, o.Dataset, c.Size(), strat, o.Locality)
+	fmt.Fprintf(out, "%-6s  %-8s  %-8s  %-14s\n", "epoch", "loss", "val-acc", "exchange-wire")
+	for _, e := range rr.Epochs {
+		fmt.Fprintf(out, "%-6d  %-8.4f  %-8.4f  %-14d\n", e.Epoch+1, e.TrainLoss, e.ValAcc, e.ExchangeWireBytes)
+	}
+
+	var peak, sent, recv int64
+	for r := 0; r < c.Size(); r++ {
+		if peaks[r] > peak {
+			peak = peaks[r]
+		}
+		sent += wire[2*r]
+		recv += wire[2*r+1]
+	}
+	final := rr.Epochs[len(rr.Epochs)-1]
+	fmt.Fprintf(out, "final=%.4f peak-storage/rank=%d bytes  wire sent=%d recv=%d bytes\n",
+		final.ValAcc, peak, sent, recv)
+
+	// Balance check: for the local-family strategies every rank must end the
+	// run holding its fair share, N/M rounded either way (Algorithm 1's
+	// slot-balanced exchange guarantees it; GS holds no local samples).
+	if strat.Kind != shuffle.Global {
+		n, m := len(ds.Train), c.Size()
+		lo, hi := int64(n/m), int64((n+m-1)/m)
+		for r := 0; r < m; r++ {
+			if counts[r] < lo || counts[r] > hi {
+				return fmt.Errorf("distrun: rank %d ended with %d samples, want N/M in [%d,%d] (N=%d M=%d)",
+					r, counts[r], lo, hi, n, m)
+			}
+		}
+		fmt.Fprintf(out, "sample balance OK: every rank holds N/M = %d..%d of %d samples\n", lo, hi, n)
+	}
+	return nil
+}

@@ -1,28 +1,36 @@
-// Package mpi implements an in-process message-passing runtime with MPI-like
-// semantics: ranks, non-blocking point-to-point operations with tag and
-// ANY_SOURCE matching, and the collectives required by distributed SGD
-// (Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall, Gather).
+// Package mpi implements a message-passing runtime with MPI-like semantics:
+// ranks, non-blocking point-to-point operations with tag and ANY_SOURCE
+// matching, and the collectives required by distributed SGD (Barrier, Bcast,
+// Reduce, Allreduce, Allgather, Alltoall, Gather).
 //
 // The paper's sample-exchange scheme (Algorithm 1) is specified in terms of
 // MPI_Isend/MPI_Irecv with MPI_ANY_SOURCE, and the trainer relies on
 // Allreduce for gradient averaging. This package reproduces those semantics
-// over goroutines and channels so the full system runs on a single machine:
+// over a pluggable transport (internal/transport): the matching engine,
+// collectives, and request machinery live here; frames move over either the
+// in-process backend (goroutine ranks, the default used by Run/NewWorld) or
+// the TCP backend (one OS process per rank, via Connect):
 //
 //   - Message matching follows the MPI ordering rule: messages between a
 //     pair of ranks with the same tag are non-overtaking (FIFO), and a
 //     posted receive matches the earliest acceptable message.
-//   - Isend completes eagerly (the payload is copied into the runtime), so a
-//     send request is always immediately complete, as with small-message
-//     eager protocols in real MPI implementations.
+//   - Isend completes eagerly (the payload is copied or serialized into the
+//     runtime), so a send request is always immediately complete, as with
+//     small-message eager protocols in real MPI implementations.
 //   - Collectives must be invoked by every rank of the world in the same
 //     program order; they are internally sequenced so that back-to-back
-//     collectives never interfere.
+//     collectives never interfere. Barrier is a dissemination barrier built
+//     from the same point-to-point machinery, so it works identically over
+//     every backend.
 package mpi
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/inproc"
 )
 
 // AnySource matches a receive against messages from any sending rank,
@@ -59,7 +67,7 @@ type pendingRecv struct {
 // until the operation completes and returns the received payload (nil for
 // sends) together with its Status.
 type Request struct {
-	world   *World
+	abortCh <-chan struct{}
 	done    chan struct{}
 	payload any
 	status  Status
@@ -76,6 +84,11 @@ func completedRequest() *Request {
 // error for the rank, mirroring MPI_Abort semantics.
 type abortSignal struct{}
 
+// transportFailure is the panic value used to unwind a rank when its
+// transport connection fails (e.g. a TCP peer is unreachable after the
+// retry budget). Run and Execute recover it into a wrapped error.
+type transportFailure struct{ err error }
+
 // Wait blocks until the request completes. For receives it returns the
 // payload and the source/tag status; for sends payload is nil. If the
 // world is aborted while waiting, Wait panics with an abort signal that
@@ -86,14 +99,14 @@ func (r *Request) Wait() (any, Status) {
 		return r.payload, r.status
 	default:
 	}
-	if r.world == nil {
+	if r.abortCh == nil {
 		<-r.done
 		return r.payload, r.status
 	}
 	select {
 	case <-r.done:
 		return r.payload, r.status
-	case <-r.world.abortCh:
+	case <-r.abortCh:
 		panic(abortSignal{})
 	}
 }
@@ -165,11 +178,11 @@ func (mb *mailbox) post(src, tag int, req *Request) {
 	mb.mu.Unlock()
 }
 
-// World is a set of communicating ranks living in one process.
+// World is a set of communicating ranks living in one process, backed by
+// the inproc transport.
 type World struct {
 	size      int
-	mailboxes []mailbox
-	barrier   *barrier
+	network   *inproc.Network
 	comms     []*Comm
 	abortCh   chan struct{}
 	abortOnce sync.Once
@@ -182,14 +195,15 @@ func NewWorld(size int) *World {
 		panic(fmt.Sprintf("mpi: NewWorld(%d): size must be positive", size))
 	}
 	w := &World{
-		size:      size,
-		mailboxes: make([]mailbox, size),
-		barrier:   newBarrier(size),
-		abortCh:   make(chan struct{}),
+		size:    size,
+		network: inproc.NewNetwork(size),
+		abortCh: make(chan struct{}),
 	}
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
-		w.comms[r] = &Comm{world: w, rank: r}
+		c := &Comm{rank: r, size: size, abortCh: w.abortCh, onAbort: w.Abort}
+		c.conn = w.network.Attach(r, c.handleFrame)
+		w.comms[r] = c
 	}
 	return w
 }
@@ -202,10 +216,7 @@ func (w *World) Size() int { return w.size }
 // automatically by Run when any rank returns an error or panics, so a
 // failing rank cannot strand its peers in a collective.
 func (w *World) Abort() {
-	w.abortOnce.Do(func() {
-		close(w.abortCh)
-		w.barrier.abort()
-	})
+	w.abortOnce.Do(func() { close(w.abortCh) })
 }
 
 // Comm returns the communicator endpoint for the given rank.
@@ -216,32 +227,103 @@ func (w *World) Comm(rank int) *Comm {
 	return w.comms[rank]
 }
 
-// Comm is one rank's endpoint into a World. A Comm must only be used by the
-// goroutine that owns the rank (the usual MPI single-threaded-rank model);
-// the runtime itself synchronizes cross-rank delivery.
+// Comm is one rank's endpoint into a world of ranks. A Comm must only be
+// used by the goroutine that owns the rank (the usual MPI
+// single-threaded-rank model); the runtime itself synchronizes cross-rank
+// delivery.
 type Comm struct {
-	world *World
-	rank  int
-	// collSeq sequences collective operations. Every rank calls collectives
-	// in the same program order, so the counters stay in lock-step and the
-	// derived internal tags never collide across concurrent collectives.
+	conn    transport.Conn
+	rank    int
+	size    int
+	mbox    mailbox
+	abortCh chan struct{}
+	onAbort func()
+	// collSeq sequences collective operations (including Barrier). Every
+	// rank calls collectives in the same program order, so the counters stay
+	// in lock-step and the derived internal tags never collide across
+	// concurrent collectives.
 	collSeq int
 }
+
+// Connect builds a communicator over a transport connection opened by dial.
+// The dial callback receives the handler that must be invoked for every
+// inbound frame (wire backends call it from their reader goroutines) and
+// returns the established connection. This is how one OS process becomes
+// one rank of a distributed world:
+//
+//	comm, err := mpi.Connect(func(h transport.Handler) (transport.Conn, error) {
+//	        return tcp.New(cfg, h)
+//	})
+func Connect(dial func(transport.Handler) (transport.Conn, error)) (*Comm, error) {
+	c := &Comm{abortCh: make(chan struct{})}
+	var abortOnce sync.Once
+	c.onAbort = func() { abortOnce.Do(func() { close(c.abortCh) }) }
+	conn, err := dial(c.handleFrame)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: Connect: %w", err)
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("mpi: Connect: dial returned a nil connection")
+	}
+	c.conn = conn
+	c.rank = conn.Rank()
+	c.size = conn.Size()
+	return c, nil
+}
+
+// handleFrame is the transport delivery callback: it feeds inbound frames
+// into the rank's matching engine.
+func (c *Comm) handleFrame(f transport.Frame) {
+	c.mbox.deliver(message{src: f.Src, tag: f.Tag, payload: f.Payload})
+}
+
+// Transport exposes the underlying connection (for byte accounting and
+// shutdown). It is never nil for a Comm built by NewWorld or Connect.
+func (c *Comm) Transport() transport.Conn { return c.conn }
+
+// Close shuts down the underlying transport connection, draining queued
+// outbound frames first (wire backends). In-process worlds do not require
+// it; distributed ranks should Close before exiting.
+func (c *Comm) Close() error { return c.conn.Close() }
 
 // Rank returns this endpoint's rank in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.size }
+
+// abort unwinds this rank (and, for in-process worlds, its peers).
+func (c *Comm) abort() {
+	if c.onAbort != nil {
+		c.onAbort()
+	}
+}
+
+// Abort unwinds this rank: any operation blocked in Wait (or a collective)
+// panics with an abort signal that Run/Execute recover into an error. For
+// in-process worlds the whole world unwinds (MPI_Abort); for distributed
+// ranks only the local process does — watchdogs use it to break a rank out
+// of a collective that will never complete because a peer died.
+func (c *Comm) Abort() { c.abort() }
+
+// send pushes one frame into the transport, converting a transport failure
+// into a rank unwind (recovered by Run/Execute into an error).
+func (c *Comm) send(dest, tag int, payload any) {
+	if err := c.conn.Send(dest, tag, payload); err != nil {
+		c.abort()
+		panic(transportFailure{err})
+	}
+}
 
 // Isend starts a non-blocking send of payload to rank dest with the given
-// tag. The payload is copied for common slice types (see clonePayload), so
-// the caller may reuse its buffers immediately. The returned request is
-// already complete; Wait on it is allowed and returns instantly.
+// tag. The payload is copied for common slice types (inproc backend; see
+// transport.ClonePayload) or serialized (wire backends), so the caller may
+// reuse its buffers immediately. The returned request is already complete;
+// Wait on it is allowed and returns instantly.
 func (c *Comm) Isend(dest, tag int, payload any) *Request {
 	c.checkRank(dest, "Isend")
 	c.checkUserTag(tag, "Isend")
-	c.world.mailboxes[dest].deliver(message{src: c.rank, tag: tag, payload: clonePayload(payload)})
+	c.send(dest, tag, payload)
 	return completedRequest()
 }
 
@@ -255,8 +337,8 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	if tag != AnyTag {
 		c.checkUserTag(tag, "Irecv")
 	}
-	req := &Request{world: c.world, done: make(chan struct{})}
-	c.world.mailboxes[c.rank].post(src, tag, req)
+	req := &Request{abortCh: c.abortCh, done: make(chan struct{})}
+	c.mbox.post(src, tag, req)
 	return req
 }
 
@@ -278,14 +360,26 @@ func (c *Comm) SendRecv(dest, sendTag int, payload any, src, recvTag int) (any, 
 	return req.Wait()
 }
 
-// Barrier blocks until every rank in the world has entered the barrier.
+// Barrier blocks until every rank in the world has entered the barrier. It
+// is a dissemination barrier over the point-to-point layer (log2(M)
+// rounds), so the same implementation works across every transport backend.
 func (c *Comm) Barrier() {
-	c.world.barrier.await()
+	seq := c.nextSeq()
+	size, rank := c.size, c.rank
+	round := 0
+	for dist := 1; dist < size; dist <<= 1 {
+		to := (rank + dist) % size
+		from := (rank - dist + size) % size
+		req := c.irecvInternal(from, collTag(seq, round))
+		c.isendInternal(to, collTag(seq, round), nil)
+		req.Wait()
+		round++
+	}
 }
 
 func (c *Comm) checkRank(r int, op string) {
-	if r < 0 || r >= c.world.size {
-		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, r, c.world.size))
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, r, c.size))
 	}
 }
 
@@ -298,97 +392,33 @@ func (c *Comm) checkUserTag(tag int, op string) {
 // isendInternal bypasses the user-tag check for collective traffic.
 func (c *Comm) isendInternal(dest, tag int, payload any) {
 	c.checkRank(dest, "isendInternal")
-	c.world.mailboxes[dest].deliver(message{src: c.rank, tag: tag, payload: clonePayload(payload)})
+	c.send(dest, tag, payload)
 }
 
 func (c *Comm) irecvInternal(src, tag int) *Request {
-	req := &Request{world: c.world, done: make(chan struct{})}
-	c.world.mailboxes[c.rank].post(src, tag, req)
+	req := &Request{abortCh: c.abortCh, done: make(chan struct{})}
+	c.mbox.post(src, tag, req)
 	return req
 }
 
-// barrier is a reusable counting barrier with generations and abort
-// support.
-type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	size    int
-	count   int
-	gen     int
-	aborted bool
-}
-
-func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) await() {
-	b.mu.Lock()
-	if b.aborted {
-		b.mu.Unlock()
-		panic(abortSignal{})
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
-	}
-	for gen == b.gen && !b.aborted {
-		b.cond.Wait()
-	}
-	aborted := b.aborted
-	b.mu.Unlock()
-	if aborted {
-		panic(abortSignal{})
-	}
-}
-
-func (b *barrier) abort() {
-	b.mu.Lock()
-	b.aborted = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
-
-// clonePayload defensively copies the slice types commonly exchanged by the
-// library (gradients, sample bytes, ID lists) so distributed-memory
-// semantics hold: after a send, mutating the caller's buffer must not affect
-// the receiver. Other payload types are passed by reference; callers sending
-// custom types must treat them as immutable after the send.
-func clonePayload(p any) any {
+// recoverRank converts the panics the runtime uses for control flow into
+// per-rank errors.
+func recoverRank(rank int, p any) error {
 	switch v := p.(type) {
-	case []float32:
-		out := make([]float32, len(v))
-		copy(out, v)
-		return out
-	case []float64:
-		out := make([]float64, len(v))
-		copy(out, v)
-		return out
-	case []int:
-		out := make([]int, len(v))
-		copy(out, v)
-		return out
-	case []byte:
-		out := make([]byte, len(v))
-		copy(out, v)
-		return out
+	case abortSignal:
+		return fmt.Errorf("mpi: rank %d aborted because another rank failed", rank)
+	case transportFailure:
+		return fmt.Errorf("mpi: rank %d transport failed: %w", rank, v.err)
 	default:
-		return p
+		return fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 	}
 }
 
-// Run creates a world of n ranks, runs fn once per rank in its own
-// goroutine, and waits for all ranks to finish. The returned error joins
-// every per-rank error. If any rank returns an error or panics, the world
-// is aborted: ranks blocked in Wait or Barrier unwind with an abort error
-// instead of deadlocking (MPI_Abort semantics).
+// Run creates an in-process world of n ranks, runs fn once per rank in its
+// own goroutine, and waits for all ranks to finish. The returned error
+// joins every per-rank error. If any rank returns an error or panics, the
+// world is aborted: ranks blocked in Wait or Barrier unwind with an abort
+// error instead of deadlocking (MPI_Abort semantics).
 func Run(n int, fn func(c *Comm) error) error {
 	w := NewWorld(n)
 	errs := make([]error, n)
@@ -399,11 +429,7 @@ func Run(n int, fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					if _, ok := p.(abortSignal); ok {
-						errs[rank] = fmt.Errorf("mpi: rank %d aborted because another rank failed", rank)
-					} else {
-						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					}
+					errs[rank] = recoverRank(rank, p)
 					w.Abort()
 				}
 			}()
@@ -415,4 +441,18 @@ func Run(n int, fn func(c *Comm) error) error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// Execute runs fn on a single communicator endpoint — the per-process
+// analogue of Run for distributed worlds built with Connect. Runtime
+// unwinds (transport failures, aborts) and panics are converted into
+// errors; the connection is left open for the caller to Close.
+func Execute(c *Comm, fn func(c *Comm) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = recoverRank(c.rank, p)
+			c.abort()
+		}
+	}()
+	return fn(c)
 }

@@ -6,6 +6,7 @@ import (
 	"plshuffle/internal/data"
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/store"
+	"plshuffle/internal/transport"
 )
 
 // Scheduler manages the per-epoch global exchange for one worker, mirroring
@@ -36,6 +37,13 @@ type Scheduler struct {
 	recvReqs []*mpi.Request
 	received []data.Sample
 	state    schedState
+
+	// wireSent/wireRecv are the exact wire sizes (frame overhead included)
+	// of this epoch's exchanged sample frames, excluding self-sends, which
+	// never touch a network. On a wire backend these equal the bytes the TCP
+	// transport moves for the exchange — the trainer's per-phase accounting.
+	wireSent int64
+	wireRecv int64
 
 	// sendPriority, when non-nil, biases which local samples enter the
 	// global exchange: Scheduling draws the send set by importance-weighted
@@ -125,6 +133,7 @@ func (s *Scheduler) Scheduling(epoch int) error {
 	s.posted = 0
 	s.recvReqs = s.recvReqs[:0]
 	s.received = s.received[:0]
+	s.wireSent, s.wireRecv = 0, 0
 	s.state = stateScheduled
 	return nil
 }
@@ -150,7 +159,11 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("shuffle: Communicate: slot %d: %w", i, err)
 		}
-		s.comm.Isend(s.plan.Dests[i], exchangeTag(s.epoch), sample.Encode())
+		enc := sample.Encode()
+		if s.plan.Dests[i] != s.comm.Rank() {
+			s.wireSent += transport.FrameWireSize(enc)
+		}
+		s.comm.Isend(s.plan.Dests[i], exchangeTag(s.epoch), enc)
 		s.recvReqs = append(s.recvReqs, s.comm.Irecv(mpi.AnySource, exchangeTag(s.epoch)))
 	}
 	s.posted = end
@@ -167,10 +180,13 @@ func (s *Scheduler) Synchronize() error {
 		return err
 	}
 	for _, req := range s.recvReqs {
-		payload, _ := req.Wait()
+		payload, st := req.Wait()
 		sample, err := data.DecodeSample(payload.([]byte))
 		if err != nil {
 			return fmt.Errorf("shuffle: Synchronize: decoding received sample: %w", err)
+		}
+		if st.Source != s.comm.Rank() {
+			s.wireRecv += transport.FrameWireSize(payload)
 		}
 		s.received = append(s.received, sample)
 	}
@@ -181,6 +197,11 @@ func (s *Scheduler) Synchronize() error {
 // Received returns the samples obtained in the last synchronized exchange
 // (valid between Synchronize and CleanLocalStorage).
 func (s *Scheduler) Received() []data.Sample { return s.received }
+
+// WireTraffic returns the exact wire volume of the current epoch's exchange
+// (sent and received sample frames, headers included, self-sends excluded).
+// The counters reset at Scheduling; read them after Synchronize.
+func (s *Scheduler) WireTraffic() (sent, recv int64) { return s.wireSent, s.wireRecv }
 
 // CleanLocalStorage applies the exchange to the local store: received
 // samples are saved and transmitted samples removed. Receives are applied

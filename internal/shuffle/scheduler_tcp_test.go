@@ -1,0 +1,89 @@
+package shuffle_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/store"
+	"plshuffle/internal/transport/transporttest"
+)
+
+// TestRunEpochExchangeOverTCP drives the full Algorithm 1 epoch exchange
+// across a 4-rank world whose every frame crosses real localhost TCP
+// sockets, for Q ∈ {0, 0.25, 1}. After each epoch every rank must hold
+// exactly N/M samples (the balance invariant), the union of all local
+// stores must still be exactly the dataset, and each rank's storage
+// high-water mark must respect the paper's (1+Q)·N/M bound.
+func TestRunEpochExchangeOverTCP(t *testing.T) {
+	const (
+		m           = 4
+		perRank     = 32
+		n           = m * perRank
+		epochs      = 3
+		sampleBytes = int64(1000)
+		seed        = uint64(7)
+	)
+	for _, q := range []float64{0, 0.25, 1} {
+		q := q
+		t.Run(fmt.Sprintf("Q=%v", q), func(t *testing.T) {
+			t.Parallel()
+			err := transporttest.TCP().Run(m, func(c *mpi.Comm) error {
+				// Deterministic initial partition, identical on every rank.
+				parts, err := shuffle.Partition(n, m, seed)
+				if err != nil {
+					return err
+				}
+				st := store.NewLocal(0)
+				for _, id := range parts[c.Rank()] {
+					s := data.Sample{ID: id, Label: id % 10, Features: []float32{float32(id), -float32(id)}, Bytes: sampleBytes}
+					if err := st.Put(s); err != nil {
+						return err
+					}
+				}
+				sched, err := shuffle.NewScheduler(c, st, q, n, seed)
+				if err != nil {
+					return err
+				}
+				for epoch := 0; epoch < epochs; epoch++ {
+					if err := sched.RunEpochExchange(epoch); err != nil {
+						return fmt.Errorf("rank %d epoch %d: %w", c.Rank(), epoch, err)
+					}
+					if got := st.Len(); got != perRank {
+						return fmt.Errorf("rank %d epoch %d: %d samples, want exactly N/M = %d", c.Rank(), epoch, got, perRank)
+					}
+				}
+
+				// Peak storage bound: N/M resident plus at most Q·N/M received
+				// before the sent samples are deleted (Section III-A).
+				limit := int64(float64(perRank)*(1+q)) * sampleBytes
+				if st.Peak() > limit {
+					return fmt.Errorf("rank %d: peak storage %d bytes exceeds (1+%v)·N/M = %d", c.Rank(), st.Peak(), q, limit)
+				}
+
+				// Coverage: the union of the local stores is exactly 0..N-1.
+				ids := st.IDs()
+				local := make([]int64, perRank)
+				for i, id := range ids {
+					local[i] = int64(id)
+				}
+				all := mpi.Gather(c, local, 0)
+				if c.Rank() == 0 {
+					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+					for i, id := range all {
+						if id != int64(i) {
+							return fmt.Errorf("after %d epochs sample ids are not a permutation of 0..%d (position %d holds %d)", epochs, n-1, i, id)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

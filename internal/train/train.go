@@ -131,6 +131,11 @@ type EpochStats struct {
 	LocalReadBytes int64
 	PFSReadBytes   int64
 	ExchangeBytes  int64
+	// ExchangeWireBytes is the real number of bytes that crossed the network
+	// during this epoch's exchange phases (frame headers included). It is
+	// zero on the inproc backend, whose Stats report Wire=false; over TCP it
+	// is what the trace's PhaseExchange events carry.
+	ExchangeWireBytes int64
 
 	// Wall-clock phase times on this process (for the testing.B benches;
 	// the paper-scale times come from internal/perfmodel).
@@ -154,67 +159,31 @@ type Result struct {
 	FinalModel *nn.Sequential
 }
 
-// Run executes the configured training and returns aggregated statistics.
+// Run executes the configured training over the in-process runtime and
+// returns aggregated statistics.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sched := cfg.Schedule
-	if sched == nil {
-		sched = nn.Constant{Base: cfg.BaseLR}
-	}
-	n := len(cfg.Dataset.Train)
 	m := cfg.Workers
-
-	// Initial partition for the local-family strategies.
-	var parts [][]int
-	if cfg.Strategy.Kind != shuffle.Global {
-		var err error
-		if cfg.PartitionLocality > 0 {
-			labels := make([]int, n)
-			for i, s := range cfg.Dataset.Train {
-				labels[i] = s.Label
-			}
-			parts, err = shuffle.PartitionWithLocality(labels, m, cfg.PartitionLocality, cfg.Seed)
-		} else {
-			parts, err = shuffle.Partition(n, m, cfg.Seed)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	pfs := store.NewPFS(cfg.Dataset.Train)
-
-	perEpoch := make([][]EpochStats, m)
-	peaks := make([]int64, m)
-	finals := make([][]nn.Param, m)
-	models := make([]*nn.Sequential, m)
-
+	perRank := make([]*RankResult, m)
 	err := mpi.Run(m, func(c *mpi.Comm) error {
-		w, err := newWorker(c, cfg, sched, parts, pfs)
+		rr, err := RunRank(c, cfg)
 		if err != nil {
 			return err
 		}
-		stats, err := w.train()
-		if err != nil {
-			return fmt.Errorf("rank %d: %w", c.Rank(), err)
-		}
-		perEpoch[c.Rank()] = stats
-		if w.local != nil {
-			peaks[c.Rank()] = w.local.Peak()
-		}
-		finals[c.Rank()] = w.model.Params()
-		models[c.Rank()] = w.model
+		perRank[c.Rank()] = rr
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Strategy: cfg.Strategy, Epochs: perEpoch[0], FinalParams: finals[0], FinalModel: models[0]}
-	for _, p := range peaks {
-		if p > res.PeakStorageBytes {
-			res.PeakStorageBytes = p
+	res := &Result{Strategy: cfg.Strategy, Epochs: perRank[0].Epochs,
+		FinalParams: perRank[0].FinalParams, FinalModel: perRank[0].FinalModel}
+	for _, rr := range perRank {
+		if rr.PeakStorageBytes > res.PeakStorageBytes {
+			res.PeakStorageBytes = rr.PeakStorageBytes
 		}
 	}
 	for _, e := range res.Epochs {
@@ -226,6 +195,77 @@ func Run(cfg Config) (*Result, error) {
 		res.FinalValAcc = res.Epochs[len(res.Epochs)-1].ValAcc
 	}
 	return res, nil
+}
+
+// RankResult is one rank's outcome of a training run.
+type RankResult struct {
+	Epochs           []EpochStats
+	PeakStorageBytes int64
+	FinalParams      []nn.Param
+	FinalModel       *nn.Sequential
+	// FinalLocalSamples is the number of samples in this rank's storage area
+	// after the last epoch (0 for GS, which streams from the PFS). The
+	// distributed launcher gathers it to check the N/M balance invariant.
+	FinalLocalSamples int
+}
+
+// RunRank executes one rank's share of the configured training on an
+// already-connected communicator — the entry point for distributed worlds
+// where each rank is its own OS process (cmd/plsd). Every rank must pass an
+// identical Config: the initial partition is derived deterministically from
+// the seed, so no rank needs to see another's memory. cfg.Workers may be
+// zero (it defaults to the communicator's world size) but must otherwise
+// match it.
+func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = c.Size()
+	}
+	if cfg.Workers != c.Size() {
+		return nil, fmt.Errorf("train: cfg.Workers = %d but world size is %d", cfg.Workers, c.Size())
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = nn.Constant{Base: cfg.BaseLR}
+	}
+	n := len(cfg.Dataset.Train)
+
+	// Initial partition for the local-family strategies — deterministic in
+	// (n, Workers, Seed), hence identical across processes.
+	var parts [][]int
+	if cfg.Strategy.Kind != shuffle.Global {
+		var err error
+		if cfg.PartitionLocality > 0 {
+			labels := make([]int, n)
+			for i, s := range cfg.Dataset.Train {
+				labels[i] = s.Label
+			}
+			parts, err = shuffle.PartitionWithLocality(labels, cfg.Workers, cfg.PartitionLocality, cfg.Seed)
+		} else {
+			parts, err = shuffle.Partition(n, cfg.Workers, cfg.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	pfs := store.NewPFS(cfg.Dataset.Train)
+
+	w, err := newWorker(c, cfg, sched, parts, pfs)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := w.train()
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: %w", c.Rank(), err)
+	}
+	rr := &RankResult{Epochs: stats, FinalParams: w.model.Params(), FinalModel: w.model}
+	if w.local != nil {
+		rr.PeakStorageBytes = w.local.Peak()
+		rr.FinalLocalSamples = len(w.local.IDs())
+	}
+	return rr, nil
 }
 
 // worker is one rank's training state.
@@ -344,10 +384,17 @@ func (w *worker) emitTrace(epoch int, es EpochStats, valTime time.Duration) {
 		return
 	}
 	rank := w.comm.Rank()
+	// On a wire backend the exchange event carries the measured number of
+	// bytes that actually crossed the network; on inproc it carries the
+	// simulated volume (Sample.Bytes), preserving the modeling semantics.
+	exchangeBytes := es.ExchangeBytes
+	if es.ExchangeWireBytes > 0 {
+		exchangeBytes = es.ExchangeWireBytes
+	}
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseIO,
 		Duration: es.IOTime, Bytes: es.LocalReadBytes + es.PFSReadBytes})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseExchange,
-		Duration: es.ExchangeTime, Bytes: es.ExchangeBytes})
+		Duration: es.ExchangeTime, Bytes: exchangeBytes})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseFWBW,
 		Duration: es.FWBWTime})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseGEWU,
@@ -465,11 +512,9 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 		// Phase: overlapped sample exchange (post this iteration's chunk).
 		if w.exchanger != nil && chunk > 0 {
 			t0 = time.Now()
-			before := es.ExchangeBytes
 			if _, err := w.exchanger.Communicate(chunk); err != nil {
 				return es, err
 			}
-			_ = before
 			es.ExchangeTime += time.Since(t0)
 		}
 
@@ -504,6 +549,13 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 		t0 := time.Now()
 		if err := w.exchanger.Synchronize(); err != nil {
 			return es, err
+		}
+		// On a wire backend, record the exchange's true network volume
+		// (exact frame sizes; the traffic itself overlaps with compute, so
+		// transport counter deltas cannot attribute it to this phase).
+		if w.comm.Transport().Stats().Wire {
+			sent, recv := w.exchanger.WireTraffic()
+			es.ExchangeWireBytes += sent + recv
 		}
 		for _, s := range w.exchanger.Received() {
 			es.ExchangeBytes += s.Bytes

@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/tensor"
+)
+
+// Payload type codes. The set covers everything the runtime actually moves
+// between ranks: encoded samples and raw byte buffers, gradient and tensor
+// float buffers, ID lists, and the scalar types the conformance suite and
+// control paths use. The encoding is deterministic (little-endian,
+// fixed-width) so a frame's bytes are a pure function of its value —
+// the property FuzzFrameRoundTrip pins.
+const (
+	codeNil     = uint8(0)
+	codeBytes   = uint8(1)
+	codeFloat32 = uint8(2) // []float32 — gradient buffers
+	codeFloat64 = uint8(3) // []float64 — loss/metric reductions
+	codeInts    = uint8(4) // []int, as int64 on the wire
+	codeInt32s  = uint8(5)
+	codeInt64s  = uint8(6)
+	codeUint64s = uint8(7)
+	codeString  = uint8(8)
+	codeInt     = uint8(9)  // scalar int, as int64
+	codeFloat   = uint8(10) // scalar float64
+	codeBool    = uint8(11)
+	codeSample  = uint8(12) // data.Sample via its own deterministic encoding
+	codeMatrix  = uint8(13) // *tensor.Matrix: rows, cols, row-major float32s
+)
+
+// EncodePayload serializes a payload value for a wire backend. The first
+// byte is a type code; the rest is the value. It returns an error for types
+// outside the wire-encodable set — such payloads work on the inproc backend
+// (passed by reference) but cannot cross a process boundary.
+func EncodePayload(p any) ([]byte, error) {
+	switch v := p.(type) {
+	case nil:
+		return []byte{codeNil}, nil
+	case []byte:
+		buf := make([]byte, 1+len(v))
+		buf[0] = codeBytes
+		copy(buf[1:], v)
+		return buf, nil
+	case []float32:
+		buf := make([]byte, 1+4*len(v))
+		buf[0] = codeFloat32
+		for i, f := range v {
+			binary.LittleEndian.PutUint32(buf[1+4*i:], math.Float32bits(f))
+		}
+		return buf, nil
+	case []float64:
+		buf := make([]byte, 1+8*len(v))
+		buf[0] = codeFloat64
+		for i, f := range v {
+			binary.LittleEndian.PutUint64(buf[1+8*i:], math.Float64bits(f))
+		}
+		return buf, nil
+	case []int:
+		buf := make([]byte, 1+8*len(v))
+		buf[0] = codeInts
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[1+8*i:], uint64(int64(x)))
+		}
+		return buf, nil
+	case []int32:
+		buf := make([]byte, 1+4*len(v))
+		buf[0] = codeInt32s
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(buf[1+4*i:], uint32(x))
+		}
+		return buf, nil
+	case []int64:
+		buf := make([]byte, 1+8*len(v))
+		buf[0] = codeInt64s
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[1+8*i:], uint64(x))
+		}
+		return buf, nil
+	case []uint64:
+		buf := make([]byte, 1+8*len(v))
+		buf[0] = codeUint64s
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[1+8*i:], x)
+		}
+		return buf, nil
+	case string:
+		buf := make([]byte, 1+len(v))
+		buf[0] = codeString
+		copy(buf[1:], v)
+		return buf, nil
+	case int:
+		buf := make([]byte, 9)
+		buf[0] = codeInt
+		binary.LittleEndian.PutUint64(buf[1:], uint64(int64(v)))
+		return buf, nil
+	case float64:
+		buf := make([]byte, 9)
+		buf[0] = codeFloat
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v))
+		return buf, nil
+	case bool:
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		return []byte{codeBool, b}, nil
+	case data.Sample:
+		enc := v.Encode()
+		buf := make([]byte, 1+len(enc))
+		buf[0] = codeSample
+		copy(buf[1:], enc)
+		return buf, nil
+	case *tensor.Matrix:
+		if v == nil {
+			return []byte{codeNil}, nil
+		}
+		buf := make([]byte, 1+8+4*len(v.Data))
+		buf[0] = codeMatrix
+		binary.LittleEndian.PutUint32(buf[1:], uint32(v.Rows))
+		binary.LittleEndian.PutUint32(buf[5:], uint32(v.Cols))
+		for i, f := range v.Data {
+			binary.LittleEndian.PutUint32(buf[9+4*i:], math.Float32bits(f))
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("transport: payload type %T is not wire-encodable", p)
+	}
+}
+
+// DecodePayload parses an EncodePayload buffer back into the corresponding
+// Go value. Malformed input returns an error; it never panics.
+func DecodePayload(buf []byte) (any, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("transport: empty payload")
+	}
+	code, body := buf[0], buf[1:]
+	switch code {
+	case codeNil:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("transport: nil payload with %d trailing bytes", len(body))
+		}
+		return nil, nil
+	case codeBytes:
+		out := make([]byte, len(body))
+		copy(out, body)
+		return out, nil
+	case codeFloat32:
+		if len(body)%4 != 0 {
+			return nil, fmt.Errorf("transport: float32 payload length %d not a multiple of 4", len(body))
+		}
+		out := make([]float32, len(body)/4)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return out, nil
+	case codeFloat64:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("transport: float64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]float64, len(body)/8)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case codeInts:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("transport: int payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]int, len(body)/8)
+		for i := range out {
+			out[i] = int(int64(binary.LittleEndian.Uint64(body[8*i:])))
+		}
+		return out, nil
+	case codeInt32s:
+		if len(body)%4 != 0 {
+			return nil, fmt.Errorf("transport: int32 payload length %d not a multiple of 4", len(body))
+		}
+		out := make([]int32, len(body)/4)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return out, nil
+	case codeInt64s:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("transport: int64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]int64, len(body)/8)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case codeUint64s:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("transport: uint64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]uint64, len(body)/8)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		return out, nil
+	case codeString:
+		return string(body), nil
+	case codeInt:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("transport: scalar int payload length %d, want 8", len(body))
+		}
+		return int(int64(binary.LittleEndian.Uint64(body))), nil
+	case codeFloat:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("transport: scalar float payload length %d, want 8", len(body))
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(body)), nil
+	case codeBool:
+		if len(body) != 1 || body[0] > 1 {
+			return nil, fmt.Errorf("transport: malformed bool payload")
+		}
+		return body[0] == 1, nil
+	case codeSample:
+		s, err := data.DecodeSample(body)
+		if err != nil {
+			return nil, fmt.Errorf("transport: sample payload: %w", err)
+		}
+		return s, nil
+	case codeMatrix:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("transport: matrix payload truncated")
+		}
+		rows := int(binary.LittleEndian.Uint32(body))
+		cols := int(binary.LittleEndian.Uint32(body[4:]))
+		if rows < 0 || cols < 0 || rows*cols < 0 || len(body)-8 != 4*rows*cols ||
+			(cols > 0 && rows > MaxFramePayload/4/cols) {
+			return nil, fmt.Errorf("transport: matrix payload %dx%d does not match %d data bytes", rows, cols, len(body)-8)
+		}
+		m := tensor.New(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[8+4*i:]))
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown payload type code %d", code)
+	}
+}
+
+// FrameWireSize returns the exact number of bytes a data frame carrying
+// this payload occupies on the wire (length prefix + frame header + encoded
+// payload). The codec is deterministic, so this equals what the TCP backend
+// actually writes — phase-level byte accounting uses it to attribute wire
+// traffic to the operation that caused it, which raw transport counters
+// cannot do once frames overlap with compute.
+func FrameWireSize(p any) int64 {
+	return 4 + wireHeaderLen + PayloadWireSize(p)
+}
+
+// PayloadWireSize estimates the encoded size of a payload without
+// allocating — the inproc backend's byte accounting. Unknown types count as
+// zero bytes (they never cross a wire).
+func PayloadWireSize(p any) int64 {
+	switch v := p.(type) {
+	case nil:
+		return 1
+	case []byte:
+		return int64(1 + len(v))
+	case []float32:
+		return int64(1 + 4*len(v))
+	case []float64:
+		return int64(1 + 8*len(v))
+	case []int:
+		return int64(1 + 8*len(v))
+	case []int32:
+		return int64(1 + 4*len(v))
+	case []int64, []uint64:
+		switch w := p.(type) {
+		case []int64:
+			return int64(1 + 8*len(w))
+		case []uint64:
+			return int64(1 + 8*len(w))
+		}
+		return 1
+	case string:
+		return int64(1 + len(v))
+	case int, float64:
+		return 9
+	case bool:
+		return 2
+	case data.Sample:
+		return int64(1 + 28 + 4*len(v.Features))
+	case *tensor.Matrix:
+		if v == nil {
+			return 1
+		}
+		return int64(9 + 4*len(v.Data))
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/tensor"
+)
+
+// FuzzFrameRoundTrip pins the wire framing invariants: any buffer that
+// UnmarshalFrame accepts must re-marshal to the identical bytes (the
+// encoding is canonical), ReadFrame must agree with UnmarshalFrame, and
+// malformed input must produce an error — never a panic, never a giant
+// allocation.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed := func(w WireFrame) {
+		buf, err := MarshalFrame(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	seed(WireFrame{Kind: KindData, Src: 0, Dst: 1, Tag: 7, Payload: []byte{codeInt, 1, 0, 0, 0, 0, 0, 0, 0}})
+	seed(WireFrame{Kind: KindHello, Src: 3, Dst: 0, Payload: []byte("127.0.0.1:9999")})
+	seed(WireFrame{Kind: KindTable, Src: 0, Dst: -1, Payload: EncodeAddrTable([]string{"a:1", "b:2"})})
+	seed(WireFrame{Kind: KindBye, Src: 2, Dst: 5, Tag: -12345})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile length prefix
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		w, err := UnmarshalFrame(buf)
+		if err != nil {
+			return // malformed input must error, which it did — done
+		}
+		re, err := MarshalFrame(w)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("frame round trip not canonical:\n in  %x\n out %x", buf, re)
+		}
+		// ReadFrame over the same bytes must consume exactly the buffer and
+		// agree on every field.
+		r, n, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil || n != len(buf) {
+			t.Fatalf("ReadFrame disagrees with UnmarshalFrame: n=%d err=%v", n, err)
+		}
+		if r.Kind != w.Kind || r.Src != w.Src || r.Dst != w.Dst || r.Tag != w.Tag || !bytes.Equal(r.Payload, w.Payload) {
+			t.Fatalf("ReadFrame decoded %+v, UnmarshalFrame %+v", r, w)
+		}
+	})
+}
+
+// FuzzPayloadRoundTrip pins the payload codec: any buffer DecodePayload
+// accepts re-encodes to the identical bytes (bit-preserving even for NaN
+// floats), and malformed buffers error without panicking.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	seed := func(v any) {
+		buf, err := EncodePayload(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	seed(nil)
+	seed([]byte{1, 2, 3})
+	seed([]float32{0.5, float32(math.NaN()), -3})
+	seed([]float64{math.Inf(1), 2.25})
+	seed([]int{-1, 0, 1 << 40})
+	seed([]int32{-7, 7})
+	seed([]int64{1 << 62})
+	seed([]uint64{^uint64(0)})
+	seed("hello world")
+	seed(42)
+	seed(3.14159)
+	seed(true)
+	seed(data.Sample{ID: 9, Label: 2, Features: []float32{1, -2.5}, Bytes: 117 << 10})
+	m := tensor.New(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	seed(m)
+	f.Add([]byte{})
+	f.Add([]byte{codeMatrix, 0xff, 0xff, 0xff, 0x7f, 0xff, 0xff, 0xff, 0x7f}) // hostile dims
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		v, err := DecodePayload(buf)
+		if err != nil {
+			return
+		}
+		re, err := EncodePayload(v)
+		if err != nil {
+			t.Fatalf("decoded payload %T does not re-encode: %v", v, err)
+		}
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("payload round trip not canonical for %T:\n in  %x\n out %x", v, buf, re)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+// Package inproc is the in-process transport backend: all ranks live in one
+// OS process (one goroutine per rank, as mpi.Run arranges) and a Send is a
+// synchronous function call into the destination rank's handler. This is
+// the refactored form of the original channel-based runtime — delivery
+// order per (source, destination) pair is the sender's program order, which
+// is exactly the non-overtaking guarantee the mailbox layer needs.
+//
+// Payloads are defensively cloned for the common slice types so
+// distributed-memory semantics hold despite the shared address space;
+// other types pass by reference and must be treated as immutable after a
+// send (see transport.ClonePayload).
+package inproc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"plshuffle/internal/transport"
+)
+
+// Network is a world of in-process ranks. Create it with NewNetwork, then
+// Attach each rank's handler before any traffic flows.
+type Network struct {
+	size     int
+	handlers []transport.Handler
+	mu       sync.RWMutex
+	stats    []connStats
+}
+
+type connStats struct {
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+}
+
+// NewNetwork creates an inproc network with the given number of ranks.
+func NewNetwork(size int) *Network {
+	if size <= 0 {
+		panic(fmt.Sprintf("inproc: NewNetwork(%d): size must be positive", size))
+	}
+	return &Network{
+		size:     size,
+		handlers: make([]transport.Handler, size),
+		stats:    make([]connStats, size),
+	}
+}
+
+// Size returns the number of ranks in the network.
+func (n *Network) Size() int { return n.size }
+
+// Attach registers rank's inbound handler and returns its connection
+// endpoint. Each rank must be attached exactly once before it exchanges
+// traffic.
+func (n *Network) Attach(rank int, h transport.Handler) transport.Conn {
+	if rank < 0 || rank >= n.size {
+		panic(fmt.Sprintf("inproc: Attach(%d): rank out of range [0,%d)", rank, n.size))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.handlers[rank] != nil {
+		panic(fmt.Sprintf("inproc: Attach(%d): rank already attached", rank))
+	}
+	n.handlers[rank] = h
+	return &conn{net: n, rank: rank}
+}
+
+type conn struct {
+	net    *Network
+	rank   int
+	closed atomic.Bool
+}
+
+func (c *conn) Rank() int { return c.rank }
+func (c *conn) Size() int { return c.net.size }
+
+// Send clones the payload and delivers it synchronously into the
+// destination handler. It cannot fail for in-range destinations.
+func (c *conn) Send(dst, tag int, payload any) error {
+	if dst < 0 || dst >= c.net.size {
+		return fmt.Errorf("inproc: Send: rank %d out of range [0,%d)", dst, c.net.size)
+	}
+	if c.closed.Load() {
+		return fmt.Errorf("inproc: Send: connection for rank %d is closed", c.rank)
+	}
+	c.net.mu.RLock()
+	h := c.net.handlers[dst]
+	c.net.mu.RUnlock()
+	if h == nil {
+		return fmt.Errorf("inproc: Send: destination rank %d not attached", dst)
+	}
+	sz := transport.PayloadWireSize(payload)
+	src, dstStats := &c.net.stats[c.rank], &c.net.stats[dst]
+	src.framesSent.Add(1)
+	src.bytesSent.Add(sz)
+	dstStats.framesRecv.Add(1)
+	dstStats.bytesRecv.Add(sz)
+	h(transport.Frame{Src: c.rank, Dst: dst, Tag: tag, Payload: transport.ClonePayload(payload)})
+	return nil
+}
+
+func (c *conn) Stats() transport.Stats {
+	s := &c.net.stats[c.rank]
+	return transport.Stats{
+		FramesSent: s.framesSent.Load(),
+		FramesRecv: s.framesRecv.Load(),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+		Wire:       false,
+	}
+}
+
+// Close marks the endpoint closed. Delivery is synchronous, so there is
+// nothing to drain.
+func (c *conn) Close() error {
+	c.closed.Store(true)
+	return nil
+}

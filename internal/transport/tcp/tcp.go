@@ -1,0 +1,745 @@
+// Package tcp is the wire transport backend: every rank is an OS process
+// and frames move over persistent localhost/LAN TCP connections as
+// length-prefixed binary records (transport.WireFrame).
+//
+// # Bootstrap (rendezvous)
+//
+// Rank 0 listens on the rendezvous address. Every rank also opens its own
+// data listener on an ephemeral port. Ranks 1..M-1 dial the rendezvous
+// (with retry and backoff — process start order is arbitrary) and send a
+// hello frame carrying their data address; rank 0 collects all M-1 hellos,
+// then answers each with the complete rank↔address table. After the
+// rendezvous closes, the world is fully addressable and peer connections
+// form lazily: the first Send to a peer dials its data listener and
+// identifies itself with a hello frame, and the single established
+// connection carries frames in both directions.
+//
+// # Ordering, retries, failure
+//
+// Each peer has one writer goroutine draining an unbounded FIFO queue, so
+// Send is eager (never blocks on the receiver) and per-(pair) frame order
+// is the sender's program order — the non-overtaking guarantee the mailbox
+// layer requires. Dials and writes have deadlines; a failed connection is
+// redialed with exponential backoff up to a bounded attempt budget, after
+// which the transport records a wrapped error, fails the queued frame, and
+// surfaces the error on subsequent Send and Close calls. Close drains the
+// outbound queues (bounded by DrainTimeout) before tearing connections
+// down.
+package tcp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plshuffle/internal/transport"
+)
+
+// Config describes one rank's endpoint of a TCP world.
+type Config struct {
+	// Rank and Size identify this process within the world.
+	Rank int
+	Size int
+	// Rendezvous is the host:port rank 0 listens on for bootstrap and the
+	// other ranks dial. Required unless Size == 1.
+	Rendezvous string
+	// RendezvousListener, when non-nil, is a pre-bound listener rank 0 uses
+	// instead of binding Rendezvous itself (lets callers reserve a port
+	// without a race). Ignored on other ranks.
+	RendezvousListener net.Listener
+	// ListenAddr is the bind address for this rank's data listener.
+	// Default "127.0.0.1:0" (ephemeral port).
+	ListenAddr string
+	// AdvertiseAddr overrides the address sent to peers (for NATed or
+	// multi-homed hosts). Default: the data listener's own address.
+	AdvertiseAddr string
+
+	// DialTimeout bounds one dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// DialAttempts bounds dial/redial retries per frame before the
+	// transport gives up. Default 8.
+	DialAttempts int
+	// DialBackoff is the initial retry backoff, doubled per attempt and
+	// capped at 1s. Default 25ms.
+	DialBackoff time.Duration
+	// BootstrapTimeout bounds the whole rendezvous phase. Default 30s.
+	BootstrapTimeout time.Duration
+	// WriteTimeout bounds one frame write. Default 30s.
+	WriteTimeout time.Duration
+	// ReadIdleTimeout, when positive, is the per-read deadline on
+	// established data connections. Zero (the default) means reads block
+	// indefinitely — epochs between exchanges can be arbitrarily long.
+	ReadIdleTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for queued outbound frames
+	// to flush. Default 10s.
+	DrainTimeout time.Duration
+
+	// Dial overrides the dial function (tests inject flaky networks).
+	// Default net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (c *Config) fillDefaults() {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 8
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 25 * time.Millisecond
+	}
+	if c.BootstrapTimeout <= 0 {
+		c.BootstrapTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Size <= 0 {
+		return fmt.Errorf("tcp: world size %d must be positive", c.Size)
+	}
+	if c.Rank < 0 || c.Rank >= c.Size {
+		return fmt.Errorf("tcp: rank %d out of range [0,%d)", c.Rank, c.Size)
+	}
+	if c.Size > 1 && c.Rendezvous == "" && (c.Rank != 0 || c.RendezvousListener == nil) {
+		return fmt.Errorf("tcp: rendezvous address required for world size %d", c.Size)
+	}
+	return nil
+}
+
+// Conn is one rank's TCP transport endpoint. Create it with New.
+type Conn struct {
+	cfg     Config
+	handler transport.Handler
+
+	listener net.Listener
+	addrs    []string // rank → data address
+	peers    []*peer  // peers[ownRank] == nil
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	readerWG  sync.WaitGroup
+	writerWG  sync.WaitGroup
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{} // every live socket, for shutdown
+
+	errMu sync.Mutex
+	err   error
+}
+
+// track remembers a live socket so Close can tear it down even if it never
+// became a peer's canonical write connection.
+func (c *Conn) track(conn net.Conn) {
+	c.connsMu.Lock()
+	if c.conns == nil {
+		c.conns = make(map[net.Conn]struct{})
+	}
+	c.conns[conn] = struct{}{}
+	c.connsMu.Unlock()
+}
+
+func (c *Conn) untrack(conn net.Conn) {
+	c.connsMu.Lock()
+	delete(c.conns, conn)
+	c.connsMu.Unlock()
+}
+
+// peer is the outbound side toward one remote rank: an unbounded FIFO frame
+// queue drained by a single writer goroutine, plus the current live
+// connection (shared with the inbound reader).
+type peer struct {
+	rank int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte // marshalled frames, length prefix included
+	conn    net.Conn // current write connection; nil → (re)dial on demand
+	closing bool
+	dead    bool // retry budget exhausted; queue is discarded
+}
+
+// New establishes this rank's endpoint: it binds the data listener, runs
+// the rendezvous bootstrap, and starts the accept loop. Inbound data frames
+// are decoded and passed to h (possibly from multiple reader goroutines).
+func New(cfg Config, h transport.Handler) (*Conn, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("tcp: nil frame handler")
+	}
+	c := &Conn{cfg: cfg, handler: h, closed: make(chan struct{})}
+
+	if cfg.Size == 1 {
+		// Single-rank world: only self-delivery, no sockets.
+		c.addrs = []string{""}
+		c.peers = []*peer{nil}
+		return c, nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: rank %d: binding data listener: %w", cfg.Rank, err)
+	}
+	c.listener = ln
+	advertise := cfg.AdvertiseAddr
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+
+	if err := c.bootstrap(advertise); err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	c.peers = make([]*peer, cfg.Size)
+	for r := 0; r < cfg.Size; r++ {
+		if r == cfg.Rank {
+			continue
+		}
+		p := &peer{rank: r}
+		p.cond = sync.NewCond(&p.mu)
+		c.peers[r] = p
+		c.writerWG.Add(1)
+		go c.writeLoop(p)
+	}
+
+	c.readerWG.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Rank returns this endpoint's rank.
+func (c *Conn) Rank() int { return c.cfg.Rank }
+
+// Size returns the world size.
+func (c *Conn) Size() int { return c.cfg.Size }
+
+// Err returns the first transport failure observed, if any.
+func (c *Conn) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+func (c *Conn) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Stats returns real wire byte counts (frame headers included).
+func (c *Conn) Stats() transport.Stats {
+	return transport.Stats{
+		FramesSent: c.framesSent.Load(),
+		FramesRecv: c.framesRecv.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+		Wire:       true,
+	}
+}
+
+// Send serializes the payload and enqueues it toward dst. Self-sends loop
+// back through the codec (an encode/decode round trip) so semantics match
+// remote delivery exactly.
+func (c *Conn) Send(dst, tag int, payload any) error {
+	if dst < 0 || dst >= c.cfg.Size {
+		return fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.Size)
+	}
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("tcp: Send to rank %d: transport already failed: %w", dst, err)
+	}
+	select {
+	case <-c.closed:
+		return fmt.Errorf("tcp: Send to rank %d: transport closed", dst)
+	default:
+	}
+	enc, err := transport.EncodePayload(payload)
+	if err != nil {
+		return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
+	}
+	if dst == c.cfg.Rank {
+		v, derr := transport.DecodePayload(enc)
+		if derr != nil {
+			return fmt.Errorf("tcp: self-send round trip: %w", derr)
+		}
+		c.framesSent.Add(1)
+		c.framesRecv.Add(1)
+		c.handler(transport.Frame{Src: dst, Dst: dst, Tag: tag, Payload: v})
+		return nil
+	}
+	buf, err := transport.MarshalFrame(transport.WireFrame{
+		Kind: transport.KindData,
+		Src:  int32(c.cfg.Rank),
+		Dst:  int32(dst),
+		Tag:  int64(tag),
+		Payload: enc,
+	})
+	if err != nil {
+		return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
+	}
+	p := c.peers[dst]
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return fmt.Errorf("tcp: Send to rank %d: peer unreachable: %w", dst, c.Err())
+	}
+	if p.closing {
+		p.mu.Unlock()
+		return fmt.Errorf("tcp: Send to rank %d: transport closing", dst)
+	}
+	p.queue = append(p.queue, buf)
+	p.cond.Signal()
+	p.mu.Unlock()
+	return nil
+}
+
+// Close drains the outbound queues (bounded by DrainTimeout), tears down
+// connections, and returns the first transport failure observed during the
+// connection's lifetime, if any.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		// Ask writers to finish their queues, then stop.
+		for _, p := range c.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.closing = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		drained := make(chan struct{})
+		go func() { c.writerWG.Wait(); close(drained) }()
+		select {
+		case <-drained:
+		case <-time.After(c.cfg.DrainTimeout):
+			c.fail(fmt.Errorf("tcp: rank %d: close: outbound queues not drained within %v", c.cfg.Rank, c.cfg.DrainTimeout))
+		}
+		close(c.closed)
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		for _, p := range c.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.conn = nil
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		c.connsMu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.conns = nil
+		c.connsMu.Unlock()
+		// Readers exit once their connections close.
+		c.readerWG.Wait()
+	})
+	return c.Err()
+}
+
+// --- bootstrap ---
+
+func (c *Conn) bootstrap(advertise string) error {
+	deadline := time.Now().Add(c.cfg.BootstrapTimeout)
+	if c.cfg.Rank == 0 {
+		return c.bootstrapRoot(advertise, deadline)
+	}
+	return c.bootstrapPeer(advertise, deadline)
+}
+
+// bootstrapRoot collects every peer's hello on the rendezvous listener and
+// answers with the full rank↔address table. Connections that drop or send
+// garbage before completing a hello are skipped, not fatal: the peer side
+// retries the whole round, so a flaky network just costs a backoff step. A
+// second hello from the same rank replaces the first connection (the peer
+// evidently lost the previous round before receiving the table).
+func (c *Conn) bootstrapRoot(advertise string, deadline time.Time) error {
+	ln := c.cfg.RendezvousListener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", c.cfg.Rendezvous)
+		if err != nil {
+			return fmt.Errorf("tcp: rank 0: binding rendezvous %s: %w", c.cfg.Rendezvous, err)
+		}
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	addrs := make([]string, c.cfg.Size)
+	addrs[0] = advertise
+	conns := make([]net.Conn, c.cfg.Size) // per-rank hello connection
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	seen := 0
+	for seen < c.cfg.Size-1 {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: rank 0: rendezvous accept (have %d/%d hellos): %w", seen, c.cfg.Size-1, err)
+		}
+		conn.SetDeadline(deadline)
+		f, _, err := transport.ReadFrame(conn)
+		if err != nil || f.Kind != transport.KindHello {
+			conn.Close() // dropped or garbled dial; the peer retries
+			continue
+		}
+		r := int(f.Src)
+		if r <= 0 || r >= c.cfg.Size {
+			conn.Close()
+			continue
+		}
+		if conns[r] != nil {
+			// The peer retried after losing its previous round; the newer
+			// connection supersedes the stale one.
+			conns[r].Close()
+		} else {
+			seen++
+		}
+		addrs[r] = string(f.Payload)
+		conns[r] = conn
+	}
+	table, err := transport.MarshalFrame(transport.WireFrame{
+		Kind:    transport.KindTable,
+		Src:     0,
+		Dst:     -1,
+		Payload: transport.EncodeAddrTable(addrs),
+	})
+	if err != nil {
+		return err
+	}
+	for _, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		if _, err := conn.Write(table); err != nil {
+			return fmt.Errorf("tcp: rank 0: sending rendezvous table: %w", err)
+		}
+	}
+	c.addrs = addrs
+	return nil
+}
+
+// bootstrapPeer performs the rendezvous round — dial, announce the data
+// address, wait for the table — retrying the whole round with backoff
+// until the deadline. Retrying the full round (not just the dial) is what
+// lets a rank survive a flaky rendezvous: a listener that accepts and then
+// drops the connection just costs one backoff step.
+func (c *Conn) bootstrapPeer(advertise string, deadline time.Time) error {
+	hello, err := transport.MarshalFrame(transport.WireFrame{
+		Kind:    transport.KindHello,
+		Src:     int32(c.cfg.Rank),
+		Dst:     0,
+		Payload: []byte(advertise),
+	})
+	if err != nil {
+		return err
+	}
+	backoff := c.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if time.Now().Add(backoff).After(deadline) {
+				return fmt.Errorf("tcp: rank %d: rendezvous %s failed within %v: %w",
+					c.cfg.Rank, c.cfg.Rendezvous, c.cfg.BootstrapTimeout, lastErr)
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		addrs, err := c.rendezvousRound(hello, deadline)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.addrs = addrs
+		return nil
+	}
+}
+
+// rendezvousRound is one attempt of the peer side of the bootstrap.
+func (c *Conn) rendezvousRound(hello []byte, deadline time.Time) ([]string, error) {
+	conn, err := c.cfg.Dial(c.cfg.Rendezvous, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dialing rendezvous: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(hello); err != nil {
+		return nil, fmt.Errorf("sending rendezvous hello: %w", err)
+	}
+	f, _, err := transport.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("reading rendezvous table: %w", err)
+	}
+	if f.Kind != transport.KindTable {
+		return nil, fmt.Errorf("rendezvous answered with frame kind %d, want table", f.Kind)
+	}
+	addrs, err := transport.DecodeAddrTable(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("decoding rendezvous table: %w", err)
+	}
+	if len(addrs) != c.cfg.Size {
+		return nil, fmt.Errorf("rendezvous table has %d entries, want %d", len(addrs), c.cfg.Size)
+	}
+	return addrs, nil
+}
+
+// --- data plane ---
+
+// acceptLoop registers inbound peer connections (identified by their hello
+// frame) and spawns a reader per connection.
+func (c *Conn) acceptLoop() {
+	defer c.readerWG.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.fail(fmt.Errorf("tcp: rank %d: data accept: %w", c.cfg.Rank, err))
+			}
+			return
+		}
+		c.track(conn)
+		c.readerWG.Add(1)
+		go func(conn net.Conn) {
+			defer c.readerWG.Done()
+			conn.SetReadDeadline(time.Now().Add(c.cfg.BootstrapTimeout))
+			f, _, err := transport.ReadFrame(conn)
+			if err != nil || f.Kind != transport.KindHello {
+				c.untrack(conn)
+				conn.Close()
+				return
+			}
+			r := int(f.Src)
+			if r < 0 || r >= c.cfg.Size || r == c.cfg.Rank {
+				c.untrack(conn)
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			c.registerConn(r, conn)
+			c.readLoop(r, conn)
+		}(conn)
+	}
+}
+
+// registerConn installs conn as the peer's write connection if it has none.
+func (c *Conn) registerConn(rank int, conn net.Conn) {
+	p := c.peers[rank]
+	p.mu.Lock()
+	if p.conn == nil && !p.closing {
+		p.conn = conn
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// dropConn detaches conn from the peer if it is the current write
+// connection, forcing the writer to redial.
+func (c *Conn) dropConn(rank int, conn net.Conn) {
+	p := c.peers[rank]
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	c.untrack(conn)
+	conn.Close()
+}
+
+// readLoop decodes inbound frames from one connection until it errors.
+func (c *Conn) readLoop(rank int, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		if c.cfg.ReadIdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadIdleTimeout))
+		}
+		f, n, err := transport.ReadFrame(br)
+		if err != nil {
+			c.dropConn(rank, conn)
+			return
+		}
+		c.bytesRecv.Add(int64(n))
+		switch f.Kind {
+		case transport.KindData:
+			if int(f.Dst) != c.cfg.Rank {
+				continue // misrouted; drop
+			}
+			v, derr := transport.DecodePayload(f.Payload)
+			if derr != nil {
+				c.fail(fmt.Errorf("tcp: rank %d: payload from rank %d: %w", c.cfg.Rank, f.Src, derr))
+				continue
+			}
+			c.framesRecv.Add(1)
+			c.handler(transport.Frame{Src: int(f.Src), Dst: int(f.Dst), Tag: int(f.Tag), Payload: v})
+		case transport.KindBye:
+			c.dropConn(rank, conn)
+			return
+		default:
+			// Control frames are not expected mid-stream; ignore.
+		}
+	}
+}
+
+// writeLoop drains one peer's queue. On write failure the connection is
+// redialed with exponential backoff up to the attempt budget; exhausting
+// the budget marks the peer dead and records a wrapped error.
+func (c *Conn) writeLoop(p *peer) {
+	defer c.writerWG.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closing {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closing {
+			p.mu.Unlock()
+			return
+		}
+		buf := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		if err := c.writeFrame(p, buf); err != nil {
+			c.fail(err)
+			p.mu.Lock()
+			p.dead = true
+			p.queue = nil
+			p.mu.Unlock()
+			return
+		}
+		c.framesSent.Add(1)
+		c.bytesSent.Add(int64(len(buf)))
+	}
+}
+
+// writeFrame writes one marshalled frame to the peer, establishing or
+// re-establishing the connection as needed.
+func (c *Conn) writeFrame(p *peer, buf []byte) error {
+	backoff := c.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		conn, err := c.peerConn(p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		if _, err := conn.Write(buf); err != nil {
+			lastErr = err
+			c.dropConn(p.rank, conn)
+			continue
+		}
+		conn.SetWriteDeadline(time.Time{})
+		return nil
+	}
+	return fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts: %w",
+		c.cfg.Rank, p.rank, c.cfg.DialAttempts, lastErr)
+}
+
+// peerConn returns the peer's current connection, dialing its data
+// listener (and identifying ourselves with a hello frame) if none exists.
+func (c *Conn) peerConn(p *peer) (net.Conn, error) {
+	p.mu.Lock()
+	if p.conn != nil {
+		conn := p.conn
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+
+	conn, err := c.cfg.Dial(c.addrs[p.rank], c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", c.addrs[p.rank], err)
+	}
+	c.track(conn)
+	hello, err := transport.MarshalFrame(transport.WireFrame{
+		Kind: transport.KindHello,
+		Src:  int32(c.cfg.Rank),
+		Dst:  int32(p.rank),
+	})
+	if err != nil {
+		c.untrack(conn)
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	if _, err := conn.Write(hello); err != nil {
+		c.untrack(conn)
+		conn.Close()
+		return nil, fmt.Errorf("hello to %s: %w", c.addrs[p.rank], err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	c.bytesSent.Add(int64(len(hello)))
+
+	p.mu.Lock()
+	if p.conn != nil {
+		// An inbound connection raced us; keep the one canonical connection
+		// for writes and discard ours.
+		existing := p.conn
+		p.mu.Unlock()
+		c.untrack(conn)
+		conn.Close()
+		return existing, nil
+	}
+	p.conn = conn
+	p.mu.Unlock()
+
+	c.readerWG.Add(1)
+	go func() {
+		defer c.readerWG.Done()
+		c.readLoop(p.rank, conn)
+	}()
+	return conn, nil
+}
+
+var _ transport.Conn = (*Conn)(nil)
+
+// ErrClosed reports whether err stems from using a closed transport.
+func ErrClosed(err error) bool {
+	return err != nil && errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,317 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plshuffle/internal/transport"
+)
+
+// startWorld forms an n-rank TCP world inside this process. Frames delivered
+// to rank r land on the returned channel inbox[r]. mutate, when non-nil,
+// adjusts each rank's Config before New (fault injection hooks live there).
+func startWorld(t *testing.T, n int, mutate func(rank int, cfg *Config)) ([]*Conn, []chan transport.Frame) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving rendezvous: %v", err)
+	}
+	rendezvous := ln.Addr().String()
+
+	conns := make([]*Conn, n)
+	inbox := make([]chan transport.Frame, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		inbox[r] = make(chan transport.Frame, 4096)
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := Config{
+				Rank:             rank,
+				Size:             n,
+				Rendezvous:       rendezvous,
+				BootstrapTimeout: 20 * time.Second,
+			}
+			if rank == 0 {
+				cfg.RendezvousListener = ln
+			}
+			if mutate != nil {
+				mutate(rank, &cfg)
+			}
+			ch := inbox[rank]
+			conns[rank], errs[rank] = New(cfg, func(f transport.Frame) { ch <- f })
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: New: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return conns, inbox
+}
+
+// recvN drains n frames from ch or fails the test after a timeout.
+func recvN(t *testing.T, ch <-chan transport.Frame, n int) []transport.Frame {
+	t.Helper()
+	out := make([]transport.Frame, 0, n)
+	deadline := time.After(15 * time.Second)
+	for len(out) < n {
+		select {
+		case f := <-ch:
+			out = append(out, f)
+		case <-deadline:
+			t.Fatalf("received %d/%d frames before timeout", len(out), n)
+		}
+	}
+	return out
+}
+
+// flakyListener drops (closes immediately after accept) the first `drops`
+// connections, simulating a rendezvous endpoint that keeps losing dials.
+type flakyListener struct {
+	net.Listener
+	drops int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if atomic.AddInt32(&l.drops, -1) >= 0 {
+		conn.Close()
+	}
+	return conn, nil
+}
+
+func TestBootstrapSurvivesFlakyRendezvous(t *testing.T) {
+	t.Parallel()
+	// Rank 0's rendezvous listener drops the first three accepted
+	// connections; peers must retry the full round and still form the world.
+	conns, inbox := startWorld(t, 3, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+		if rank == 0 {
+			cfg.RendezvousListener = &flakyListener{Listener: cfg.RendezvousListener, drops: 3}
+		}
+	})
+	for r := 1; r < 3; r++ {
+		if err := conns[r].Send(0, 7, []int{r}); err != nil {
+			t.Fatalf("rank %d send: %v", r, err)
+		}
+	}
+	got := recvN(t, inbox[0], 2)
+	seen := map[int]bool{}
+	for _, f := range got {
+		seen[f.Src] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("rank 0 heard from %v, want ranks 1 and 2", seen)
+	}
+}
+
+func TestBootstrapSurvivesFlakyDial(t *testing.T) {
+	t.Parallel()
+	// Every non-root rank's first two dials fail outright.
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+		if rank != 0 {
+			var failures int32 = 2
+			cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+				if atomic.AddInt32(&failures, -1) >= 0 {
+					return nil, fmt.Errorf("injected dial failure to %s", addr)
+				}
+				return net.DialTimeout("tcp", addr, timeout)
+			}
+		}
+	})
+	if err := conns[1].Send(0, 1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	f := recvN(t, inbox[0], 1)[0]
+	if f.Payload.(string) != "hello" || f.Src != 1 {
+		t.Fatalf("unexpected frame %+v", f)
+	}
+}
+
+func TestReconnectAfterDroppedConnection(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+	})
+
+	const batch = 50
+	for i := 0; i < batch; i++ {
+		if err := conns[0].Send(1, 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := recvN(t, inbox[1], batch)
+
+	// Sever the established connection mid-exchange: grab rank 0's write
+	// connection to rank 1 and close the socket under the transport.
+	p := conns[0].peers[1]
+	p.mu.Lock()
+	live := p.conn
+	p.mu.Unlock()
+	if live == nil {
+		t.Fatal("no established connection to sever")
+	}
+	live.Close()
+
+	for i := batch; i < 2*batch; i++ {
+		if err := conns[0].Send(1, 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := recvN(t, inbox[1], batch)
+
+	all := append(first, second...)
+	for i, f := range all {
+		if f.Payload.(int) != i {
+			t.Fatalf("frame %d: got payload %v (reconnect broke FIFO)", i, f.Payload)
+		}
+	}
+	if err := conns[0].Err(); err != nil {
+		t.Fatalf("transport recorded failure despite successful reconnect: %v", err)
+	}
+}
+
+func TestRetryBudgetExhaustedFailsFast(t *testing.T) {
+	t.Parallel()
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+		cfg.DialAttempts = 3
+		cfg.DialTimeout = 200 * time.Millisecond
+	})
+
+	// Kill rank 1 outright: its listener and every socket close, so rank 0's
+	// redials are refused.
+	if err := conns[1].Close(); err != nil {
+		t.Fatalf("closing rank 1: %v", err)
+	}
+	if err := conns[0].Send(1, 0, 42); err != nil {
+		t.Fatalf("eager send must enqueue even while the peer is down: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for conns[0].Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := conns[0].Err()
+	if err == nil {
+		t.Fatal("transport never surfaced a failure after the retry budget")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not mention the exhausted attempt budget: %v", err)
+	}
+	if serr := conns[0].Send(1, 0, 43); serr == nil {
+		t.Fatal("Send succeeded after the transport failed")
+	}
+	if cerr := conns[0].Close(); cerr == nil {
+		t.Fatal("Close returned nil after a recorded transport failure")
+	}
+}
+
+func TestCloseDrainsQueuedFrames(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, nil)
+	const n = 200
+	payload := make([]float32, 512)
+	for i := 0; i < n; i++ {
+		if err := conns[0].Send(1, i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close immediately: the queued frames must flush before teardown.
+	if err := conns[0].Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got := recvN(t, inbox[1], n)
+	for i, f := range got {
+		if f.Tag != i {
+			t.Fatalf("frame %d has tag %d: drain reordered or lost frames", i, f.Tag)
+		}
+	}
+}
+
+func TestStatsCountWireBytes(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, nil)
+	payload := make([]float64, 1024) // 8 KiB on the wire, plus framing
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := conns[0].Send(1, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, inbox[1], n)
+
+	s0, s1 := conns[0].Stats(), conns[1].Stats()
+	if !s0.Wire || !s1.Wire {
+		t.Fatalf("tcp stats must report Wire=true: %+v %+v", s0, s1)
+	}
+	if s0.FramesSent != n || s1.FramesRecv != n {
+		t.Fatalf("frame counts: sent %d recv %d, want %d", s0.FramesSent, s1.FramesRecv, n)
+	}
+	minBytes := int64(n * 8 * 1024)
+	if s0.BytesSent < minBytes || s1.BytesRecv < minBytes {
+		t.Fatalf("byte counts below payload volume: sent %d recv %d, want ≥ %d", s0.BytesSent, s1.BytesRecv, minBytes)
+	}
+	if s1.BytesRecv > s0.BytesSent+1024 {
+		t.Fatalf("receiver counted %d bytes, sender only %d", s1.BytesRecv, s0.BytesSent)
+	}
+}
+
+func TestSelfSendRoundTripsThroughCodec(t *testing.T) {
+	t.Parallel()
+	inbox := make(chan transport.Frame, 1)
+	c, err := New(Config{Rank: 0, Size: 1}, func(f transport.Frame) { inbox <- f })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(0, 5, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f := <-inbox
+	got, ok := f.Payload.([]int32)
+	if !ok || len(got) != 3 || got[2] != 3 || f.Tag != 5 {
+		t.Fatalf("self-send mangled frame: %+v", f)
+	}
+	// Non-encodable payloads must fail loudly even for self-sends: the wire
+	// transport has identical semantics for every destination.
+	if err := c.Send(0, 0, struct{ X int }{1}); err == nil {
+		t.Fatal("self-send of a non-encodable payload succeeded")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	t.Parallel()
+	c, err := New(Config{Rank: 0, Size: 1}, func(transport.Frame) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(7, 0, nil); err == nil {
+		t.Fatal("Send to out-of-range rank succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(0, 0, nil); err == nil {
+		t.Fatal("Send on a closed transport succeeded")
+	}
+}

@@ -1,0 +1,107 @@
+// Package transport defines the pluggable point-to-point message layer the
+// MPI-like runtime (internal/mpi) sits on. A backend moves addressed frames
+// between ranks; everything above it — mailbox matching with MPI semantics
+// (per-(pair, tag) FIFO, ANY_SOURCE/ANY_TAG), collectives, the exchange
+// scheduler — is backend-agnostic.
+//
+// Two backends ship with the repo:
+//
+//   - inproc: the original single-process runtime. Ranks are goroutines and
+//     Send is a synchronous function call into the destination's handler,
+//     with defensive payload cloning. This is the default and the fastest.
+//   - tcp: ranks are OS processes. Frames are length-prefixed binary
+//     records over persistent TCP connections, with a rendezvous bootstrap,
+//     dial retry with exponential backoff, and drained shutdown. See
+//     internal/transport/tcp.
+//
+// The split mirrors how real MPI implementations layer matching over BTLs
+// (byte-transfer layers): semantics live in one place, wires in another,
+// and the conformance suite (internal/transport/transporttest) pins the
+// semantics both backends must provide.
+package transport
+
+// Frame is one addressed message as delivered to a rank's handler. Payload
+// is a decoded Go value: for the inproc backend it is the (cloned) value the
+// sender passed; for wire backends it is the result of DecodePayload, so
+// only wire-encodable types (see EncodePayload) can cross process
+// boundaries.
+type Frame struct {
+	Src     int
+	Dst     int
+	Tag     int
+	Payload any
+}
+
+// Handler receives inbound frames for the local rank. Implementations of
+// Conn may invoke it from multiple goroutines concurrently; the mpi mailbox
+// serializes internally. A handler must not block for long — it is called
+// on the backend's delivery path.
+type Handler func(Frame)
+
+// Stats is a snapshot of a connection's traffic counters. For wire backends
+// the byte counts are real bytes moved over sockets (including frame
+// headers); for inproc they are the estimated encoded payload sizes. Wire
+// distinguishes the two so callers (e.g. the trainer's trace events) can
+// report genuine network volume when it exists.
+type Stats struct {
+	FramesSent int64
+	FramesRecv int64
+	BytesSent  int64
+	BytesRecv  int64
+	Wire       bool
+}
+
+// Conn is one rank's endpoint into a transport backend.
+//
+// Semantics every backend must provide (enforced by transporttest):
+//
+//   - Eager sends: Send enqueues or delivers and returns without waiting
+//     for the receiver; it must never deadlock against an opposing Send.
+//     After Send returns the caller may mutate its buffers freely.
+//   - Non-overtaking: two frames from the same source to the same
+//     destination arrive in the order they were sent.
+//   - Self-delivery: Send(ownRank, ...) loops back through the handler.
+//
+// Send returns an error only for local failures (unencodable payload,
+// closed transport, exhausted retry budget); delivery itself is
+// asynchronous.
+type Conn interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, payload any) error
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// Close drains queued outbound frames (bounded by the backend's drain
+	// budget) and releases resources. It reports the first transport
+	// failure observed during the connection's lifetime, if any.
+	Close() error
+}
+
+// ClonePayload defensively copies the slice types commonly exchanged by the
+// library (gradients, sample bytes, ID lists) so distributed-memory
+// semantics hold on shared-memory backends: after a send, mutating the
+// caller's buffer must not affect the receiver. Other payload types are
+// passed by reference; callers sending custom types must treat them as
+// immutable after the send.
+func ClonePayload(p any) any {
+	switch v := p.(type) {
+	case []float32:
+		out := make([]float32, len(v))
+		copy(out, v)
+		return out
+	case []float64:
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out
+	case []int:
+		out := make([]int, len(v))
+		copy(out, v)
+		return out
+	case []byte:
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out
+	default:
+		return p
+	}
+}

@@ -1,0 +1,41 @@
+package transporttest_test
+
+import (
+	"testing"
+
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/transport/transporttest"
+)
+
+// runAlltoallBench measures personalized all-to-all throughput over one
+// backend: every rank sends elems float32s to every other rank per
+// operation, the exchange scheduler's wire pattern. Comparing the inproc
+// and tcp numbers isolates the cost of the real wire path (codec + framing
+// + sockets) against pure in-memory delivery.
+func runAlltoallBench(b *testing.B, bk transporttest.Backend, ranks, elems int) {
+	b.SetBytes(int64(ranks * (ranks - 1) * elems * 4)) // payload bytes crossing rank boundaries per op
+	err := bk.Run(ranks, func(c *mpi.Comm) error {
+		send := make([][]float32, c.Size())
+		for d := range send {
+			send[d] = make([]float32, elems)
+			for i := range send[d] {
+				send[d][i] = float32(c.Rank()*elems + i)
+			}
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			out := mpi.Alltoall(c, send)
+			if len(out[0]) != elems {
+				b.Errorf("alltoall returned %d elements from rank 0, want %d", len(out[0]), elems)
+			}
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAlltoallInproc(b *testing.B) { runAlltoallBench(b, transporttest.Inproc(), 4, 16<<10) }
+func BenchmarkAlltoallTCP(b *testing.B)    { runAlltoallBench(b, transporttest.TCP(), 4, 16<<10) }

@@ -1,0 +1,15 @@
+package transporttest_test
+
+import (
+	"testing"
+
+	"plshuffle/internal/transport/transporttest"
+)
+
+func TestInprocConformance(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.Inproc())
+}
+
+func TestTCPConformance(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.TCP())
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds on the wire. Data frames carry codec-encoded payloads between
+// ranks; the control kinds implement the TCP backend's bootstrap.
+const (
+	KindData  = uint8(0) // payload = EncodePayload output
+	KindHello = uint8(1) // dialer identifies itself; payload = optional addr
+	KindTable = uint8(2) // rendezvous rank↔addr table; payload = EncodeAddrTable
+	KindBye   = uint8(3) // graceful shutdown marker
+)
+
+// WireFrame is the binary frame exchanged by wire backends:
+//
+//	uint32  body length (excluding this prefix)
+//	uint8   kind
+//	int32   src rank
+//	int32   dst rank
+//	int64   tag
+//	[]byte  payload
+//
+// All integers are little-endian. Tags may be negative (the runtime's
+// internal collective tags are), hence the signed 64-bit field.
+type WireFrame struct {
+	Kind    uint8
+	Src     int32
+	Dst     int32
+	Tag     int64
+	Payload []byte
+}
+
+// wireHeaderLen is the fixed body header: kind + src + dst + tag.
+const wireHeaderLen = 1 + 4 + 4 + 8
+
+// MaxFramePayload bounds a frame's payload so a malformed or hostile length
+// prefix cannot force a giant allocation.
+const MaxFramePayload = 1 << 28 // 256 MiB
+
+// MarshalFrame encodes the frame including its length prefix, ready to be
+// written to a stream in a single Write.
+func MarshalFrame(f WireFrame) ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds limit %d", len(f.Payload), MaxFramePayload)
+	}
+	body := wireHeaderLen + len(f.Payload)
+	buf := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(body))
+	buf[4] = f.Kind
+	binary.LittleEndian.PutUint32(buf[5:], uint32(f.Src))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(f.Dst))
+	binary.LittleEndian.PutUint64(buf[13:], uint64(f.Tag))
+	copy(buf[4+wireHeaderLen:], f.Payload)
+	return buf, nil
+}
+
+// UnmarshalFrame decodes a frame from a length-prefixed buffer as produced
+// by MarshalFrame. It never panics on malformed input.
+func UnmarshalFrame(buf []byte) (WireFrame, error) {
+	if len(buf) < 4 {
+		return WireFrame{}, fmt.Errorf("transport: frame truncated: %d bytes", len(buf))
+	}
+	body := binary.LittleEndian.Uint32(buf)
+	if body < wireHeaderLen || body > wireHeaderLen+MaxFramePayload {
+		return WireFrame{}, fmt.Errorf("transport: frame body length %d out of range", body)
+	}
+	if uint32(len(buf)-4) != body {
+		return WireFrame{}, fmt.Errorf("transport: frame length mismatch: prefix %d, have %d", body, len(buf)-4)
+	}
+	f := WireFrame{
+		Kind: buf[4],
+		Src:  int32(binary.LittleEndian.Uint32(buf[5:])),
+		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
+		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	if f.Kind > KindBye {
+		return WireFrame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	if n := int(body) - wireHeaderLen; n > 0 {
+		f.Payload = make([]byte, n)
+		copy(f.Payload, buf[4+wireHeaderLen:])
+	}
+	return f, nil
+}
+
+// ReadFrame reads one length-prefixed frame from r. It returns the frame
+// and the total number of wire bytes consumed.
+func ReadFrame(r io.Reader) (WireFrame, int, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return WireFrame{}, 0, err
+	}
+	body := binary.LittleEndian.Uint32(prefix[:])
+	if body < wireHeaderLen || body > wireHeaderLen+MaxFramePayload {
+		return WireFrame{}, 4, fmt.Errorf("transport: frame body length %d out of range", body)
+	}
+	buf := make([]byte, 4+body)
+	copy(buf, prefix[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return WireFrame{}, 4, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	f, err := UnmarshalFrame(buf)
+	return f, len(buf), err
+}
+
+// EncodeAddrTable serializes the rank-indexed address table exchanged
+// during the TCP rendezvous (KindTable payload).
+func EncodeAddrTable(addrs []string) []byte {
+	n := 4
+	for _, a := range addrs {
+		n += 4 + len(a)
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint32(buf, uint32(len(addrs)))
+	off := 4
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(a)))
+		off += 4
+		copy(buf[off:], a)
+		off += len(a)
+	}
+	return buf
+}
+
+// DecodeAddrTable parses an EncodeAddrTable payload.
+func DecodeAddrTable(buf []byte) ([]string, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("transport: addr table truncated")
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	if count > 1<<20 {
+		return nil, fmt.Errorf("transport: addr table count %d out of range", count)
+	}
+	off := 4
+	out := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(buf)-off < 4 {
+			return nil, fmt.Errorf("transport: addr table entry %d truncated", i)
+		}
+		l := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if l < 0 || len(buf)-off < l {
+			return nil, fmt.Errorf("transport: addr table entry %d length %d out of range", i, l)
+		}
+		out = append(out, string(buf[off:off+l]))
+		off += l
+	}
+	return out, nil
+}
