@@ -1,0 +1,217 @@
+// Command benchhot runs the hot-path benchmark suite and records the
+// results into a trajectory file (BENCH_HOTPATH.json by default), one
+// labeled entry per invocation. The raw `go test -bench` output is saved
+// alongside it in benchstat-compatible form, so regressions can be
+// inspected with the standard tooling:
+//
+//	go run ./cmd/benchhot -label after -count 5
+//	benchstat bench/raw-before.txt bench/raw-after.txt
+//
+// An existing raw file can be folded into the trajectory without re-running
+// anything (used to import the pre-optimization baseline):
+//
+//	go run ./cmd/benchhot -label before -input bench/raw-before.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// hotPackages are the packages whose benchmarks cover the zero-allocation
+// hot paths: compute kernels, the collective runtime, the wire codec, the
+// transports, and the end-to-end training epoch.
+var hotPackages = []string{
+	"./internal/tensor",
+	"./internal/data",
+	"./internal/transport",
+	"./internal/transport/transporttest",
+	"./internal/mpi",
+	"./internal/nn",
+	"./internal/shuffle",
+	"./internal/train",
+}
+
+// Result is one benchmark's aggregate over the run's repetitions.
+type Result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Run is one labeled invocation of the suite.
+type Run struct {
+	Label   string   `json:"label"`
+	Date    string   `json:"date"`
+	Count   int      `json:"count"`
+	Results []Result `json:"results"`
+}
+
+// Trajectory is the file format of BENCH_HOTPATH.json: an append-only
+// sequence of runs, oldest first.
+type Trajectory struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	var (
+		label  = flag.String("label", time.Now().Format("2006-01-02"), "label for this run in the trajectory")
+		count  = flag.Int("count", 5, "benchmark repetitions (-count)")
+		benchP = flag.String("bench", ".", "benchmark name pattern (-bench)")
+		out    = flag.String("out", "BENCH_HOTPATH.json", "trajectory file to append to")
+		rawDir = flag.String("rawdir", "bench", "directory for raw benchstat-compatible output")
+		input  = flag.String("input", "", "ingest an existing raw benchmark file instead of running go test")
+	)
+	flag.Parse()
+
+	var raw []byte
+	if *input != "" {
+		b, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		raw = b
+	} else {
+		args := append([]string{"test", "-run", "^$", "-bench", *benchP, "-benchmem",
+			"-count", strconv.Itoa(*count)}, hotPackages...)
+		fmt.Fprintf(os.Stderr, "benchhot: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		b, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test -bench: %w", err))
+		}
+		raw = b
+		if err := os.MkdirAll(*rawDir, 0o755); err != nil {
+			fatal(err)
+		}
+		rawPath := filepath.Join(*rawDir, "raw-"+sanitize(*label)+".txt")
+		if err := os.WriteFile(rawPath, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchhot: raw output -> %s\n", rawPath)
+	}
+
+	results := parseRaw(string(raw))
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed"))
+	}
+	traj := Trajectory{}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &traj); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+	}
+	traj.Runs = append(traj.Runs, Run{
+		Label:   *label,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Count:   *count,
+		Results: results,
+	})
+	b, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchhot: %d benchmarks -> %s (run %q)\n", len(results), *out, *label)
+}
+
+// benchLine matches one `go test -bench` result line, with or without the
+// GOMAXPROCS suffix, MB/s column, and -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
+
+type sampleSet struct {
+	ns, b, allocs []float64
+}
+
+// parseRaw extracts per-benchmark medians from raw `go test -bench` output.
+func parseRaw(raw string) []Result {
+	cur := ""
+	samples := map[[2]string]*sampleSet{}
+	var order [][2]string
+	for _, line := range strings.Split(raw, "\n") {
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			cur = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		key := [2]string{cur, m[1]}
+		s, ok := samples[key]
+		if !ok {
+			s = &sampleSet{}
+			samples[key] = s
+			order = append(order, key)
+		}
+		s.ns = append(s.ns, atof(m[3]))
+		if m[4] != "" {
+			s.b = append(s.b, atof(m[4]))
+		}
+		if m[5] != "" {
+			s.allocs = append(s.allocs, atof(m[5]))
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, key := range order {
+		s := samples[key]
+		out = append(out, Result{
+			Pkg:         key[0],
+			Name:        key[1],
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.b),
+			AllocsPerOp: median(s.allocs),
+			Samples:     len(s.ns),
+		})
+	}
+	return out
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func atof(s string) float64 {
+	f, _ := strconv.ParseFloat(s, 64)
+	return f
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchhot:", err)
+	os.Exit(1)
+}

@@ -37,33 +37,42 @@ func (s Sample) Clone() Sample {
 	return Sample{ID: s.ID, Label: s.Label, Features: f, Bytes: s.Bytes}
 }
 
+// sampleHeaderLen is the fixed part of one encoded sample: ID, Label,
+// Bytes (8 bytes each) plus the feature count (4 bytes).
+const sampleHeaderLen = 8 + 8 + 8 + 4
+
+// WireSize returns the exact number of bytes Encode/AppendEncode produce
+// for this sample, without allocating.
+func (s Sample) WireSize() int { return sampleHeaderLen + 4*len(s.Features) }
+
+// AppendEncode appends the sample's wire encoding to dst and returns the
+// extended slice — the allocation-free form of Encode for callers that
+// reuse a scratch buffer across samples (e.g. the exchange scheduler's
+// batched frames).
+func (s Sample) AppendEncode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.ID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Label))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Bytes))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Features)))
+	for _, f := range s.Features {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+	}
+	return dst
+}
+
 // Encode serializes the sample to bytes (the wire format used when workers
 // exchange samples through the message-passing runtime).
 func (s Sample) Encode() []byte {
-	buf := make([]byte, 8+8+8+4+4*len(s.Features))
-	off := 0
-	binary.LittleEndian.PutUint64(buf[off:], uint64(s.ID))
-	off += 8
-	binary.LittleEndian.PutUint64(buf[off:], uint64(s.Label))
-	off += 8
-	binary.LittleEndian.PutUint64(buf[off:], uint64(s.Bytes))
-	off += 8
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(s.Features)))
-	off += 4
-	for _, f := range s.Features {
-		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(f))
-		off += 4
-	}
-	return buf
+	return s.AppendEncode(make([]byte, 0, s.WireSize()))
 }
 
-// DecodeSample parses the wire format produced by Encode.
-func DecodeSample(buf []byte) (Sample, error) {
-	if len(buf) < 28 {
-		return Sample{}, fmt.Errorf("data: DecodeSample: buffer too short (%d bytes)", len(buf))
+// decodeSampleAt parses one encoded sample starting at buf[off] and returns
+// it together with the offset just past its encoding.
+func decodeSampleAt(buf []byte, off int) (Sample, int, error) {
+	if len(buf)-off < sampleHeaderLen {
+		return Sample{}, 0, fmt.Errorf("data: DecodeSample: buffer too short (%d bytes)", len(buf)-off)
 	}
 	var s Sample
-	off := 0
 	s.ID = int(int64(binary.LittleEndian.Uint64(buf[off:])))
 	off += 8
 	s.Label = int(int64(binary.LittleEndian.Uint64(buf[off:])))
@@ -72,15 +81,100 @@ func DecodeSample(buf []byte) (Sample, error) {
 	off += 8
 	n := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
-	if len(buf) != 28+4*n {
-		return Sample{}, fmt.Errorf("data: DecodeSample: want %d bytes for %d features, have %d", 28+4*n, n, len(buf))
+	if n < 0 || n > (len(buf)-off)/4 {
+		return Sample{}, 0, fmt.Errorf("data: DecodeSample: %d features exceed %d remaining bytes", n, len(buf)-off)
 	}
 	s.Features = make([]float32, n)
 	for i := range s.Features {
 		s.Features[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 	}
+	return s, off, nil
+}
+
+// DecodeSample parses the wire format produced by Encode.
+func DecodeSample(buf []byte) (Sample, error) {
+	s, off, err := decodeSampleAt(buf, 0)
+	if err != nil {
+		return Sample{}, err
+	}
+	if off != len(buf) {
+		return Sample{}, fmt.Errorf("data: DecodeSample: %d trailing bytes after sample", len(buf)-off)
+	}
 	return s, nil
+}
+
+// SampleBatchWireSize returns the exact encoded size of a batch of samples
+// (count prefix plus each sample's encoding), without allocating. Exchange
+// byte accounting uses it to size coalesced frames ahead of encoding.
+func SampleBatchWireSize(samples []Sample) int {
+	n := 4
+	for _, s := range samples {
+		n += s.WireSize()
+	}
+	return n
+}
+
+// AppendSampleBatch appends the batch wire encoding of samples to dst:
+// a uint32 sample count followed by each sample's Encode bytes. Batching
+// many samples into one frame is what lets the exchange scheduler send one
+// message per (chunk, destination) instead of one per sample — the frame
+// overhead the paper's communication model charges per message drops by
+// the batching factor.
+func AppendSampleBatch(dst []byte, samples []Sample) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(samples)))
+	for _, s := range samples {
+		dst = s.AppendEncode(dst)
+	}
+	return dst
+}
+
+// EncodeSampleBatch serializes a batch of samples into a single buffer
+// (see AppendSampleBatch for the format).
+func EncodeSampleBatch(samples []Sample) []byte {
+	return AppendSampleBatch(make([]byte, 0, SampleBatchWireSize(samples)), samples)
+}
+
+// maxBatchCount bounds the declared sample count of a batch so a hostile
+// count cannot force a giant decode loop; each sample needs at least
+// sampleHeaderLen bytes, so the bound below is never the binding check for
+// well-formed input.
+const maxBatchCount = 1 << 24
+
+// DecodeSampleBatch parses an EncodeSampleBatch buffer back into its
+// samples. Malformed input returns an error; it never panics.
+func DecodeSampleBatch(buf []byte) ([]Sample, error) {
+	return DecodeSampleBatchInto(nil, buf)
+}
+
+// DecodeSampleBatchInto appends the decoded samples to dst (which may be
+// nil) and returns the extended slice — the scheduler reuses its received
+// slice's capacity across epochs this way. Any error leaves dst unchanged
+// in the returned value's prefix but the appended tail must be discarded.
+func DecodeSampleBatchInto(dst []Sample, buf []byte) ([]Sample, error) {
+	if len(buf) < 4 {
+		return dst, fmt.Errorf("data: DecodeSampleBatch: buffer too short (%d bytes)", len(buf))
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	if count > maxBatchCount {
+		return dst, fmt.Errorf("data: DecodeSampleBatch: count %d out of range", count)
+	}
+	if int(count)*sampleHeaderLen > len(buf)-4 {
+		return dst, fmt.Errorf("data: DecodeSampleBatch: count %d exceeds %d payload bytes", count, len(buf)-4)
+	}
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		s, next, err := decodeSampleAt(buf, off)
+		if err != nil {
+			return dst, fmt.Errorf("data: DecodeSampleBatch: sample %d: %w", i, err)
+		}
+		dst = append(dst, s)
+		off = next
+	}
+	if off != len(buf) {
+		return dst, fmt.Errorf("data: DecodeSampleBatch: %d trailing bytes after %d samples", len(buf)-off, count)
+	}
+	return dst, nil
 }
 
 // Dataset is an in-memory dataset with a train/validation split (the paper

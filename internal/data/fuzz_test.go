@@ -23,3 +23,49 @@ func FuzzDecodeSample(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSampleBatch hardens the coalesced-frame format the exchange
+// scheduler ships: malformed batches must never panic, and any buffer the
+// decoder accepts must re-marshal byte-identically through
+// EncodeSampleBatch (the canonical-encoding property that makes the wire
+// accounting in WireTraffic exact).
+func FuzzDecodeSampleBatch(f *testing.F) {
+	f.Add(EncodeSampleBatch(nil))
+	f.Add(EncodeSampleBatch([]Sample{{ID: 7, Label: 1, Features: []float32{0.5}, Bytes: 10}}))
+	f.Add(EncodeSampleBatch([]Sample{
+		{ID: 1, Label: 0, Features: []float32{1, 2}, Bytes: 4},
+		{ID: 2, Label: 3, Features: nil, Bytes: 0},
+		{ID: 3, Label: 1, Features: []float32{-1}, Bytes: 8},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})          // hostile count
+	f.Add([]byte{1, 0, 0, 0})                      // count 1, no sample bytes
+	f.Add(append([]byte{2, 0, 0, 0}, make([]byte, 28)...)) // count 2, one header
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		samples, err := DecodeSampleBatch(buf)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSampleBatch(samples), buf) {
+			t.Fatalf("accepted batch of %d samples does not re-marshal identically (%d bytes)", len(samples), len(buf))
+		}
+		if got := SampleBatchWireSize(samples); got != len(buf) {
+			t.Fatalf("SampleBatchWireSize %d != accepted buffer length %d", got, len(buf))
+		}
+		// The append-into variant must agree with the allocating one and
+		// leave the destination prefix untouched.
+		prefix := []Sample{{ID: -1}}
+		out, err := DecodeSampleBatchInto(prefix, buf)
+		if err != nil {
+			t.Fatalf("DecodeSampleBatchInto rejected a buffer DecodeSampleBatch accepted: %v", err)
+		}
+		if len(out) != 1+len(samples) || out[0].ID != -1 {
+			t.Fatalf("DecodeSampleBatchInto mangled the destination prefix")
+		}
+		for i, s := range samples {
+			if !bytes.Equal(out[i+1].Encode(), s.Encode()) {
+				t.Fatalf("sample %d differs between decode variants", i)
+			}
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"plshuffle/internal/transport"
+)
 
 // Op identifies a reduction operator for Reduce/Allreduce.
 type Op int
@@ -141,12 +145,31 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 		return
 	}
 	n := len(buf)
-	// Partition buf into size contiguous chunks (some possibly empty).
-	bounds := make([]int, size+1)
+	// Partition buf into size contiguous chunks (some possibly empty). The
+	// bounds table is kept on the Comm (single-goroutine by contract) so
+	// repeated Allreduce calls — one per training iteration — reuse it.
+	if cap(c.boundsScratch) < size+1 {
+		c.boundsScratch = make([]int, size+1)
+	}
+	bounds := c.boundsScratch[:size+1]
 	for i := 0; i <= size; i++ {
 		bounds[i] = i * n / size
 	}
 	chunk := func(i int) []T { i = ((i % size) + size) % size; return buf[bounds[i]:bounds[i+1]] }
+
+	// For slice types the transport defensively clones (inproc) or
+	// serializes before Send returns (wire backends), ring segments can be
+	// sent as direct sub-slices of buf — no per-step copy. Later steps may
+	// then mutate buf freely. Types outside ClonePayload's coverage pass by
+	// reference on inproc, so they keep the defensive per-send copy.
+	direct := transport.CloneCovers(any(buf))
+	sendChunk := func(dest, tag int, s []T) {
+		if direct {
+			c.isendInternal(dest, tag, s)
+		} else {
+			c.isendInternal(dest, tag, append([]T(nil), s...))
+		}
+	}
 
 	right := (rank + 1) % size
 	left := (rank - 1 + size) % size
@@ -157,7 +180,7 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 		sendIdx := rank - step
 		recvIdx := rank - step - 1
 		req := c.irecvInternal(left, collTag(seq, step))
-		c.isendInternal(right, collTag(seq, step), append([]T(nil), chunk(sendIdx)...))
+		sendChunk(right, collTag(seq, step), chunk(sendIdx))
 		payload, _ := req.Wait()
 		reduceInto(chunk(recvIdx), payload.([]T), op)
 	}
@@ -166,7 +189,7 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 		sendIdx := rank - step + 1
 		recvIdx := rank - step
 		req := c.irecvInternal(left, collTag(seq, size+step))
-		c.isendInternal(right, collTag(seq, size+step), append([]T(nil), chunk(sendIdx)...))
+		sendChunk(right, collTag(seq, size+step), chunk(sendIdx))
 		payload, _ := req.Wait()
 		copy(chunk(recvIdx), payload.([]T))
 	}

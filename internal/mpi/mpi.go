@@ -243,6 +243,9 @@ type Comm struct {
 	// in lock-step and the derived internal tags never collide across
 	// concurrent collectives.
 	collSeq int
+	// boundsScratch is the ring-Allreduce chunk-bounds table, reused across
+	// calls (a Comm is single-goroutine by contract, so no locking).
+	boundsScratch []int
 }
 
 // Connect builds a communicator over a transport connection opened by dial.

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"testing"
+
+	"plshuffle/internal/rng"
+	"plshuffle/internal/tensor"
+)
+
+// TestTrainingIterationSteadyStateAllocs pins the compute hot path's
+// zero-allocation property: after the first iteration has sized every
+// layer workspace (forward outputs, backward gradients, loss buffers,
+// optimizer state), a full forward + loss + backward + SGD step allocates
+// nothing. The model is small enough that the matmul kernels run inline
+// (no goroutine fan-out), so the measurement is exact.
+func TestTrainingIterationSteadyStateAllocs(t *testing.T) {
+	skipIfRace(t)
+	r := rng.New(41)
+	model := NewSequential(
+		NewLinear(8, 16, r),
+		NewBatchNorm(16),
+		NewReLU(),
+		NewLinear(16, 4, r),
+	)
+	params := model.Params() // hoisted: Params() builds a fresh slice
+	opt := NewSGD(0.9, 1e-4)
+	var ce SoftmaxCrossEntropy
+	x := tensor.New(8, 8)
+	labels := make([]int, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	iter := func() {
+		logits := model.Forward(x, true)
+		ce.Forward(logits, labels)
+		model.Backward(ce.Backward())
+		opt.Step(params, 0.01)
+	}
+	iter() // size every workspace
+	iter()
+	if allocs := testing.AllocsPerRun(50, iter); allocs > 0 {
+		t.Fatalf("steady-state training iteration allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestBackwardKernelsSteadyStateAllocs isolates the MatMulTAInto /
+// MatMulTBInto / ColSumInto trio behind Linear.Backward: with destination
+// matrices reused, the kernels must not allocate.
+func TestBackwardKernelsSteadyStateAllocs(t *testing.T) {
+	skipIfRace(t)
+	r := rng.New(42)
+	a := tensor.New(8, 8)
+	b := tensor.New(8, 8)
+	a.Randn(r, 1)
+	b.Randn(r, 1)
+	dta := tensor.New(8, 8)
+	dtb := tensor.New(8, 8)
+	col := make([]float32, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		tensor.MatMulTAInto(dta, a, b)
+		tensor.MatMulTBInto(dtb, a, b)
+		a.ColSumInto(col)
+	}); allocs > 0 {
+		t.Fatalf("Into kernels allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// skipIfRace skips allocation-regression tests under the race detector
+// (see raceEnabled).
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}

@@ -30,6 +30,10 @@ type GroupNorm struct {
 	// cached for backward
 	xhat   *tensor.Matrix
 	invStd []float32 // per (row, group), row-major
+
+	// reusable workspaces
+	out *tensor.Matrix
+	dx  *tensor.Matrix
 }
 
 // NewGroupNorm creates a GroupNorm layer over dim features in the given
@@ -60,9 +64,10 @@ func (l *GroupNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: GroupNorm.Forward: input has %d features, want %d", x.Cols, l.Dim))
 	}
 	gsize := l.Dim / l.Groups
-	out := tensor.New(x.Rows, x.Cols)
-	l.xhat = tensor.New(x.Rows, x.Cols)
-	l.invStd = make([]float32, x.Rows*l.Groups)
+	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	out := l.out
+	l.xhat = tensor.EnsureShape(l.xhat, x.Rows, x.Cols)
+	l.invStd = ensureVec(l.invStd, x.Rows*l.Groups)
 	for i := 0; i < x.Rows; i++ {
 		row, hrow, orow := x.Row(i), l.xhat.Row(i), out.Row(i)
 		for g := 0; g < l.Groups; g++ {
@@ -94,7 +99,8 @@ func (l *GroupNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 func (l *GroupNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	gsize := l.Dim / l.Groups
 	n := float32(gsize)
-	dx := tensor.New(dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	dx := l.dx
 	for j := range l.GGamma {
 		l.GGamma[j] = 0
 		l.GBeta[j] = 0

@@ -56,7 +56,9 @@ func TestGroupNormIndependentOfBatchAndMode(t *testing.T) {
 			x3.Set(j, k, r.NormFloat32()*10)
 		}
 	}
-	y1 := gn.Forward(x1, true)
+	// Forward results are layer-owned workspaces; Clone anything retained
+	// across calls (the Layer buffer-ownership contract).
+	y1 := gn.Forward(x1, true).Clone()
 	y3 := gn.Forward(x3, true)
 	for k := 0; k < 4; k++ {
 		if y1.At(0, k) != y3.At(1, k) {
@@ -64,7 +66,7 @@ func TestGroupNormIndependentOfBatchAndMode(t *testing.T) {
 		}
 	}
 	// Train and eval modes are identical.
-	yTrain := gn.Forward(x1, true)
+	yTrain := gn.Forward(x1, true).Clone()
 	yEval := gn.Forward(x1, false)
 	for k := range yTrain.Data {
 		if yTrain.Data[k] != yEval.Data[k] {

@@ -30,10 +30,25 @@ type Param struct {
 // Layer is one differentiable module. Forward must be called before
 // Backward for the same batch; train selects training vs inference
 // behaviour (batch statistics, dropout).
+//
+// Buffer ownership: the matrices returned by Forward and Backward are
+// layer-owned workspaces, reused on the layer's next Forward/Backward call
+// (the zero-allocation steady state). Callers that retain a result across
+// iterations — metrics, tests, checkpoints — must Clone it first.
 type Layer interface {
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	Backward(dout *tensor.Matrix) *tensor.Matrix
 	Params() []Param
+}
+
+// ensureVec returns a float32 slice of length n, reusing v's storage when
+// possible. Contents are unspecified on the reused path; accumulator uses
+// must zero it first.
+func ensureVec(v []float32, n int) []float32 {
+	if cap(v) < n {
+		return make([]float32, n)
+	}
+	return v[:n]
 }
 
 // Linear is a fully-connected layer: y = x·W + b, with W of shape in×out.
@@ -44,6 +59,8 @@ type Linear struct {
 	GW      *tensor.Matrix
 	GB      []float32
 	x       *tensor.Matrix // cached input for backward
+	y       *tensor.Matrix // forward workspace, reused across calls
+	dx      *tensor.Matrix // backward workspace, reused across calls
 }
 
 // NewLinear creates a Linear layer with He (Kaiming) initialization, the
@@ -66,18 +83,22 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: Linear.Forward: input has %d features, want %d", x.Cols, l.In))
 	}
 	l.x = x
-	y := tensor.MatMul(x, l.W)
-	y.AddRowVec(l.B)
-	return y
+	l.y = tensor.EnsureShape(l.y, x.Rows, l.Out)
+	tensor.MatMulInto(l.y, x, l.W)
+	l.y.AddRowVec(l.B)
+	return l.y
 }
 
 // Backward computes parameter gradients (averaged over the batch is the
 // caller's responsibility via the loss scaling) and returns dx = dy·Wᵀ.
+// Gradients land directly in GW/GB and dx in a reused workspace: the
+// steady-state backward pass allocates nothing.
 func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	gw := tensor.MatMulTA(l.x, dout) // xᵀ·dy
-	copy(l.GW.Data, gw.Data)
-	copy(l.GB, dout.ColSum())
-	return tensor.MatMulTB(dout, l.W) // dy·Wᵀ
+	tensor.MatMulTAInto(l.GW, l.x, dout) // xᵀ·dy
+	dout.ColSumInto(l.GB)
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, l.In)
+	tensor.MatMulTBInto(l.dx, dout, l.W) // dy·Wᵀ
+	return l.dx
 }
 
 // Params exposes W and b with their gradients.
@@ -91,6 +112,8 @@ func (l *Linear) Params() []Param {
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Matrix // forward workspace
+	dx   *tensor.Matrix // backward workspace
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -98,31 +121,34 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative inputs.
 func (l *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := x.Clone()
-	if cap(l.mask) < len(out.Data) {
-		l.mask = make([]bool, len(out.Data))
+	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]bool, len(x.Data))
 	}
-	l.mask = l.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	l.mask = l.mask[:len(x.Data)]
+	for i, v := range x.Data {
 		if v <= 0 {
-			out.Data[i] = 0
+			l.out.Data[i] = 0
 			l.mask[i] = false
 		} else {
+			l.out.Data[i] = v
 			l.mask[i] = true
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward zeroes the gradient where the input was non-positive.
 func (l *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	out := dout.Clone()
-	for i := range out.Data {
-		if !l.mask[i] {
-			out.Data[i] = 0
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			l.dx.Data[i] = v
+		} else {
+			l.dx.Data[i] = 0
 		}
 	}
-	return out
+	return l.dx
 }
 
 // Params returns nil: ReLU has no learnable parameters.
@@ -158,6 +184,14 @@ type BatchNorm struct {
 	xhat   *tensor.Matrix
 	invStd []float32
 	countN float32 // batch size used in the last training forward (global when synced)
+
+	// reusable workspaces (zero-allocation steady state)
+	out      *tensor.Matrix
+	dx       *tensor.Matrix
+	stats    []float32 // forward sums/sumsq/count accumulator
+	mean     []float32
+	variance []float32
+	dstats   []float32 // backward sumDy/sumDyXhat accumulator
 }
 
 // NewBatchNorm creates a BatchNorm layer over dim features.
@@ -188,13 +222,16 @@ func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != l.Dim {
 		panic(fmt.Sprintf("nn: BatchNorm.Forward: input has %d features, want %d", x.Cols, l.Dim))
 	}
-	out := tensor.New(x.Rows, x.Cols)
+	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	out := l.out
 	n := float32(x.Rows)
 	if train {
 		// Accumulate per-feature sums and sums of squares; with a Sync
 		// hook these are reduced across workers so the statistics cover
 		// the global mini-batch.
-		stats := make([]float32, 2*l.Dim+1)
+		l.stats = ensureVec(l.stats, 2*l.Dim+1)
+		stats := l.stats
+		clear(stats)
 		sums := stats[:l.Dim]
 		sumsq := stats[l.Dim : 2*l.Dim]
 		for i := 0; i < x.Rows; i++ {
@@ -210,8 +247,9 @@ func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			n = stats[2*l.Dim]
 		}
 		l.countN = n
-		mean := make([]float32, l.Dim)
-		variance := make([]float32, l.Dim)
+		l.mean = ensureVec(l.mean, l.Dim)
+		l.variance = ensureVec(l.variance, l.Dim)
+		mean, variance := l.mean, l.variance
 		for j := range mean {
 			mean[j] = sums[j] / n
 			v := sumsq[j]/n - mean[j]*mean[j]
@@ -220,11 +258,11 @@ func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			}
 			variance[j] = v
 		}
-		l.invStd = make([]float32, l.Dim)
+		l.invStd = ensureVec(l.invStd, l.Dim)
 		for j := range l.invStd {
 			l.invStd[j] = 1 / float32(math.Sqrt(float64(variance[j]+l.Eps)))
 		}
-		l.xhat = tensor.New(x.Rows, x.Cols)
+		l.xhat = tensor.EnsureShape(l.xhat, x.Rows, x.Cols)
 		for i := 0; i < x.Rows; i++ {
 			xr, hr, or := x.Row(i), l.xhat.Row(i), out.Row(i)
 			for j := range xr {
@@ -260,9 +298,12 @@ func (l *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	if n == 0 {
 		n = float32(nRows)
 	}
-	dx := tensor.New(dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	dx := l.dx
 	// dGamma_j = sum_i dout_ij * xhat_ij ; dBeta_j = sum_i dout_ij
-	stats := make([]float32, 2*l.Dim)
+	l.dstats = ensureVec(l.dstats, 2*l.Dim)
+	stats := l.dstats
+	clear(stats)
 	sumDy := stats[:l.Dim]
 	sumDyXhat := stats[l.Dim:]
 	for i := 0; i < nRows; i++ {
@@ -304,6 +345,8 @@ type Dropout struct {
 	P    float32
 	rand *rng.Rand
 	mask []float32
+	out  *tensor.Matrix // forward workspace
+	dx   *tensor.Matrix // backward workspace
 }
 
 // NewDropout creates a dropout layer with drop probability p, drawing its
@@ -318,37 +361,37 @@ func NewDropout(p float32, r *rng.Rand) *Dropout {
 // Forward applies the mask in training mode and is the identity otherwise.
 func (l *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || l.P == 0 {
-		l.mask = nil
+		l.mask = l.mask[:0]
 		return x
 	}
-	out := x.Clone()
-	if cap(l.mask) < len(out.Data) {
-		l.mask = make([]float32, len(out.Data))
+	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]float32, len(x.Data))
 	}
-	l.mask = l.mask[:len(out.Data)]
+	l.mask = l.mask[:len(x.Data)]
 	scale := 1 / (1 - l.P)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if l.rand.Float32() < l.P {
 			l.mask[i] = 0
-			out.Data[i] = 0
+			l.out.Data[i] = 0
 		} else {
 			l.mask[i] = scale
-			out.Data[i] *= scale
+			l.out.Data[i] = v * scale
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward applies the same mask to the gradient.
 func (l *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if l.mask == nil {
+	if len(l.mask) == 0 {
 		return dout
 	}
-	out := dout.Clone()
-	for i := range out.Data {
-		out.Data[i] *= l.mask[i]
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		l.dx.Data[i] = v * l.mask[i]
 	}
-	return out
+	return l.dx
 }
 
 // Params returns nil: dropout has no learnable parameters.

@@ -16,6 +16,7 @@ type SoftmaxCrossEntropy struct {
 	probs     *tensor.Matrix
 	labels    []int
 	perSample []float64
+	grad      *tensor.Matrix // backward workspace, reused across calls
 }
 
 // Forward computes softmax probabilities and the mean cross-entropy loss.
@@ -23,9 +24,12 @@ func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Matrix, labels []int) float
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: %d rows but %d labels", logits.Rows, len(labels)))
 	}
-	l.probs = tensor.New(logits.Rows, logits.Cols)
+	l.probs = tensor.EnsureShape(l.probs, logits.Rows, logits.Cols)
 	l.labels = labels
-	l.perSample = make([]float64, logits.Rows)
+	if cap(l.perSample) < logits.Rows {
+		l.perSample = make([]float64, logits.Rows)
+	}
+	l.perSample = l.perSample[:logits.Rows]
 	var loss float64
 	for i := 0; i < logits.Rows; i++ {
 		row := logits.Row(i)
@@ -64,12 +68,15 @@ func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Matrix, labels []int) float
 func (l *SoftmaxCrossEntropy) PerSample() []float64 { return l.perSample }
 
 // Backward returns the gradient of the mean loss with respect to the
-// logits: (softmax - onehot) / batch.
+// logits: (softmax - onehot) / batch. The returned matrix is a reused
+// workspace, valid until the next Backward call.
 func (l *SoftmaxCrossEntropy) Backward() *tensor.Matrix {
 	if l.probs == nil {
 		panic("nn: SoftmaxCrossEntropy.Backward called before Forward")
 	}
-	grad := l.probs.Clone()
+	l.grad = tensor.EnsureShape(l.grad, l.probs.Rows, l.probs.Cols)
+	grad := l.grad
+	copy(grad.Data, l.probs.Data)
 	inv := 1 / float32(grad.Rows)
 	for i := 0; i < grad.Rows; i++ {
 		row := grad.Row(i)

@@ -63,6 +63,7 @@ type LAMB struct {
 	Eps          float32
 	WeightDecay  float32
 	m, v         [][]float32
+	update       []float32 // per-step workspace, reused across tensors
 	step         int
 }
 
@@ -86,7 +87,8 @@ func (o *LAMB) Step(params []Param, lr float32) {
 	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.step)))
 	for i, p := range params {
 		m, v := o.m[i], o.v[i]
-		update := make([]float32, len(p.W))
+		o.update = ensureVec(o.update, len(p.W))
+		update := o.update
 		for j, g := range p.G {
 			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g
 			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g*g

@@ -33,10 +33,21 @@ type Scheduler struct {
 
 	epoch    int
 	plan     ExchangePlan
-	posted   int
-	recvReqs []*mpi.Request
+	posted   int          // slots whose sends have been posted
+	expected int          // samples this rank receives this epoch (= Slots())
+	pending  *mpi.Request // the single outstanding posted receive, or nil
 	received []data.Sample
 	state    schedState
+
+	// Reusable scratch, retained across epochs so the steady-state exchange
+	// allocates nothing on the send side: destSlots groups a chunk's slot
+	// indices by destination, batchShip stages the samples of one outgoing
+	// batch, batchBuf holds its encoding, and sentScratch is the
+	// CleanLocalStorage sent-ID set.
+	destSlots   [][]int
+	batchShip   []data.Sample
+	batchBuf    []byte
+	sentScratch map[int]bool
 
 	// wireSent/wireRecv are the exact wire sizes (frame overhead included)
 	// of this epoch's exchanged sample frames, excluding self-sends, which
@@ -131,8 +142,9 @@ func (s *Scheduler) Scheduling(epoch int) error {
 	s.epoch = epoch
 	s.plan = plan
 	s.posted = 0
-	s.recvReqs = s.recvReqs[:0]
-	s.received = s.received[:0]
+	s.expected = plan.Slots()
+	s.pending = nil
+	s.received = s.received[:0] // capacity reused across epochs
 	s.wireSent, s.wireRecv = 0, 0
 	s.state = stateScheduled
 	return nil
@@ -141,11 +153,18 @@ func (s *Scheduler) Scheduling(epoch int) error {
 // Slots returns the number of samples this epoch's plan exchanges.
 func (s *Scheduler) Slots() int { return s.plan.Slots() }
 
-// Communicate posts non-blocking sends and receives for up to n slots
-// (n < 0 posts everything remaining) and returns the number of slots now
-// outstanding. Calling it repeatedly with small n from the training loop
-// implements the Figure 4 overlap; a single Communicate(-1) matches the
-// plain non-blocking exchange of Figure 3.
+// Communicate posts non-blocking sends for up to n slots (n < 0 posts
+// everything remaining) and returns the number of inbound samples still in
+// flight toward this rank. Calling it repeatedly with small n from the
+// training loop implements the Figure 4 overlap; a single Communicate(-1)
+// matches the plain non-blocking exchange of Figure 3.
+//
+// Slots sharing a destination within one Communicate call are coalesced
+// into a single multi-sample frame (data.AppendSampleBatch), so a bulk
+// Communicate(-1) posts at most M frames instead of Q·N/M, and a chunked
+// call posts at most min(n, M). Inbound traffic is likewise batched:
+// Communicate opportunistically drains any frames that have already
+// arrived (without blocking), so decode work overlaps compute too.
 func (s *Scheduler) Communicate(n int) (int, error) {
 	if s.state != stateScheduled {
 		return 0, fmt.Errorf("shuffle: Communicate called without a scheduled epoch")
@@ -154,24 +173,92 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 	if n >= 0 && s.posted+n < end {
 		end = s.posted + n
 	}
-	for i := s.posted; i < end; i++ {
-		sample, err := s.st.Get(s.plan.SendIDs[i])
-		if err != nil {
-			return 0, fmt.Errorf("shuffle: Communicate: slot %d: %w", i, err)
+	if end > s.posted {
+		if len(s.destSlots) != s.comm.Size() {
+			s.destSlots = make([][]int, s.comm.Size())
 		}
-		enc := sample.Encode()
-		if s.plan.Dests[i] != s.comm.Rank() {
-			s.wireSent += transport.FrameWireSize(enc)
+		for i := s.posted; i < end; i++ {
+			d := s.plan.Dests[i]
+			s.destSlots[d] = append(s.destSlots[d], i)
 		}
-		s.comm.Isend(s.plan.Dests[i], exchangeTag(s.epoch), enc)
-		s.recvReqs = append(s.recvReqs, s.comm.Irecv(mpi.AnySource, exchangeTag(s.epoch)))
+		for dest, slots := range s.destSlots {
+			if len(slots) == 0 {
+				continue
+			}
+			s.batchShip = s.batchShip[:0]
+			for _, slot := range slots {
+				sample, err := s.st.Get(s.plan.SendIDs[slot])
+				if err != nil {
+					return 0, fmt.Errorf("shuffle: Communicate: slot %d: %w", slot, err)
+				}
+				s.batchShip = append(s.batchShip, sample)
+			}
+			s.batchBuf = data.AppendSampleBatch(s.batchBuf[:0], s.batchShip)
+			if dest != s.comm.Rank() {
+				s.wireSent += transport.FrameWireSize(s.batchBuf)
+			}
+			// Safe to reuse batchBuf across destinations: the inproc backend
+			// clones []byte payloads synchronously and the TCP backend
+			// serializes before Send returns (the transport contract).
+			s.comm.Isend(dest, exchangeTag(s.epoch), s.batchBuf)
+			s.destSlots[dest] = slots[:0]
+		}
+		s.posted = end
 	}
-	s.posted = end
-	return len(s.recvReqs), nil
+	if err := s.drainReceives(false); err != nil {
+		return 0, err
+	}
+	return s.expected - len(s.received), nil
 }
 
-// Synchronize posts any remaining traffic, waits for all outstanding
-// receives (line 7 of Algorithm 1), and decodes the received samples.
+// drainReceives consumes inbound exchange frames until the epoch's expected
+// sample count is met (block=true) or no further frame has arrived yet
+// (block=false). Termination is count-based: the balanced plan guarantees
+// this rank receives exactly expected samples, every frame carries at least
+// one, and at most one receive is posted at a time — so no posted receive
+// can dangle into the next epoch's tag space.
+func (s *Scheduler) drainReceives(block bool) error {
+	for len(s.received) < s.expected {
+		if s.pending == nil {
+			s.pending = s.comm.Irecv(mpi.AnySource, exchangeTag(s.epoch))
+		}
+		var payload any
+		var st mpi.Status
+		if block {
+			payload, st = s.pending.Wait()
+		} else {
+			ok, p, pst := s.pending.Test()
+			if !ok {
+				return nil
+			}
+			payload, st = p, pst
+		}
+		s.pending = nil
+		buf, ok := payload.([]byte)
+		if !ok {
+			return fmt.Errorf("shuffle: exchange frame carries %T, want []byte", payload)
+		}
+		before := len(s.received)
+		var err error
+		s.received, err = data.DecodeSampleBatchInto(s.received, buf)
+		if err != nil {
+			return fmt.Errorf("shuffle: decoding received sample batch: %w", err)
+		}
+		if len(s.received) == before {
+			return fmt.Errorf("shuffle: peer sent an empty sample batch")
+		}
+		if len(s.received) > s.expected {
+			return fmt.Errorf("shuffle: received %d samples, plan expects %d", len(s.received), s.expected)
+		}
+		if st.Source != s.comm.Rank() {
+			s.wireRecv += transport.FrameWireSize(buf)
+		}
+	}
+	return nil
+}
+
+// Synchronize posts any remaining traffic and waits until every expected
+// sample has arrived and been decoded (line 7 of Algorithm 1).
 func (s *Scheduler) Synchronize() error {
 	if s.state != stateScheduled {
 		return fmt.Errorf("shuffle: Synchronize called without a scheduled epoch")
@@ -179,16 +266,8 @@ func (s *Scheduler) Synchronize() error {
 	if _, err := s.Communicate(-1); err != nil {
 		return err
 	}
-	for _, req := range s.recvReqs {
-		payload, st := req.Wait()
-		sample, err := data.DecodeSample(payload.([]byte))
-		if err != nil {
-			return fmt.Errorf("shuffle: Synchronize: decoding received sample: %w", err)
-		}
-		if st.Source != s.comm.Rank() {
-			s.wireRecv += transport.FrameWireSize(payload)
-		}
-		s.received = append(s.received, sample)
+	if err := s.drainReceives(true); err != nil {
+		return err
 	}
 	s.state = stateSynchronized
 	return nil
@@ -213,7 +292,12 @@ func (s *Scheduler) CleanLocalStorage() error {
 	if s.state != stateSynchronized {
 		return fmt.Errorf("shuffle: CleanLocalStorage called before Synchronize")
 	}
-	sent := make(map[int]bool, len(s.plan.SendIDs))
+	if s.sentScratch == nil {
+		s.sentScratch = make(map[int]bool, len(s.plan.SendIDs))
+	} else {
+		clear(s.sentScratch)
+	}
+	sent := s.sentScratch
 	for _, id := range s.plan.SendIDs {
 		sent[id] = true
 	}

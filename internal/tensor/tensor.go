@@ -39,6 +39,23 @@ func FromSlice(r, c int, data []float32) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Data: data}
 }
 
+// EnsureShape returns an r×c matrix, reusing m's backing storage when its
+// capacity suffices (m may be nil). The reused path leaves the element
+// contents unspecified — callers either overwrite fully (the Into kernels
+// do) or call Zero. This is how layers keep per-shape workspaces alive
+// across iterations without reallocating, while still following batch-size
+// changes (e.g. a smaller final or eval batch).
+func EnsureShape(m *Matrix, r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: EnsureShape(%d, %d): negative dimension", r, c))
+	}
+	if m != nil && cap(m.Data) >= r*c {
+		m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+		return m
+	}
+	return New(r, c)
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 
@@ -76,11 +93,23 @@ func (m *Matrix) KaimingInit(r *rng.Rand, fanIn int) {
 	m.Randn(r, std)
 }
 
+// minParallelWork is the flop estimate below which a kernel runs serially:
+// goroutine fan-out (and the closure it requires) costs more than the work.
+const minParallelWork = 1 << 16
+
+// serialRows reports whether a row-parallel kernel over rows rows with
+// workPerRow estimated flops per row should run on the calling goroutine.
+// The matmul kernels branch on it before constructing the parallelRows
+// closure, so the serial fast path — every small matmul in the training
+// loop — allocates nothing.
+func serialRows(rows, workPerRow int) bool {
+	return runtime.GOMAXPROCS(0) <= 1 || rows <= 1 || rows*workPerRow < minParallelWork
+}
+
 // parallelRows splits [0, rows) into contiguous chunks and runs fn on each
 // chunk concurrently. Small workloads run inline to avoid goroutine
 // overhead; work is an estimate of per-row flops.
 func parallelRows(rows int, workPerRow int, fn func(lo, hi int)) {
-	const minParallelWork = 1 << 16
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
@@ -128,75 +157,124 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
-	parallelRows(n, 2*k*m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			di := dst.Data[i*m : (i+1)*m]
-			for j := range di {
-				di[j] = 0
+	if serialRows(n, 2*k*m) {
+		matMulRange(dst, a, b, 0, n)
+		return
+	}
+	parallelRows(n, 2*k*m, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*m : (i+1)*m]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Data[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			av := ai[kk]
+			if av == 0 {
+				continue
 			}
-			ai := a.Data[i*k : (i+1)*k]
-			for kk := 0; kk < k; kk++ {
-				av := ai[kk]
-				if av == 0 {
-					continue
-				}
-				bk := b.Data[kk*m : (kk+1)*m]
-				for j, bv := range bk {
-					di[j] += av * bv
-				}
+			bk := b.Data[kk*m : (kk+1)*m]
+			for j, bv := range bk {
+				di[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulTA returns Aᵀ·B (a is k×n, b is k×m, result n×m). This is the
 // weight-gradient kernel: dW = Xᵀ·dY.
 func MatMulTA(a, b *Matrix) *Matrix {
 	checkMul(a, b, "MatMulTA", a.Rows, b.Rows)
+	out := New(a.Cols, b.Cols)
+	MatMulTAInto(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes dst = Aᵀ·B into a caller-owned matrix (dst must be
+// a.Cols × b.Cols and is overwritten) — the workspace-reusing form backward
+// passes call every iteration without allocating.
+func MatMulTAInto(dst, a, b *Matrix) {
+	checkMul(a, b, "MatMulTAInto", a.Rows, b.Rows)
 	n, k, m := a.Cols, a.Rows, b.Cols
-	out := New(n, m)
+	if dst.Rows != n || dst.Cols != m {
+		panic(fmt.Sprintf("tensor: MatMulTAInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, n, m))
+	}
 	// Accumulate row-blocks of the output; each output row i gathers
 	// contributions a[kk][i] * b[kk][:].
-	parallelRows(n, 2*k*m, func(lo, hi int) {
-		for kk := 0; kk < k; kk++ {
-			ak := a.Data[kk*n : (kk+1)*n]
-			bk := b.Data[kk*m : (kk+1)*m]
-			for i := lo; i < hi; i++ {
-				av := ak[i]
-				if av == 0 {
-					continue
-				}
-				oi := out.Data[i*m : (i+1)*m]
-				for j, bv := range bk {
-					oi[j] += av * bv
-				}
+	if serialRows(n, 2*k*m) {
+		matMulTARange(dst, a, b, 0, n)
+		return
+	}
+	parallelRows(n, 2*k*m, func(lo, hi int) { matMulTARange(dst, a, b, lo, hi) })
+}
+
+func matMulTARange(dst, a, b *Matrix, lo, hi int) {
+	n, k, m := a.Cols, a.Rows, b.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*m : (i+1)*m]
+		for j := range di {
+			di[j] = 0
+		}
+	}
+	for kk := 0; kk < k; kk++ {
+		ak := a.Data[kk*n : (kk+1)*n]
+		bk := b.Data[kk*m : (kk+1)*m]
+		for i := lo; i < hi; i++ {
+			av := ak[i]
+			if av == 0 {
+				continue
+			}
+			oi := dst.Data[i*m : (i+1)*m]
+			for j, bv := range bk {
+				oi[j] += av * bv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MatMulTB returns A·Bᵀ (a is n×k, b is m×k, result n×m). This is the
 // input-gradient kernel: dX = dY·Wᵀ.
 func MatMulTB(a, b *Matrix) *Matrix {
 	checkMul(a, b, "MatMulTB", a.Cols, b.Cols)
-	n, k, m := a.Rows, a.Cols, b.Rows
-	out := New(n, m)
-	parallelRows(n, 2*k*m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			oi := out.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				var sum float32
-				for kk, av := range ai {
-					sum += av * bj[kk]
-				}
-				oi[j] = sum
-			}
-		}
-	})
+	out := New(a.Rows, b.Rows)
+	MatMulTBInto(out, a, b)
 	return out
+}
+
+// MatMulTBInto computes dst = A·Bᵀ into a caller-owned matrix (dst must be
+// a.Rows × b.Rows and is overwritten) — the workspace-reusing form of
+// MatMulTB.
+func MatMulTBInto(dst, a, b *Matrix) {
+	checkMul(a, b, "MatMulTBInto", a.Cols, b.Cols)
+	n, k, m := a.Rows, a.Cols, b.Rows
+	if dst.Rows != n || dst.Cols != m {
+		panic(fmt.Sprintf("tensor: MatMulTBInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, n, m))
+	}
+	if serialRows(n, 2*k*m) {
+		matMulTBRange(dst, a, b, 0, n)
+		return
+	}
+	parallelRows(n, 2*k*m, func(lo, hi int) { matMulTBRange(dst, a, b, lo, hi) })
+}
+
+func matMulTBRange(dst, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := dst.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for kk, av := range ai {
+				sum += av * bj[kk]
+			}
+			oi[j] = sum
+		}
+	}
 }
 
 // Add computes m += other element-wise.
@@ -242,13 +320,25 @@ func (m *Matrix) AddRowVec(v []float32) {
 // ColSum returns the per-column sums (len = Cols); the bias-gradient kernel.
 func (m *Matrix) ColSum() []float32 {
 	out := make([]float32, m.Cols)
+	m.ColSumInto(out)
+	return out
+}
+
+// ColSumInto accumulates per-column sums into out (len = Cols), which is
+// zeroed first — the workspace-reusing form of ColSum.
+func (m *Matrix) ColSumInto(out []float32) {
+	if len(out) != m.Cols {
+		panic("tensor: ColSumInto: length mismatch")
+	}
+	for j := range out {
+		out[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			out[j] += v
 		}
 	}
-	return out
 }
 
 // ColMean returns per-column means (len = Cols).

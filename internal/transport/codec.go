@@ -37,97 +37,87 @@ const (
 // outside the wire-encodable set — such payloads work on the inproc backend
 // (passed by reference) but cannot cross a process boundary.
 func EncodePayload(p any) ([]byte, error) {
+	return AppendPayload(make([]byte, 0, PayloadWireSize(p)), p)
+}
+
+// AppendPayload is the allocation-free core of EncodePayload: it appends the
+// encoding to dst (growing it if needed) and returns the extended slice.
+// Hot paths pass a pooled or reused buffer so the steady state allocates
+// nothing; the bytes produced are identical to EncodePayload's.
+func AppendPayload(dst []byte, p any) ([]byte, error) {
 	switch v := p.(type) {
 	case nil:
-		return []byte{codeNil}, nil
+		return append(dst, codeNil), nil
 	case []byte:
-		buf := make([]byte, 1+len(v))
-		buf[0] = codeBytes
-		copy(buf[1:], v)
-		return buf, nil
+		dst = append(dst, codeBytes)
+		return append(dst, v...), nil
 	case []float32:
-		buf := make([]byte, 1+4*len(v))
-		buf[0] = codeFloat32
-		for i, f := range v {
-			binary.LittleEndian.PutUint32(buf[1+4*i:], math.Float32bits(f))
+		dst = append(dst, codeFloat32)
+		for _, f := range v {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
 		}
-		return buf, nil
+		return dst, nil
 	case []float64:
-		buf := make([]byte, 1+8*len(v))
-		buf[0] = codeFloat64
-		for i, f := range v {
-			binary.LittleEndian.PutUint64(buf[1+8*i:], math.Float64bits(f))
+		dst = append(dst, codeFloat64)
+		for _, f := range v {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 		}
-		return buf, nil
+		return dst, nil
 	case []int:
-		buf := make([]byte, 1+8*len(v))
-		buf[0] = codeInts
-		for i, x := range v {
-			binary.LittleEndian.PutUint64(buf[1+8*i:], uint64(int64(x)))
+		dst = append(dst, codeInts)
+		for _, x := range v {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(x)))
 		}
-		return buf, nil
+		return dst, nil
 	case []int32:
-		buf := make([]byte, 1+4*len(v))
-		buf[0] = codeInt32s
-		for i, x := range v {
-			binary.LittleEndian.PutUint32(buf[1+4*i:], uint32(x))
+		dst = append(dst, codeInt32s)
+		for _, x := range v {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
 		}
-		return buf, nil
+		return dst, nil
 	case []int64:
-		buf := make([]byte, 1+8*len(v))
-		buf[0] = codeInt64s
-		for i, x := range v {
-			binary.LittleEndian.PutUint64(buf[1+8*i:], uint64(x))
+		dst = append(dst, codeInt64s)
+		for _, x := range v {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 		}
-		return buf, nil
+		return dst, nil
 	case []uint64:
-		buf := make([]byte, 1+8*len(v))
-		buf[0] = codeUint64s
-		for i, x := range v {
-			binary.LittleEndian.PutUint64(buf[1+8*i:], x)
+		dst = append(dst, codeUint64s)
+		for _, x := range v {
+			dst = binary.LittleEndian.AppendUint64(dst, x)
 		}
-		return buf, nil
+		return dst, nil
 	case string:
-		buf := make([]byte, 1+len(v))
-		buf[0] = codeString
-		copy(buf[1:], v)
-		return buf, nil
+		dst = append(dst, codeString)
+		return append(dst, v...), nil
 	case int:
-		buf := make([]byte, 9)
-		buf[0] = codeInt
-		binary.LittleEndian.PutUint64(buf[1:], uint64(int64(v)))
-		return buf, nil
+		dst = append(dst, codeInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(int64(v))), nil
 	case float64:
-		buf := make([]byte, 9)
-		buf[0] = codeFloat
-		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v))
-		return buf, nil
+		dst = append(dst, codeFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v)), nil
 	case bool:
 		b := byte(0)
 		if v {
 			b = 1
 		}
-		return []byte{codeBool, b}, nil
+		return append(dst, codeBool, b), nil
 	case data.Sample:
-		enc := v.Encode()
-		buf := make([]byte, 1+len(enc))
-		buf[0] = codeSample
-		copy(buf[1:], enc)
-		return buf, nil
+		dst = append(dst, codeSample)
+		return v.AppendEncode(dst), nil
 	case *tensor.Matrix:
 		if v == nil {
-			return []byte{codeNil}, nil
+			return append(dst, codeNil), nil
 		}
-		buf := make([]byte, 1+8+4*len(v.Data))
-		buf[0] = codeMatrix
-		binary.LittleEndian.PutUint32(buf[1:], uint32(v.Rows))
-		binary.LittleEndian.PutUint32(buf[5:], uint32(v.Cols))
-		for i, f := range v.Data {
-			binary.LittleEndian.PutUint32(buf[9+4*i:], math.Float32bits(f))
+		dst = append(dst, codeMatrix)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Rows))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Cols))
+		for _, f := range v.Data {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
 		}
-		return buf, nil
+		return dst, nil
 	default:
-		return nil, fmt.Errorf("transport: payload type %T is not wire-encodable", p)
+		return dst, fmt.Errorf("transport: payload type %T is not wire-encodable", p)
 	}
 }
 

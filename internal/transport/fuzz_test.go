@@ -26,6 +26,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	seed(WireFrame{Kind: KindHello, Src: 3, Dst: 0, Payload: []byte("127.0.0.1:9999")})
 	seed(WireFrame{Kind: KindTable, Src: 0, Dst: -1, Payload: EncodeAddrTable([]string{"a:1", "b:2"})})
 	seed(WireFrame{Kind: KindBye, Src: 2, Dst: 5, Tag: -12345})
+	if batch, err := EncodePayload(data.EncodeSampleBatch([]data.Sample{
+		{ID: 1, Label: 0, Features: []float32{1, 2}, Bytes: 4},
+		{ID: 2, Label: 1, Features: []float32{-3}, Bytes: 8},
+	})); err == nil {
+		seed(WireFrame{Kind: KindData, Src: 1, Dst: 2, Tag: 99, Payload: batch})
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile length prefix
 	f.Add(bytes.Repeat([]byte{0}, 64))
@@ -50,6 +56,16 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 		if r.Kind != w.Kind || r.Src != w.Src || r.Dst != w.Dst || r.Tag != w.Tag || !bytes.Equal(r.Payload, w.Payload) {
 			t.Fatalf("ReadFrame decoded %+v, UnmarshalFrame %+v", r, w)
+		}
+		// ReadFrameInto (the pooled read path) must agree as well, including
+		// when its scratch buffer carries stale bytes from a previous frame.
+		scratch := bytes.Repeat([]byte{0xAA}, 16)
+		ri, n, err := ReadFrameInto(bytes.NewReader(buf), &scratch)
+		if err != nil || n != len(buf) {
+			t.Fatalf("ReadFrameInto disagrees with ReadFrame: n=%d err=%v", n, err)
+		}
+		if ri.Kind != w.Kind || ri.Src != w.Src || ri.Dst != w.Dst || ri.Tag != w.Tag || !bytes.Equal(ri.Payload, w.Payload) {
+			t.Fatalf("ReadFrameInto decoded %+v, UnmarshalFrame %+v", ri, w)
 		}
 	})
 }

@@ -1,0 +1,39 @@
+package transport
+
+import "sync"
+
+// WireBuf is a pooled wire-encoding buffer. Pooling the struct pointer (not
+// the raw []byte) avoids the interface-boxing allocation a naked slice would
+// pay on every Put. The TCP backend threads WireBufs from Send through the
+// per-peer writer queue and back into the pool once the frame is confirmed
+// written, so a steady-state send allocates nothing.
+type WireBuf struct {
+	B []byte
+}
+
+// maxPooledWireBuf caps the capacity a buffer may keep when returned to the
+// pool. Occasional giants (a full-model gradient frame, a fat sample batch)
+// are dropped rather than pinned in memory forever.
+const maxPooledWireBuf = 4 << 20
+
+var wireBufPool = sync.Pool{New: func() any { return new(WireBuf) }}
+
+// GetWireBuf fetches a buffer from the pool. Its B slice has length zero but
+// retains capacity from earlier use.
+func GetWireBuf() *WireBuf {
+	return wireBufPool.Get().(*WireBuf)
+}
+
+// PutWireBuf returns a buffer to the pool. The caller must not touch wb or
+// wb.B afterwards.
+func PutWireBuf(wb *WireBuf) {
+	if wb == nil {
+		return
+	}
+	if cap(wb.B) > maxPooledWireBuf {
+		wb.B = nil
+	} else {
+		wb.B = wb.B[:0]
+	}
+	wireBufPool.Put(wb)
+}

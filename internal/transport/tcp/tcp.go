@@ -176,10 +176,13 @@ type peer struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   [][]byte // marshalled frames, length prefix included
-	conn    net.Conn // current write connection; nil → (re)dial on demand
+	queue   []*transport.WireBuf // marshalled frames, length prefix included
+	spare   []*transport.WireBuf // recycled backing array for queue
+	conn    net.Conn             // current write connection; nil → (re)dial on demand
 	closing bool
 	dead    bool // retry budget exhausted; queue is discarded
+
+	iov net.Buffers // writer-goroutine scratch for vectored writes
 }
 
 // New establishes this rank's endpoint: it binds the data listener, runs
@@ -281,12 +284,19 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 		return fmt.Errorf("tcp: Send to rank %d: transport closed", dst)
 	default:
 	}
-	enc, err := transport.EncodePayload(payload)
-	if err != nil {
-		return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
-	}
 	if dst == c.cfg.Rank {
+		// Self-send: loop back through the codec (an encode/decode round
+		// trip, so semantics match remote delivery exactly) using a pooled
+		// buffer for the transient encoding.
+		wb := transport.GetWireBuf()
+		enc, err := transport.AppendPayload(wb.B[:0], payload)
+		wb.B = enc
+		if err != nil {
+			transport.PutWireBuf(wb)
+			return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
+		}
 		v, derr := transport.DecodePayload(enc)
+		transport.PutWireBuf(wb)
 		if derr != nil {
 			return fmt.Errorf("tcp: self-send round trip: %w", derr)
 		}
@@ -295,27 +305,29 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 		c.handler(transport.Frame{Src: dst, Dst: dst, Tag: tag, Payload: v})
 		return nil
 	}
-	buf, err := transport.MarshalFrame(transport.WireFrame{
-		Kind: transport.KindData,
-		Src:  int32(c.cfg.Rank),
-		Dst:  int32(dst),
-		Tag:  int64(tag),
-		Payload: enc,
-	})
+	// Serialize straight into a pooled buffer — payload encoding and frame
+	// header in one pass, no intermediate payload slice. The buffer travels
+	// through the peer's writer queue and returns to the pool once written.
+	wb := transport.GetWireBuf()
+	buf, err := transport.AppendDataFrame(wb.B[:0], int32(c.cfg.Rank), int32(dst), int64(tag), payload)
+	wb.B = buf
 	if err != nil {
+		transport.PutWireBuf(wb)
 		return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
 	}
 	p := c.peers[dst]
 	p.mu.Lock()
 	if p.dead {
 		p.mu.Unlock()
+		transport.PutWireBuf(wb)
 		return fmt.Errorf("tcp: Send to rank %d: peer unreachable: %w", dst, c.Err())
 	}
 	if p.closing {
 		p.mu.Unlock()
+		transport.PutWireBuf(wb)
 		return fmt.Errorf("tcp: Send to rank %d: transport closing", dst)
 	}
-	p.queue = append(p.queue, buf)
+	p.queue = append(p.queue, wb)
 	p.cond.Signal()
 	p.mu.Unlock()
 	return nil
@@ -586,14 +598,18 @@ func (c *Conn) dropConn(rank int, conn net.Conn) {
 	conn.Close()
 }
 
-// readLoop decodes inbound frames from one connection until it errors.
+// readLoop decodes inbound frames from one connection until it errors. One
+// persistent frame buffer is reused across reads (ReadFrameInto); the frame
+// payload aliasing it is consumed by DecodePayload before the next read, so
+// the steady-state receive path allocates only the decoded value.
 func (c *Conn) readLoop(rank int, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
 	for {
 		if c.cfg.ReadIdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadIdleTimeout))
 		}
-		f, n, err := transport.ReadFrame(br)
+		f, n, err := transport.ReadFrameInto(br, &scratch)
 		if err != nil {
 			c.dropConn(rank, conn)
 			return
@@ -620,9 +636,12 @@ func (c *Conn) readLoop(rank int, conn net.Conn) {
 	}
 }
 
-// writeLoop drains one peer's queue. On write failure the connection is
-// redialed with exponential backoff up to the attempt budget; exhausting
-// the budget marks the peer dead and records a wrapped error.
+// writeLoop drains one peer's queue. Each pass swaps out everything queued
+// since the last write and pushes it in a single vectored write (writev), so
+// many small frames queued during one compute phase cost one syscall — the
+// flush-on-drain coalescing. On write failure the connection is redialed
+// with exponential backoff up to the attempt budget; exhausting the budget
+// marks the peer dead and records a wrapped error.
 func (c *Conn) writeLoop(p *peer) {
 	defer c.writerWG.Done()
 	for {
@@ -634,11 +653,24 @@ func (c *Conn) writeLoop(p *peer) {
 			p.mu.Unlock()
 			return
 		}
-		buf := p.queue[0]
-		p.queue = p.queue[1:]
+		batch := p.queue
+		if p.spare != nil {
+			p.queue = p.spare[:0]
+			p.spare = nil
+		} else {
+			p.queue = nil
+		}
 		p.mu.Unlock()
 
-		if err := c.writeFrame(p, buf); err != nil {
+		err := c.writeBatch(p, batch)
+		for _, wb := range batch {
+			if err == nil {
+				c.framesSent.Add(1)
+				c.bytesSent.Add(int64(len(wb.B)))
+			}
+			transport.PutWireBuf(wb)
+		}
+		if err != nil {
 			c.fail(err)
 			p.mu.Lock()
 			p.dead = true
@@ -646,14 +678,22 @@ func (c *Conn) writeLoop(p *peer) {
 			p.mu.Unlock()
 			return
 		}
-		c.framesSent.Add(1)
-		c.bytesSent.Add(int64(len(buf)))
+		clear(batch)
+		p.mu.Lock()
+		if p.spare == nil {
+			p.spare = batch[:0]
+		}
+		p.mu.Unlock()
 	}
 }
 
-// writeFrame writes one marshalled frame to the peer, establishing or
-// re-establishing the connection as needed.
-func (c *Conn) writeFrame(p *peer, buf []byte) error {
+// writeBatch writes a run of marshalled frames to the peer as one vectored
+// write, establishing or re-establishing the connection as needed. On a
+// partial write the connection is dropped (the receiver discards the
+// truncated frame with it) and the batch is resent from the first frame not
+// fully written — the same at-least-once contract as per-frame retries.
+func (c *Conn) writeBatch(p *peer, batch []*transport.WireBuf) error {
+	done := 0 // frames fully written
 	backoff := c.cfg.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
@@ -668,14 +708,24 @@ func (c *Conn) writeFrame(p *peer, buf []byte) error {
 			lastErr = err
 			continue
 		}
-		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-		if _, err := conn.Write(buf); err != nil {
-			lastErr = err
-			c.dropConn(p.rank, conn)
-			continue
+		p.iov = p.iov[:0]
+		for _, wb := range batch[done:] {
+			p.iov = append(p.iov, wb.B)
 		}
-		conn.SetWriteDeadline(time.Time{})
-		return nil
+		iov := p.iov // WriteTo advances its receiver; keep p.iov's header intact
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		n, err := iov.WriteTo(conn)
+		clear(p.iov) // drop buffer refs; the backing array is reused next pass
+		if err == nil {
+			conn.SetWriteDeadline(time.Time{})
+			return nil
+		}
+		lastErr = err
+		for done < len(batch) && n >= int64(len(batch[done].B)) {
+			n -= int64(len(batch[done].B))
+			done++
+		}
+		c.dropConn(p.rank, conn)
 	}
 	return fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts: %w",
 		c.cfg.Rank, p.rank, c.cfg.DialAttempts, lastErr)

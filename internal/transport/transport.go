@@ -97,11 +97,36 @@ func ClonePayload(p any) any {
 		out := make([]int, len(v))
 		copy(out, v)
 		return out
+	case []int32:
+		out := make([]int32, len(v))
+		copy(out, v)
+		return out
+	case []int64:
+		out := make([]int64, len(v))
+		copy(out, v)
+		return out
+	case []uint64:
+		out := make([]uint64, len(v))
+		copy(out, v)
+		return out
 	case []byte:
 		out := make([]byte, len(v))
 		copy(out, v)
 		return out
 	default:
 		return p
+	}
+}
+
+// CloneCovers reports whether ClonePayload defensively copies values of p's
+// type. Hot paths that want to send a scratch buffer and immediately reuse
+// it may only do so when this holds — otherwise a shared-memory backend
+// would deliver an aliased slice.
+func CloneCovers(p any) bool {
+	switch p.(type) {
+	case []float32, []float64, []int, []int32, []int64, []uint64, []byte:
+		return true
+	default:
+		return false
 	}
 }

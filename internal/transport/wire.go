@@ -44,18 +44,48 @@ const MaxFramePayload = 1 << 28 // 256 MiB
 // MarshalFrame encodes the frame including its length prefix, ready to be
 // written to a stream in a single Write.
 func MarshalFrame(f WireFrame) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, 4+wireHeaderLen+len(f.Payload)), f)
+}
+
+// AppendFrame appends the frame's wire encoding (length prefix included) to
+// dst and returns the extended slice. The bytes are identical to
+// MarshalFrame's; hot paths pass a pooled buffer so steady-state sends
+// allocate nothing.
+func AppendFrame(dst []byte, f WireFrame) ([]byte, error) {
 	if len(f.Payload) > MaxFramePayload {
-		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds limit %d", len(f.Payload), MaxFramePayload)
+		return dst, fmt.Errorf("transport: frame payload %d bytes exceeds limit %d", len(f.Payload), MaxFramePayload)
 	}
 	body := wireHeaderLen + len(f.Payload)
-	buf := make([]byte, 4+body)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(body))
-	buf[4] = f.Kind
-	binary.LittleEndian.PutUint32(buf[5:], uint32(f.Src))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(f.Dst))
-	binary.LittleEndian.PutUint64(buf[13:], uint64(f.Tag))
-	copy(buf[4+wireHeaderLen:], f.Payload)
-	return buf, nil
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, f.Kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Src))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Dst))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Tag))
+	return append(dst, f.Payload...), nil
+}
+
+// AppendDataFrame appends a complete KindData frame carrying payload to dst,
+// encoding the payload directly into the frame (no intermediate payload
+// buffer — the pooled fast path of the TCP Send). The produced bytes are
+// identical to MarshalFrame over EncodePayload.
+func AppendDataFrame(dst []byte, src, dstRank int32, tag int64, payload any) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, KindData)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(src))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dstRank))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tag))
+	var err error
+	dst, err = AppendPayload(dst, payload)
+	if err != nil {
+		return dst[:start], err
+	}
+	body := len(dst) - start - 4
+	if body-wireHeaderLen > MaxFramePayload {
+		return dst[:start], fmt.Errorf("transport: frame payload %d bytes exceeds limit %d", body-wireHeaderLen, MaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(body))
+	return dst, nil
 }
 
 // UnmarshalFrame decodes a frame from a length-prefixed buffer as produced
@@ -105,6 +135,53 @@ func ReadFrame(r io.Reader) (WireFrame, int, error) {
 	}
 	f, err := UnmarshalFrame(buf)
 	return f, len(buf), err
+}
+
+// ReadFrameInto reads one length-prefixed frame from r into *scratch,
+// growing it only when a frame exceeds its capacity, and returns the frame
+// plus the wire bytes consumed. The returned frame's Payload aliases
+// *scratch: it is valid only until the next ReadFrameInto call on the same
+// scratch buffer, so callers must consume (decode/copy) it first. This is
+// the TCP read loop's zero-allocation steady-state path.
+func ReadFrameInto(r io.Reader, scratch *[]byte) (WireFrame, int, error) {
+	buf := *scratch
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 4096)
+	}
+	buf = buf[:4]
+	*scratch = buf
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return WireFrame{}, 0, err
+	}
+	body := binary.LittleEndian.Uint32(buf)
+	if body < wireHeaderLen || body > wireHeaderLen+MaxFramePayload {
+		return WireFrame{}, 4, fmt.Errorf("transport: frame body length %d out of range", body)
+	}
+	need := 4 + int(body)
+	if cap(buf) < need {
+		grown := make([]byte, need)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:need]
+	}
+	*scratch = buf
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return WireFrame{}, 4, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	f := WireFrame{
+		Kind: buf[4],
+		Src:  int32(binary.LittleEndian.Uint32(buf[5:])),
+		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
+		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	if f.Kind > KindBye {
+		return WireFrame{}, need, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	if int(body) > wireHeaderLen {
+		f.Payload = buf[4+wireHeaderLen:]
+	}
+	return f, need, nil
 }
 
 // EncodeAddrTable serializes the rank-indexed address table exchanged
