@@ -49,6 +49,9 @@ type Result struct {
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
+	// Extra holds medians of custom b.ReportMetric columns keyed by unit
+	// (e.g. "wait-ns/op", "comm-ns/op" from the gradient-sync benches).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Run is one labeled invocation of the suite.
@@ -130,14 +133,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchhot: %d benchmarks -> %s (run %q)\n", len(results), *out, *label)
 }
 
-// benchLine matches one `go test -bench` result line, with or without the
-// GOMAXPROCS suffix, MB/s column, and -benchmem columns.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchHead matches a `go test -bench` result line's name and iteration
+// count, with or without the GOMAXPROCS suffix; the value columns that
+// follow (ns/op, optional MB/s, -benchmem columns, and any custom
+// b.ReportMetric units like wait-ns/op) are tokenized by metricPair.
+var benchHead = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// metricPair matches one "<value> <unit>" column of a benchmark line.
+var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?)\s+(\S+)`)
 
 var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
 
 type sampleSet struct {
 	ns, b, allocs []float64
+	extra         map[string][]float64
 }
 
 // parseRaw extracts per-benchmark medians from raw `go test -bench` output.
@@ -150,36 +159,63 @@ func parseRaw(raw string) []Result {
 			cur = m[1]
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
+		m := benchHead.FindStringSubmatch(line)
 		if m == nil {
 			continue
+		}
+		pairs := metricPair.FindAllStringSubmatch(m[3], -1)
+		hasNs := false
+		for _, p := range pairs {
+			if p[2] == "ns/op" {
+				hasNs = true
+			}
+		}
+		if !hasNs {
+			continue // not a result line (e.g. a benchmark log message)
 		}
 		key := [2]string{cur, m[1]}
 		s, ok := samples[key]
 		if !ok {
-			s = &sampleSet{}
+			s = &sampleSet{extra: map[string][]float64{}}
 			samples[key] = s
 			order = append(order, key)
 		}
-		s.ns = append(s.ns, atof(m[3]))
-		if m[4] != "" {
-			s.b = append(s.b, atof(m[4]))
-		}
-		if m[5] != "" {
-			s.allocs = append(s.allocs, atof(m[5]))
+		for _, p := range pairs {
+			v, unit := atof(p[1]), p[2]
+			switch unit {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "B/op":
+				s.b = append(s.b, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			case "MB/s":
+				// throughput of the ns/op column; redundant, skip
+			default:
+				if strings.HasSuffix(unit, "/op") {
+					s.extra[unit] = append(s.extra[unit], v)
+				}
+			}
 		}
 	}
 	out := make([]Result, 0, len(order))
 	for _, key := range order {
 		s := samples[key]
-		out = append(out, Result{
+		r := Result{
 			Pkg:         key[0],
 			Name:        key[1],
 			NsPerOp:     median(s.ns),
 			BytesPerOp:  median(s.b),
 			AllocsPerOp: median(s.allocs),
 			Samples:     len(s.ns),
-		})
+		}
+		if len(s.extra) > 0 {
+			r.Extra = make(map[string]float64, len(s.extra))
+			for unit, vs := range s.extra {
+				r.Extra[unit] = median(vs)
+			}
+		}
+		out = append(out, r)
 	}
 	return out
 }

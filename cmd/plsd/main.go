@@ -35,25 +35,27 @@ func main() {
 	lr := flag.Float64("lr", 0.05, "base learning rate")
 	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
 	lars := flag.Bool("lars", false, "use the LARS optimizer")
+	overlapGrads := flag.Bool("overlap-grads", true, "overlap the bucketed gradient all-reduce with backward (false = serial flat ring, the A/B baseline; weights are bitwise identical either way)")
 	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
 	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
 	flag.Parse()
 
 	err := distrun.Run(distrun.Options{
-		Rank:       *rank,
-		World:      *world,
-		Rendezvous: *rendezvous,
-		Dataset:    *dataset,
-		Model:      *model,
-		Strategy:   *strategy,
-		Q:          *q,
-		Epochs:     *epochs,
-		Batch:      *batch,
-		LR:         *lr,
-		Locality:   *locality,
-		LARS:       *lars,
-		Seed:       *seed,
-		Timeout:    *timeout,
+		Rank:         *rank,
+		World:        *world,
+		Rendezvous:   *rendezvous,
+		Dataset:      *dataset,
+		Model:        *model,
+		Strategy:     *strategy,
+		Q:            *q,
+		Epochs:       *epochs,
+		Batch:        *batch,
+		LR:           *lr,
+		Locality:     *locality,
+		LARS:         *lars,
+		OverlapGrads: *overlapGrads,
+		Seed:         *seed,
+		Timeout:      *timeout,
 	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

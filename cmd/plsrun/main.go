@@ -39,6 +39,7 @@ func main() {
 	lr := flag.Float64("lr", 0.05, "base learning rate")
 	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
 	lars := flag.Bool("lars", false, "use the LARS optimizer")
+	overlapGrads := flag.Bool("overlap-grads", true, "overlap the bucketed gradient all-reduce with backward (false = serial flat ring, the A/B baseline; weights are bitwise identical either way)")
 	seed := flag.Uint64("seed", 42, "run seed")
 	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
 	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
@@ -57,17 +58,18 @@ func main() {
 	}
 
 	opts := distrun.Options{
-		Dataset:  *dataset,
-		Model:    *model,
-		Strategy: *strategy,
-		Q:        *q,
-		Epochs:   *epochs,
-		Batch:    *batch,
-		LR:       *lr,
-		Locality: *locality,
-		LARS:     *lars,
-		Seed:     *seed,
-		Timeout:  *timeout,
+		Dataset:      *dataset,
+		Model:        *model,
+		Strategy:     *strategy,
+		Q:            *q,
+		Epochs:       *epochs,
+		Batch:        *batch,
+		LR:           *lr,
+		Locality:     *locality,
+		LARS:         *lars,
+		OverlapGrads: *overlapGrads,
+		Seed:         *seed,
+		Timeout:      *timeout,
 	}
 
 	if *workerRank >= 0 {
@@ -91,7 +93,7 @@ func main() {
 	}
 
 	runInproc(*workers, *strategy, *q, *dataset, *model, *epochs, *batch, *lr,
-		*locality, *lars, *seed, *timeout, *saveWeights)
+		*locality, *lars, *overlapGrads, *seed, *timeout, *saveWeights)
 }
 
 // runLaunched forks world-1 copies of this binary as worker ranks and plays
@@ -128,6 +130,8 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-locality", fmt.Sprint(opts.Locality),
 		"-seed", strconv.FormatUint(opts.Seed, 10),
 		"-timeout", opts.Timeout.String(),
+		// Explicit because the flag defaults to true: every rank must agree.
+		"-overlap-grads=" + strconv.FormatBool(opts.OverlapGrads),
 	}
 	if opts.LARS {
 		args = append(args, "-lars")
@@ -158,7 +162,7 @@ func runLaunched(world int, opts distrun.Options) error {
 
 // runInproc is the original single-process path (goroutine workers).
 func runInproc(workers int, strategy string, q float64, dataset, model string,
-	epochs, batch int, lr, locality float64, lars bool, seed uint64,
+	epochs, batch int, lr, locality float64, lars, overlapGrads bool, seed uint64,
 	timeout time.Duration, saveWeights string) {
 	var strat plshuffle.Strategy
 	switch strategy {
@@ -203,6 +207,7 @@ func runInproc(workers int, strategy string, q float64, dataset, model string,
 			UseLARS:           lars,
 			Seed:              seed,
 			PartitionLocality: locality,
+			OverlapGrads:      overlapGrads,
 		})
 		done <- trained{res, err}
 	}()

@@ -43,6 +43,11 @@ type Options struct {
 	Locality float64
 	LARS     bool
 	Seed     uint64
+	// OverlapGrads selects the bucketed non-blocking gradient all-reduce
+	// that pipelines with backward (train.Config.OverlapGrads); false runs
+	// the serial flat ring, the A/B baseline. Results are bitwise identical
+	// either way, so the flag is purely a performance choice.
+	OverlapGrads bool
 
 	// Timeout bounds the whole run. When it expires — typically because a
 	// peer died before reaching a collective — the rank unwinds with a clear
@@ -149,6 +154,7 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		UseLARS:           o.LARS,
 		Seed:              o.Seed,
 		PartitionLocality: o.Locality,
+		OverlapGrads:      o.OverlapGrads,
 	})
 	if err != nil {
 		return err

@@ -139,22 +139,74 @@ func Reduce[T Number](c *Comm, buf []T, op Op, root int) {
 // (reduce-scatter followed by allgather). Works for any world size,
 // including sizes that do not divide the buffer length.
 func Allreduce[T Number](c *Comm, buf []T, op Op) {
-	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
+	size := c.Size()
 	if size == 1 {
 		return
 	}
-	n := len(buf)
-	// Partition buf into size contiguous chunks (some possibly empty). The
-	// bounds table is kept on the Comm (single-goroutine by contract) so
-	// repeated Allreduce calls — one per training iteration — reuse it.
+	ringAllreduce(c, buf, op, c.nextSeq(), c.defaultBounds(len(buf)), false)
+}
+
+// AllreduceWire is Allreduce with exact byte accounting: it returns the
+// number of wire bytes this rank sent and received for the reduction
+// (frame headers included, via transport.FrameWireSize). On non-wire
+// backends (inproc) both counts are zero. The trainer's flat gradient-sync
+// path uses it so TCP runs attribute all-reduce traffic in the trace.
+func AllreduceWire[T Number](c *Comm, buf []T, op Op) (sent, recv int64) {
+	size := c.Size()
+	if size == 1 {
+		return 0, 0
+	}
+	wire := c.conn.Stats().Wire
+	return ringAllreduce(c, buf, op, c.nextSeq(), c.defaultBounds(len(buf)), wire)
+}
+
+// defaultBounds fills the Comm's reusable bounds table with the canonical
+// flat partition of an n-element buffer into Size() contiguous chunks
+// (chunk i = [i*n/size, (i+1)*n/size)). The table is kept on the Comm
+// (single-goroutine by contract) so repeated blocking collectives — one
+// per training iteration — reuse it; async collectives must NOT use it
+// (they outlive the call and would race the next one).
+func (c *Comm) defaultBounds(n int) []int {
+	size := c.size
 	if cap(c.boundsScratch) < size+1 {
 		c.boundsScratch = make([]int, size+1)
 	}
 	bounds := c.boundsScratch[:size+1]
+	fillDefaultBounds(bounds, n, size)
+	return bounds
+}
+
+// fillDefaultBounds writes the canonical flat chunk partition into bounds
+// (length size+1): bounds[i] = i*n/size.
+func fillDefaultBounds(bounds []int, n, size int) {
 	for i := 0; i <= size; i++ {
 		bounds[i] = i * n / size
 	}
+}
+
+// ringAllreduce is the shared core of every all-reduce in this package:
+// the bandwidth-optimal ring (reduce-scatter followed by allgather) over
+// the chunk partition described by bounds (length size+1, non-decreasing,
+// bounds[0]=0, bounds[size]=len(buf)). Chunks that are empty under the
+// partition are skipped entirely — bounds are identical on every rank, so
+// the skip is symmetric and no message is orphaned.
+//
+// Determinism contract: for a fixed chunk partition, the element-wise
+// reduction order depends only on the element's chunk index (chunk i is
+// accumulated in ring order starting at rank i, and float addition is
+// commutative), so two invocations whose partitions assign an element the
+// same chunk index produce bitwise-identical results for that element.
+// This is what lets the bucketed non-blocking path (IAllreduceChunks with
+// inherited flat bounds) reproduce the flat path bit for bit.
+//
+// When wire is true, the returned sent/recv totals are the exact frame
+// bytes this rank moved (transport.FrameWireSize per non-empty chunk).
+// The function is safe to run on a non-owner goroutine as long as seq was
+// reserved by the owning goroutine and bounds is not mutated while it
+// runs: the mailbox and both transport backends are concurrency-safe, and
+// internal tags derived from seq never collide with other collectives.
+func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wire bool) (sent, recv int64) {
+	size, rank := c.Size(), c.Rank()
 	chunk := func(i int) []T { i = ((i % size) + size) % size; return buf[bounds[i]:bounds[i+1]] }
 
 	// For slice types the transport defensively clones (inproc) or
@@ -164,6 +216,9 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 	// reference on inproc, so they keep the defensive per-send copy.
 	direct := transport.CloneCovers(any(buf))
 	sendChunk := func(dest, tag int, s []T) {
+		if wire {
+			sent += transport.FrameWireSize(any(s))
+		}
 		if direct {
 			c.isendInternal(dest, tag, s)
 		} else {
@@ -179,20 +234,41 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 	for step := 0; step < size-1; step++ {
 		sendIdx := rank - step
 		recvIdx := rank - step - 1
-		req := c.irecvInternal(left, collTag(seq, step))
-		sendChunk(right, collTag(seq, step), chunk(sendIdx))
-		payload, _ := req.Wait()
-		reduceInto(chunk(recvIdx), payload.([]T), op)
+		var req *Request
+		if len(chunk(recvIdx)) > 0 {
+			req = c.irecvInternal(left, collTag(seq, step))
+		}
+		if len(chunk(sendIdx)) > 0 {
+			sendChunk(right, collTag(seq, step), chunk(sendIdx))
+		}
+		if req != nil {
+			payload, _ := req.Wait()
+			if wire {
+				recv += transport.FrameWireSize(payload)
+			}
+			reduceInto(chunk(recvIdx), payload.([]T), op)
+		}
 	}
 	// Phase 2: allgather of the reduced chunks around the ring.
 	for step := 0; step < size-1; step++ {
 		sendIdx := rank - step + 1
 		recvIdx := rank - step
-		req := c.irecvInternal(left, collTag(seq, size+step))
-		sendChunk(right, collTag(seq, size+step), chunk(sendIdx))
-		payload, _ := req.Wait()
-		copy(chunk(recvIdx), payload.([]T))
+		var req *Request
+		if len(chunk(recvIdx)) > 0 {
+			req = c.irecvInternal(left, collTag(seq, size+step))
+		}
+		if len(chunk(sendIdx)) > 0 {
+			sendChunk(right, collTag(seq, size+step), chunk(sendIdx))
+		}
+		if req != nil {
+			payload, _ := req.Wait()
+			if wire {
+				recv += transport.FrameWireSize(payload)
+			}
+			copy(chunk(recvIdx), payload.([]T))
+		}
 	}
+	return sent, recv
 }
 
 // AllreduceNaive gathers every buffer to rank 0, reduces there, and

@@ -1,0 +1,148 @@
+// External test package: it drives the async collectives through the
+// transporttest harness (which itself imports mpi), covering the real TCP
+// wire path that the internal tests cannot reach without an import cycle.
+package mpi_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/transporttest"
+)
+
+// TestIAllreduceWireBytesExact checks the request's per-operation wire
+// accounting against the transport's own byte counters: with no other
+// traffic in flight, the deltas must match exactly on TCP and be zero on
+// inproc.
+func TestIAllreduceWireBytesExact(t *testing.T) {
+	for _, backend := range []transporttest.Backend{transporttest.Inproc(), transporttest.TCP()} {
+		t.Run(backend.Name(), func(t *testing.T) {
+			err := backend.Run(4, func(c *mpi.Comm) error {
+				// Quiesce before returning even on failure: a rank that bails
+				// out early would otherwise strand its peers in the harness
+				// barrier and mask the real error with a timeout.
+				err := checkWireBytes(c)
+				c.Barrier()
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func checkWireBytes(c *mpi.Comm) error {
+	buf := make([]float32, 1000)
+	for i := range buf {
+		buf[i] = float32(c.Rank())
+	}
+	wire := c.Transport().Stats().Wire
+	// Entry sync. A rank exits Barrier only after receiving every frame the
+	// barrier owes it (and the reader goroutine counts bytes before
+	// delivery), so the receive counter read right after exit cleanly
+	// excludes all barrier traffic.
+	c.Barrier()
+	recv0 := c.Transport().Stats().BytesRecv
+	// The send counter, by contrast, advances when the writer goroutine
+	// drains its queue — which can trail the Barrier — so wait for it to
+	// stabilize before taking the send baseline. After this point this rank
+	// sends nothing but the ring, making the send-side delta exact.
+	sent0 := stableSent(c)
+
+	req := mpi.IAllreduce(c, buf, mpi.OpSum)
+	req.Wait()
+	sent, recv := req.WireBytes()
+	if wire {
+		// Analytic expectation: 2*(size-1) ring steps, each moving one
+		// 250-element chunk in and one out of this rank.
+		want := int64(2*(4-1)) * transport.FrameWireSize(make([]float32, 250))
+		if sent != want || recv != want {
+			return fmt.Errorf("rank %d: request claims sent=%d recv=%d, want %d each", c.Rank(), sent, recv, want)
+		}
+		// Poll both counters up to their targets (the writer drain and a
+		// peer's last frame can trail Wait). The send delta must land
+		// exactly. The receive delta may legitimately overshoot by whole
+		// barrier frames: a faster peer that has finished measuring enters
+		// the exit barrier below and its first rounds reach us early —
+		// dissemination admits at most two inbound nil frames before we
+		// join. Anything else is an accounting bug.
+		nilB := transport.FrameWireSize(nil)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ds := c.Transport().Stats().BytesSent - sent0
+			dr := c.Transport().Stats().BytesRecv - recv0
+			if ds == sent && dr >= recv {
+				if extra := dr - recv; extra%nilB != 0 || extra > 2*nilB {
+					return fmt.Errorf("rank %d: transport recv %d bytes, request claims %d (extra %d is not 0..2 barrier frames)",
+						c.Rank(), dr, recv, extra)
+				}
+				break
+			}
+			if ds > sent {
+				return fmt.Errorf("rank %d: transport sent %d bytes, request claims %d", c.Rank(), ds, sent)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("rank %d: counters stuck at sent=%d/%d recv=%d/%d", c.Rank(), ds, sent, dr, recv)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	} else if sent != 0 || recv != 0 {
+		return fmt.Errorf("rank %d: inproc request claims %d/%d wire bytes, want 0/0", c.Rank(), sent, recv)
+	}
+	// The reduction itself must still be right.
+	for i, v := range buf {
+		if v != 6 { // 0+1+2+3
+			return fmt.Errorf("rank %d: buf[%d] = %v, want 6", c.Rank(), i, v)
+		}
+	}
+	return nil
+}
+
+// stableSent waits for the transport's send counter to go quiet (the writer
+// goroutine drains asynchronously) and returns its settled value.
+func stableSent(c *mpi.Comm) int64 {
+	prev := c.Transport().Stats().BytesSent
+	for settled := 0; settled < 5; {
+		time.Sleep(10 * time.Millisecond)
+		if cur := c.Transport().Stats().BytesSent; cur == prev {
+			settled++
+		} else {
+			prev, settled = cur, 0
+		}
+	}
+	return prev
+}
+
+// TestIAllreduceBitwiseOverTCP re-pins the determinism contract across the
+// real codec/framing path: float32 payloads must round-trip bit-exactly,
+// so async-vs-blocking equality holds over sockets too.
+func TestIAllreduceBitwiseOverTCP(t *testing.T) {
+	err := transporttest.TCP().Run(3, func(c *mpi.Comm) error {
+		const elems = 257
+		flat := make([]float32, elems)
+		async := make([]float32, elems)
+		state := uint64(c.Rank())*2654435761 + 99
+		for i := range flat {
+			state = state*6364136223846793005 + 1442695040888963407
+			flat[i] = float32(int32(state>>33)) / float32(1<<12)
+		}
+		copy(async, flat)
+		mpi.Allreduce(c, flat, mpi.OpSum)
+		mpi.IAllreduce(c, async, mpi.OpSum).Wait()
+		for i := range flat {
+			if math.Float32bits(flat[i]) != math.Float32bits(async[i]) {
+				return fmt.Errorf("rank %d: element %d differs over tcp: %x vs %x",
+					c.Rank(), i, math.Float32bits(flat[i]), math.Float32bits(async[i]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

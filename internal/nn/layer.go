@@ -415,8 +415,24 @@ func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // Backward runs the layers in reverse order.
 func (s *Sequential) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	return s.BackwardWithHook(dout, nil)
+}
+
+// BackwardWithHook runs the layers in reverse order, invoking hook(i)
+// immediately after Layers[i].Backward returns — the moment every gradient
+// of layers i..len(Layers)-1 has been written and will not change again
+// this pass. The overlapped gradient sync uses it to launch a bucket's
+// all-reduce while the earlier layers are still computing backward
+// (DDP-style communication/computation pipelining). The hook runs on the
+// caller's goroutine; time it spends is on the backward critical path, so
+// it should only copy-and-launch. A nil hook makes this identical to
+// Backward.
+func (s *Sequential) BackwardWithHook(dout *tensor.Matrix, hook func(layer int)) *tensor.Matrix {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		dout = s.Layers[i].Backward(dout)
+		if hook != nil {
+			hook(i)
+		}
 	}
 	return dout
 }
@@ -455,6 +471,28 @@ func FlattenGrads(params []Param, dst []float32) []float32 {
 		off += len(p.G)
 	}
 	return dst
+}
+
+// FlattenGradsRange copies the gradients of params[first:last] into
+// dst[lo:], where lo is the flat offset of params[first] in the
+// FlattenGrads layout — the per-bucket flatten of the overlapped gradient
+// sync. dst must already be sized for the full parameter set.
+func FlattenGradsRange(params []Param, dst []float32, first, last, lo int) {
+	off := lo
+	for i := first; i < last; i++ {
+		copy(dst[off:], params[i].G)
+		off += len(params[i].G)
+	}
+}
+
+// UnflattenGradsRange scatters dst[lo:] (a bucket's reduced gradients)
+// back into params[first:last] — the inverse of FlattenGradsRange.
+func UnflattenGradsRange(params []Param, src []float32, first, last, lo int) {
+	off := lo
+	for i := first; i < last; i++ {
+		copy(params[i].G, src[off:off+len(params[i].G)])
+		off += len(params[i].G)
+	}
 }
 
 // UnflattenGrads scatters src (produced by FlattenGrads, possibly after an

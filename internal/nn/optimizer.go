@@ -11,6 +11,14 @@ import (
 // learning rate.
 type Optimizer interface {
 	Step(params []Param, lr float32)
+	// StepPartial applies the update to params[lo:hi] only, using the same
+	// per-parameter state Step would. params must always be the FULL
+	// parameter set (state is indexed by position); within one logical
+	// iteration the [lo,hi) ranges must tile [0,len(params)) exactly once,
+	// in any order. The bucketed gradient sync uses it to step each bucket
+	// the moment its all-reduce lands; any exact tiling produces weights
+	// bitwise identical to a single full Step.
+	StepPartial(params []Param, lo, hi int, lr float32)
 }
 
 // SGD is stochastic gradient descent with momentum and (decoupled-from-
@@ -29,7 +37,10 @@ func NewSGD(momentum, weightDecay float32) *SGD {
 }
 
 // Step applies w -= lr * (momentum-filtered gradient + wd*w).
-func (o *SGD) Step(params []Param, lr float32) {
+func (o *SGD) Step(params []Param, lr float32) { o.StepPartial(params, 0, len(params), lr) }
+
+// StepPartial applies the SGD update to params[lo:hi]; see Optimizer.
+func (o *SGD) StepPartial(params []Param, lo, hi int, lr float32) {
 	if o.velocity == nil {
 		o.velocity = make([][]float32, len(params))
 		for i, p := range params {
@@ -39,7 +50,8 @@ func (o *SGD) Step(params []Param, lr float32) {
 	if len(o.velocity) != len(params) {
 		panic(fmt.Sprintf("nn: SGD.Step: parameter count changed from %d to %d", len(o.velocity), len(params)))
 	}
-	for i, p := range params {
+	for i := lo; i < hi; i++ {
+		p := params[i]
 		v := o.velocity[i]
 		for j := range p.W {
 			g := p.G[j] + o.WeightDecay*p.W[j]
@@ -65,6 +77,11 @@ type LAMB struct {
 	m, v         [][]float32
 	update       []float32 // per-step workspace, reused across tensors
 	step         int
+	// covered counts parameters stepped in the current logical iteration;
+	// the step counter (bias correction) advances exactly once per full
+	// tiling, so partial (per-bucket) stepping matches a single full Step
+	// bit for bit.
+	covered int
 }
 
 // NewLAMB creates a LAMB optimizer with the standard moment coefficients.
@@ -73,7 +90,13 @@ func NewLAMB(weightDecay float32) *LAMB {
 }
 
 // Step applies one LAMB update.
-func (o *LAMB) Step(params []Param, lr float32) {
+func (o *LAMB) Step(params []Param, lr float32) { o.StepPartial(params, 0, len(params), lr) }
+
+// StepPartial applies the LAMB update to params[lo:hi]; see Optimizer. The
+// bias-correction step counter advances on the first partial call of each
+// iteration and the tiling is tracked by parameter count, so every bucket
+// of one iteration shares the same correction factors.
+func (o *LAMB) StepPartial(params []Param, lo, hi int, lr float32) {
 	if o.m == nil {
 		o.m = make([][]float32, len(params))
 		o.v = make([][]float32, len(params))
@@ -82,10 +105,17 @@ func (o *LAMB) Step(params []Param, lr float32) {
 			o.v[i] = make([]float32, len(p.W))
 		}
 	}
-	o.step++
+	if o.covered == 0 {
+		o.step++
+	}
+	o.covered += hi - lo
+	if o.covered >= len(params) {
+		o.covered = 0
+	}
 	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.step)))
 	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.step)))
-	for i, p := range params {
+	for i := lo; i < hi; i++ {
+		p := params[i]
 		m, v := o.m[i], o.v[i]
 		o.update = ensureVec(o.update, len(p.W))
 		update := o.update
@@ -129,7 +159,11 @@ func NewLARS(momentum, weightDecay, eta float32) *LARS {
 }
 
 // Step applies the LARS update.
-func (o *LARS) Step(params []Param, lr float32) {
+func (o *LARS) Step(params []Param, lr float32) { o.StepPartial(params, 0, len(params), lr) }
+
+// StepPartial applies the LARS update to params[lo:hi]; see Optimizer. The
+// trust ratio is per-tensor, so any tiling matches a full Step exactly.
+func (o *LARS) StepPartial(params []Param, lo, hi int, lr float32) {
 	if o.velocity == nil {
 		o.velocity = make([][]float32, len(params))
 		o.is1D = make([]bool, len(params))
@@ -139,7 +173,8 @@ func (o *LARS) Step(params []Param, lr float32) {
 			o.is1D[i] = p.Name == "linear.b" || p.Name == "bn.gamma" || p.Name == "bn.beta"
 		}
 	}
-	for i, p := range params {
+	for i := lo; i < hi; i++ {
+		p := params[i]
 		v := o.velocity[i]
 		localLR := lr
 		wd := o.WeightDecay

@@ -1,0 +1,71 @@
+package train
+
+import (
+	"testing"
+	"time"
+
+	"plshuffle/internal/nn"
+	"plshuffle/internal/shuffle"
+)
+
+// benchGradSync measures the gradient-synchronization cost of a 4-rank,
+// one-epoch training on a model large enough for backward compute to be a
+// real overlap window. Besides the standard ns/op it reports:
+//
+//	wait-ns/op — rank 0's EXPOSED gradient-sync time (blocked in the GEWU
+//	             drain) per epoch: the number the overlapped path exists
+//	             to shrink (the ISSUE's ≥30% acceptance metric).
+//	comm-ns/op — rank 0's total in-flight all-reduce wall-clock per epoch,
+//	             for the hidden-fraction 1 − wait/comm.
+func benchGradSync(b *testing.B, overlap bool) {
+	ds := testDataset(b, 512, 4)
+	cfg := baseConfig(b, ds, 4, shuffle.Partial(0.3))
+	cfg.Model = nn.ModelSpec{Name: "bench-sync", Hidden: []int{256, 128}, BatchNorm: true}.
+		WithData(ds.FeatureDim, ds.Classes)
+	cfg.Epochs = 1
+	cfg.BatchSize = 64
+	cfg.OverlapGrads = overlap
+	b.ResetTimer()
+	var wait, comm time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, es := range res.Epochs {
+			wait += es.GEWUWaitTime
+			comm += es.GEWUCommTime
+		}
+	}
+	b.ReportMetric(float64(wait.Nanoseconds())/float64(b.N), "wait-ns/op")
+	b.ReportMetric(float64(comm.Nanoseconds())/float64(b.N), "comm-ns/op")
+}
+
+func BenchmarkGradSyncFlat(b *testing.B)    { benchGradSync(b, false) }
+func BenchmarkGradSyncOverlap(b *testing.B) { benchGradSync(b, true) }
+
+// BenchmarkTrainIterOverlap is the end-to-end A/B partner of
+// BenchmarkTrainEpochPLS: the identical 4-rank PLS epoch with the bucketed
+// overlapped gradient sync enabled. It reports the same wait-ns/op /
+// comm-ns/op metrics as the GradSync pair so the exposed-wait comparison
+// against the GradSyncFlat baseline lives in BENCH_HOTPATH.json.
+func BenchmarkTrainIterOverlap(b *testing.B) {
+	ds := testDataset(b, 512, 4)
+	cfg := baseConfig(b, ds, 4, shuffle.Partial(0.3))
+	cfg.Epochs = 1
+	cfg.OverlapGrads = true
+	b.ResetTimer()
+	var wait, comm time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, es := range res.Epochs {
+			wait += es.GEWUWaitTime
+			comm += es.GEWUCommTime
+		}
+	}
+	b.ReportMetric(float64(wait.Nanoseconds())/float64(b.N), "wait-ns/op")
+	b.ReportMetric(float64(comm.Nanoseconds())/float64(b.N), "comm-ns/op")
+}

@@ -18,6 +18,7 @@ package train
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"plshuffle/internal/data"
@@ -79,6 +80,18 @@ type Config struct {
 	// local shuffling's accuracy loss. It costs two extra allreduces per
 	// BatchNorm layer per iteration.
 	FullSyncBatchNorm bool
+	// OverlapGrads enables the bucketed, non-blocking gradient all-reduce
+	// that pipelines with the backward pass (DESIGN.md §9): parameters are
+	// partitioned into size-capped buckets in reverse-layer order, and each
+	// bucket's ring all-reduce launches the moment its last layer's
+	// gradients are written — while earlier layers are still computing
+	// backward. The resulting weights are bitwise identical to the serial
+	// flat path (false), which is kept as the A/B baseline
+	// (-overlap-grads=false on the CLIs).
+	OverlapGrads bool
+	// GradBucketBytes caps each gradient bucket's size in bytes
+	// (0 = nn.DefaultGradBucketBytes). Only meaningful with OverlapGrads.
+	GradBucketBytes int
 	// ImportanceSampling enables the Section IV-B extension: per-sample
 	// losses weight both the local iteration order (hard samples first)
 	// and the selection of samples pushed into the global exchange (hard
@@ -118,6 +131,9 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("train: unknown optimizer %q (want sgd, lars, or lamb)", c.Optimizer)
 	}
+	if c.GradBucketBytes < 0 {
+		return fmt.Errorf("train: GradBucketBytes must be non-negative, got %d", c.GradBucketBytes)
+	}
 	return c.Model.Validate()
 }
 
@@ -136,10 +152,26 @@ type EpochStats struct {
 	// zero on the inproc backend, whose Stats report Wire=false; over TCP it
 	// is what the trace's PhaseExchange events carry.
 	ExchangeWireBytes int64
+	// GradWireBytes is the real number of bytes the gradient all-reduce
+	// moved over the network this epoch (sent + received, exact frame sizes
+	// per bucket — or per flat ring segment on the serial path — mirroring
+	// ExchangeWireBytes). Zero on the inproc backend. Raw transport counter
+	// deltas cannot attribute this traffic once the bucket rings overlap
+	// with backward compute; the collective engine accounts it at the frame
+	// level instead.
+	GradWireBytes int64
 
 	// Wall-clock phase times on this process (for the testing.B benches;
 	// the paper-scale times come from internal/perfmodel).
 	IOTime, ExchangeTime, FWBWTime, GEWUTime time.Duration
+	// GEWUWaitTime is the EXPOSED portion of the gradient exchange: time
+	// the rank's main goroutine spent blocked waiting for all-reduce
+	// results (the whole ring on the flat path; only the drain waits on the
+	// overlapped path). GEWUCommTime is the TOTAL wall-clock the gradient
+	// all-reduce spent in flight (sum over buckets of launch→completion).
+	// 1 − GEWUWaitTime/GEWUCommTime is the fraction of gradient
+	// communication hidden behind backward compute.
+	GEWUWaitTime, GEWUCommTime time.Duration
 }
 
 // Result aggregates a run.
@@ -286,6 +318,20 @@ type worker struct {
 	xBuf    *tensor.Matrix
 	yBuf    []int
 
+	// Overlapped gradient sync state (cfg.OverlapGrads; DESIGN.md §9).
+	// plan partitions the parameters into reverse-layer buckets;
+	// bucketBounds[i] is bucket i's ring-chunk partition — the global flat
+	// partition clamped to the bucket's range, precomputed once so the
+	// steady state allocates nothing and every element keeps the flat
+	// path's reduction order (bitwise-identical results). bucketReqs holds
+	// the in-flight requests, indexed by bucket (== launch order);
+	// bucketHook is the per-layer Backward completion hook, bound once so
+	// the steady state does not re-create the method value.
+	plan         *nn.BucketPlan
+	bucketBounds [][]int
+	bucketReqs   []*mpi.CollRequest
+	bucketHook   func(layer int)
+
 	// lossByID holds the latest per-sample loss, the importance weight of
 	// the ImportanceSampling extension.
 	lossByID map[int]float64
@@ -320,6 +366,9 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 				}
 			}
 		}
+	}
+	if cfg.OverlapGrads {
+		w.setupOverlap()
 	}
 	switch {
 	case cfg.Optimizer == "lamb":
@@ -357,6 +406,91 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		}
 	}
 	return w, nil
+}
+
+// setupOverlap builds the bucketed gradient-sync state: the reverse-layer
+// bucket plan, the full flat gradient buffer, and each bucket's ring-chunk
+// bounds. Bucket i's bounds are the GLOBAL flat partition (chunk r =
+// [r·n/M, (r+1)·n/M) over all n parameters) clamped to the bucket's
+// [Lo, Hi) range and re-based — so every element keeps the chunk index it
+// has under the flat single-Allreduce path, and with it the exact
+// reduction order (see mpi.IAllreduceChunks). Chunks outside the bucket
+// clamp to empty and the ring skips them symmetrically.
+func (w *worker) setupOverlap() {
+	w.plan = nn.NewBucketPlan(w.model, w.cfg.GradBucketBytes)
+	w.gradBuf = make([]float32, w.plan.NumEl)
+	w.bucketReqs = make([]*mpi.CollRequest, len(w.plan.Buckets))
+	size := w.comm.Size()
+	global := make([]int, size+1)
+	for i := 0; i <= size; i++ {
+		global[i] = i * w.plan.NumEl / size
+	}
+	w.bucketBounds = make([][]int, len(w.plan.Buckets))
+	for bi, b := range w.plan.Buckets {
+		bounds := make([]int, size+1)
+		for i := 0; i <= size; i++ {
+			g := global[i]
+			if g < b.Lo {
+				g = b.Lo
+			}
+			if g > b.Hi {
+				g = b.Hi
+			}
+			bounds[i] = g - b.Lo
+		}
+		w.bucketBounds[bi] = bounds
+	}
+	w.bucketHook = w.launchReadyBuckets
+}
+
+// launchReadyBuckets is the Sequential.BackwardWithHook callback: when
+// backward completes a layer that closes one or more buckets, it flattens
+// just those buckets' gradients and launches their non-blocking
+// all-reduces. It runs on the backward critical path, so it only copies
+// and launches; the rings progress on their own goroutines while earlier
+// layers keep computing.
+func (w *worker) launchReadyBuckets(layer int) {
+	launched := false
+	for _, bi := range w.plan.ReadyAt(layer) {
+		b := w.plan.Buckets[bi]
+		nn.FlattenGradsRange(w.params, w.gradBuf, b.FirstParam, b.LastParam, b.Lo)
+		w.bucketReqs[bi] = mpi.IAllreduceChunks(w.comm, w.gradBuf[b.Lo:b.Hi], mpi.OpSum, w.bucketBounds[bi])
+		launched = true
+	}
+	if launched {
+		// Give in-flight rings a scheduling slot at each bucket boundary.
+		// Backward's layer kernels have no yield points, so on oversubscribed
+		// or single-P runtimes a launched ring could otherwise starve until
+		// the drain — exactly the exposure this path exists to remove. The
+		// yield is nanoseconds when there is nothing runnable.
+		runtime.Gosched()
+	}
+}
+
+// drainBuckets completes the overlapped GEWU phase: wait for each bucket's
+// all-reduce in launch order, average, scatter the reduced gradients back,
+// and step just that bucket's parameters (Optimizer.StepPartial), so the
+// weight update of early buckets overlaps the still-in-flight later ones.
+// Exposed wait, total in-flight time, and exact wire bytes are accounted
+// per bucket.
+func (w *worker) drainBuckets(es *EpochStats, lr float32) {
+	inv := 1 / float32(w.comm.Size())
+	for bi, req := range w.bucketReqs {
+		b := w.plan.Buckets[bi]
+		tw := time.Now()
+		req.Wait()
+		es.GEWUWaitTime += time.Since(tw)
+		es.GEWUCommTime += req.Elapsed()
+		sent, recv := req.WireBytes()
+		es.GradWireBytes += sent + recv
+		seg := w.gradBuf[b.Lo:b.Hi]
+		for i := range seg {
+			seg[i] *= inv
+		}
+		nn.UnflattenGradsRange(w.params, w.gradBuf, b.FirstParam, b.LastParam, b.Lo)
+		w.opt.StepPartial(w.params, b.FirstParam, b.LastParam, lr)
+		w.bucketReqs[bi] = nil
+	}
 }
 
 func (w *worker) train() ([]EpochStats, error) {
@@ -397,8 +531,12 @@ func (w *worker) emitTrace(epoch int, es EpochStats, valTime time.Duration) {
 		Duration: es.ExchangeTime, Bytes: exchangeBytes})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseFWBW,
 		Duration: es.FWBWTime})
+	// The GEWU event carries the gradient all-reduce's exact wire volume
+	// (zero on inproc): bucket rings overlap with backward compute, so only
+	// frame-level accounting (mpi.CollRequest.WireBytes / AllreduceWire)
+	// can attribute the traffic to this phase.
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseGEWU,
-		Duration: es.GEWUTime})
+		Duration: es.GEWUTime, Bytes: es.GradWireBytes})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseValidate,
 		Duration: valTime})
 }
@@ -518,7 +656,11 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 			es.ExchangeTime += time.Since(t0)
 		}
 
-		// Phase: forward + backward.
+		// Phase: forward + backward. With OverlapGrads the backward pass
+		// launches each gradient bucket's non-blocking all-reduce as soon as
+		// its last layer's gradients land (Figure 4's overlap discipline,
+		// applied to the gradient exchange): the bucket rings progress on
+		// background goroutines while the earlier layers keep computing.
 		t0 = time.Now()
 		logits := w.model.Forward(w.xBuf, true)
 		lossSum += w.loss.Forward(logits, w.yBuf)
@@ -527,20 +669,32 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 				w.lossByID[batch[bi]] = l
 			}
 		}
-		w.model.Backward(w.loss.Backward())
+		w.model.BackwardWithHook(w.loss.Backward(), w.bucketHook)
 		es.FWBWTime += time.Since(t0)
 
 		// Phase: gradient exchange + weight update (Equation 1: average
-		// the per-worker gradients, then step).
+		// the per-worker gradients, then step). Overlapped: drain the
+		// bucket requests in launch order, averaging and stepping
+		// per-bucket. Flat fallback: one blocking ring over the whole
+		// buffer (exposed wait == total comm, the A/B baseline).
 		t0 = time.Now()
-		w.gradBuf = nn.FlattenGrads(w.params, w.gradBuf)
-		mpi.Allreduce(w.comm, w.gradBuf, mpi.OpSum)
-		inv := 1 / float32(w.comm.Size())
-		for i := range w.gradBuf {
-			w.gradBuf[i] *= inv
+		if w.plan != nil {
+			w.drainBuckets(&es, lr)
+		} else {
+			w.gradBuf = nn.FlattenGrads(w.params, w.gradBuf)
+			tw := time.Now()
+			sent, recv := mpi.AllreduceWire(w.comm, w.gradBuf, mpi.OpSum)
+			d := time.Since(tw)
+			es.GEWUWaitTime += d
+			es.GEWUCommTime += d
+			es.GradWireBytes += sent + recv
+			inv := 1 / float32(w.comm.Size())
+			for i := range w.gradBuf {
+				w.gradBuf[i] *= inv
+			}
+			nn.UnflattenGrads(w.params, w.gradBuf)
+			w.opt.Step(w.params, lr)
 		}
-		nn.UnflattenGrads(w.params, w.gradBuf)
-		w.opt.Step(w.params, lr)
 		es.GEWUTime += time.Since(t0)
 	}
 
