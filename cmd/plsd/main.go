@@ -38,6 +38,7 @@ func main() {
 	overlapGrads := flag.Bool("overlap-grads", true, "overlap the bucketed gradient all-reduce with backward (false = serial flat ring, the A/B baseline; weights are bitwise identical either way)")
 	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
 	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
+	onPeerFail := flag.String("on-peer-fail", "abort", "policy when a peer rank dies mid-run: abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q); must match on every rank")
 	flag.Parse()
 
 	err := distrun.Run(distrun.Options{
@@ -56,6 +57,7 @@ func main() {
 		OverlapGrads: *overlapGrads,
 		Seed:         *seed,
 		Timeout:      *timeout,
+		OnPeerFail:   *onPeerFail,
 	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

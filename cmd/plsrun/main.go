@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "run seed")
 	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
 	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
+	onPeerFail := flag.String("on-peer-fail", "abort", "with -launch: policy when a peer rank dies mid-run — abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q)")
 	saveWeights := flag.String("save-weights", "", "write the trained model checkpoint to this file")
 	listDatasets := flag.Bool("list-datasets", false, "list dataset keys and exit")
 	workerRank := flag.Int("worker-rank", -1, "internal: play one rank of a -launch world")
@@ -70,6 +71,7 @@ func main() {
 		OverlapGrads: *overlapGrads,
 		Seed:         *seed,
 		Timeout:      *timeout,
+		OnPeerFail:   *onPeerFail,
 	}
 
 	if *workerRank >= 0 {
@@ -130,6 +132,7 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-locality", fmt.Sprint(opts.Locality),
 		"-seed", strconv.FormatUint(opts.Seed, 10),
 		"-timeout", opts.Timeout.String(),
+		"-on-peer-fail", opts.OnPeerFail,
 		// Explicit because the flag defaults to true: every rank must agree.
 		"-overlap-grads=" + strconv.FormatBool(opts.OverlapGrads),
 	}
@@ -151,13 +154,54 @@ func runLaunched(world int, opts distrun.Options) error {
 		cmds = append(cmds, cmd)
 	}
 
-	errs := []error{distrun.Run(opts, os.Stdout)}
+	// Collect every rank's outcome before deciding: a failure report that
+	// names each rank's exit code (each rank's stderr line already carries
+	// its last completed trace phase) beats a bare first error.
+	rank0Err := distrun.Run(opts, os.Stdout)
+	status := make([]string, world)
+	status[0] = "ok"
+	if rank0Err != nil {
+		status[0] = "failed: " + rank0Err.Error()
+	}
+	// Under -on-peer-fail=degrade a dead worker is tolerated by design: if
+	// rank 0 completed, the survivors finished the run with a reduced
+	// effective Q, and the launcher reports the death without failing.
+	tolerateDeaths := opts.OnPeerFail == "degrade" && rank0Err == nil
+	failed := rank0Err != nil
+	deaths := false
 	for i, cmd := range cmds {
-		if werr := cmd.Wait(); werr != nil {
-			errs = append(errs, fmt.Errorf("worker rank %d: %w", i+1, werr))
+		werr := cmd.Wait()
+		switch {
+		case werr == nil:
+			status[i+1] = "ok (exit 0)"
+		case tolerateDeaths:
+			deaths = true
+			status[i+1] = fmt.Sprintf("died (%v) — tolerated, world degraded", werr)
+		default:
+			failed = true
+			var ee *exec.ExitError
+			if errors.As(werr, &ee) {
+				status[i+1] = fmt.Sprintf("exit %d (reason on its stderr line above)", ee.ExitCode())
+			} else {
+				status[i+1] = werr.Error()
+			}
 		}
 	}
-	return errors.Join(errs...)
+	if !failed && !deaths {
+		return nil
+	}
+	verdict := "failed"
+	if !failed {
+		verdict = "completed degraded"
+	}
+	fmt.Fprintf(os.Stderr, "plsrun: launched world %s; per-rank report:\n", verdict)
+	for r, s := range status {
+		fmt.Fprintf(os.Stderr, "  rank %d: %s\n", r, s)
+	}
+	if !failed {
+		return nil
+	}
+	return fmt.Errorf("plsrun: %d-rank launched world failed (per-rank report above)", world)
 }
 
 // runInproc is the original single-process path (goroutine workers).

@@ -18,6 +18,7 @@ import (
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
+	"plshuffle/internal/trace"
 	"plshuffle/internal/train"
 	"plshuffle/internal/transport"
 	"plshuffle/internal/transport/tcp"
@@ -53,6 +54,13 @@ type Options struct {
 	// peer died before reaching a collective — the rank unwinds with a clear
 	// error instead of blocking forever. Zero means no watchdog.
 	Timeout time.Duration
+
+	// OnPeerFail selects what a rank does when the transport declares a
+	// peer dead mid-run (train.Config.OnPeerFail; DESIGN.md §10):
+	// "abort" (default) fails fast with a typed error naming the dead
+	// rank, "degrade" completes the run among the survivors with a
+	// reduced effective Q. Every rank must agree.
+	OnPeerFail string
 }
 
 func (o Options) strategy() (shuffle.Strategy, error) {
@@ -96,16 +104,31 @@ func Run(o Options, out io.Writer) error {
 			Rendezvous:         o.Rendezvous,
 			RendezvousListener: o.RendezvousListener,
 			BootstrapTimeout:   bootstrap,
+			// Liveness detection is always on for real multi-process runs: a
+			// killed rank must surface as a typed PeerError within a few
+			// seconds — feeding abort's fail-fast report or degrade's shrink —
+			// never as an eternal block that only the watchdog breaks.
+			HeartbeatInterval: 500 * time.Millisecond,
+			PeerTimeout:       2 * time.Second,
+			RetryTimeout:      10 * time.Second,
+			DrainTimeout:      5 * time.Second,
 		}, h)
 	})
 	if err != nil {
-		return fmt.Errorf("distrun: rank %d: %w", o.Rank, err)
+		// One clear line, not a raw panic or a hang: the most common cause is
+		// a rendezvous that never formed (rank 0 absent, wrong address, or a
+		// rank missing from the world).
+		return fmt.Errorf("distrun: rank %d/%d: bootstrap failed (rendezvous %s): %w", o.Rank, o.World, o.Rendezvous, err)
 	}
+
+	// Every rank records phase trace events so a watchdog report can name
+	// where each rank last made progress, not just that it stopped.
+	rec := trace.NewRecorder()
 
 	done := make(chan error, 1)
 	go func() {
 		done <- mpi.Execute(comm, func(c *mpi.Comm) error {
-			if err := trainRank(c, o, strat, ds, spec, out); err != nil {
+			if err := trainRank(c, o, strat, ds, spec, rec, out); err != nil {
 				return err
 			}
 			// Quiesce before teardown: no rank may close its transport while
@@ -127,20 +150,47 @@ func Run(o Options, out io.Writer) error {
 			case <-time.After(5 * time.Second):
 			}
 			comm.Close()
-			return fmt.Errorf("distrun: rank %d: no progress within %v — a peer likely exited before reaching a collective; aborting instead of hanging", o.Rank, o.Timeout)
+			return fmt.Errorf("distrun: rank %d: no progress within %v (last completed phase: %s) — a peer likely exited before reaching a collective; aborting instead of hanging",
+				o.Rank, o.Timeout, lastPhase(rec))
 		}
 	} else {
 		err = <-done
 	}
+	if pe, ok := mpi.PeerErrorFrom(err); ok {
+		// Name the culprit in one line so a multi-process failure report
+		// reads as a story, not a stack of timeouts.
+		err = fmt.Errorf("distrun: rank %d: peer rank %d died during %s (last completed phase here: %s): %w",
+			o.Rank, pe.Rank, pe.Phase, lastPhase(rec), err)
+	}
 	if cerr := comm.Close(); err == nil && cerr != nil {
+		if _, isPeer := transport.AsPeerError(cerr); isPeer && o.OnPeerFail == "degrade" {
+			// A completed degrade-mode run tolerated this death already: the
+			// transport's sticky record of the shrunk-away peer is history,
+			// not a failure of the surviving rank.
+			return nil
+		}
 		err = fmt.Errorf("distrun: rank %d: close: %w", o.Rank, cerr)
 	}
 	return err
 }
 
+// lastPhase names the most recently recorded trace phase, e.g.
+// "exchange (epoch 2)", or "bootstrap (no phase completed)" for a rank
+// that stalled before finishing its first epoch.
+func lastPhase(rec *trace.Recorder) string {
+	events := rec.Events()
+	if len(events) == 0 {
+		return "bootstrap (no phase completed)"
+	}
+	// Events() sorts by (epoch, rank, phase); the trainer emits whole epochs
+	// at a time, so any event of the last epoch identifies the frontier.
+	last := events[len(events)-1]
+	return fmt.Sprintf("%s (epoch %d)", last.Phase, last.Epoch)
+}
+
 // trainRank is the per-rank program: train, gather balance/peak/byte
-// accounting at rank 0, and print the report there.
-func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, out io.Writer) error {
+// accounting at the lowest surviving rank, and print the report there.
+func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, rec *trace.Recorder, out io.Writer) error {
 	rr, err := train.RunRank(c, train.Config{
 		Workers:           c.Size(),
 		Strategy:          strat,
@@ -155,18 +205,28 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		Seed:              o.Seed,
 		PartitionLocality: o.Locality,
 		OverlapGrads:      o.OverlapGrads,
+		OnPeerFail:        o.OnPeerFail,
+		Trace:             rec,
 	})
 	if err != nil {
 		return err
 	}
+	degraded := 0
+	for _, e := range rr.Epochs {
+		degraded += e.DegradedSlots
+	}
 
 	// Cross-rank accounting: final local sample counts (the balance
-	// invariant), storage peaks, and real wire traffic.
+	// invariant), storage peaks, and real wire traffic. After a degraded
+	// run the collective group is the survivors, so gather at the lowest
+	// surviving rank — rank 0 itself may be the one that died.
+	live := c.GroupRanks()
+	root := live[0]
 	st := c.Transport().Stats()
-	counts := mpi.Gather(c, []int64{int64(rr.FinalLocalSamples)}, 0)
-	peaks := mpi.Gather(c, []int64{rr.PeakStorageBytes}, 0)
-	wire := mpi.Gather(c, []int64{st.BytesSent, st.BytesRecv}, 0)
-	if c.Rank() != 0 {
+	counts := mpi.Gather(c, []int64{int64(rr.FinalLocalSamples)}, root)
+	peaks := mpi.Gather(c, []int64{rr.PeakStorageBytes}, root)
+	wire := mpi.Gather(c, []int64{st.BytesSent, st.BytesRecv}, root)
+	if c.Rank() != root {
 		return nil
 	}
 
@@ -178,16 +238,26 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 	}
 
 	var peak, sent, recv int64
-	for r := 0; r < c.Size(); r++ {
-		if peaks[r] > peak {
-			peak = peaks[r]
+	for g := range live {
+		if peaks[g] > peak {
+			peak = peaks[g]
 		}
-		sent += wire[2*r]
-		recv += wire[2*r+1]
+		sent += wire[2*g]
+		recv += wire[2*g+1]
 	}
 	final := rr.Epochs[len(rr.Epochs)-1]
 	fmt.Fprintf(out, "final=%.4f peak-storage/rank=%d bytes  wire sent=%d recv=%d bytes\n",
 		final.ValAcc, peak, sent, recv)
+
+	if len(live) < c.Size() || degraded > 0 {
+		// The run lost ranks and completed among the survivors: the fair-share
+		// invariant intentionally no longer holds (retained samples stay with
+		// their would-have-been senders), so report the degradation instead.
+		lastQ := final.EffectiveQ
+		fmt.Fprintf(out, "DEGRADED: %d/%d ranks survived, %d exchange slots forfeited, final effective Q=%.3f (configured %.3f)\n",
+			len(live), c.Size(), degraded, lastQ, o.Q)
+		return nil
+	}
 
 	// Balance check: for the local-family strategies every rank must end the
 	// run holding its fair share, N/M rounded either way (Algorithm 1's

@@ -68,23 +68,37 @@ func (c *Comm) nextSeq() int {
 	return s
 }
 
-// Bcast distributes root's buffer to every rank using a binomial tree.
-// Every rank must pass a buffer of identical length; non-root buffers are
-// overwritten.
+// collRoot validates that root (a world rank) is a member of the current
+// collective group and returns its group index. Collectives address roots
+// by world rank so callers never have to translate, but the algorithms run
+// in group coordinates after a Shrink.
+func (c *Comm) collRoot(root int, op string) int {
+	c.checkRank(root, op)
+	gi := c.groupIndex(root)
+	if gi < 0 {
+		panic(fmt.Sprintf("mpi: %s: root %d is not a member of the collective group %v", op, root, c.GroupRanks()))
+	}
+	return gi
+}
+
+// Bcast distributes root's buffer to every group member using a binomial
+// tree. Every participating rank must pass a buffer of identical length;
+// non-root buffers are overwritten. root is a world rank and must belong to
+// the current collective group.
 func Bcast[T any](c *Comm, buf []T, root int) {
-	c.checkRank(root, "Bcast")
+	groot := c.collRoot(root, "Bcast")
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
+	size, rank := c.GroupSize(), c.gidx
 	if size == 1 {
 		return
 	}
-	// Rotate ranks so the tree is rooted at 0.
-	vrank := (rank - root + size) % size
+	// Rotate group indices so the tree is rooted at 0.
+	vrank := (rank - groot + size) % size
 	// Receive from parent (except the root).
 	if vrank != 0 {
 		// Parent is vrank with the lowest set bit cleared.
-		parent := ((vrank & (vrank - 1)) + root) % size
-		payload, _ := c.irecvInternal(parent, collTag(seq, 0)).Wait()
+		parent := c.worldRank(((vrank & (vrank - 1)) + groot) % size)
+		payload, _ := c.collWait(c.irecvInternal(parent, collTag(seq, 0)))
 		copy(buf, payload.([]T))
 	}
 	// Forward to children: vrank | (1<<k) for increasing k above our own
@@ -96,7 +110,7 @@ func Bcast[T any](c *Comm, buf []T, root int) {
 	for bit := 1; bit < lowBit && bit < size; bit <<= 1 {
 		child := vrank | bit
 		if child < size {
-			c.isendInternal((child+root)%size, collTag(seq, 0), append([]T(nil), buf...))
+			c.isendInternal(c.worldRank((child+groot)%size), collTag(seq, 0), append([]T(nil), buf...))
 		}
 	}
 }
@@ -105,31 +119,31 @@ func Bcast[T any](c *Comm, buf []T, root int) {
 // buffer. It gathers up a binomial tree. Non-root buffers are left
 // unchanged (a scratch copy is reduced).
 func Reduce[T Number](c *Comm, buf []T, op Op, root int) {
-	c.checkRank(root, "Reduce")
+	groot := c.collRoot(root, "Reduce")
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
+	size, rank := c.GroupSize(), c.gidx
 	if size == 1 {
 		return
 	}
-	vrank := (rank - root + size) % size
+	vrank := (rank - groot + size) % size
 	acc := append([]T(nil), buf...)
 	// Binomial tree reduction: at round k, vranks with bit k set send to
 	// vrank with that bit cleared, then retire.
 	for bit := 1; bit < size; bit <<= 1 {
 		if vrank&bit != 0 {
 			// Send the partial reduction to the partner and retire.
-			dest := ((vrank &^ bit) + root) % size
+			dest := c.worldRank(((vrank &^ bit) + groot) % size)
 			c.isendInternal(dest, collTag(seq, 0), acc)
 			return
 		}
 		// We are a receiver in this round if our partner exists.
 		partner := vrank | bit
 		if partner < size {
-			payload, _ := c.irecvInternal((partner+root)%size, collTag(seq, 0)).Wait()
+			payload, _ := c.collWait(c.irecvInternal(c.worldRank((partner+groot)%size), collTag(seq, 0)))
 			reduceInto(acc, payload.([]T), op)
 		}
 	}
-	if rank == root {
+	if c.rank == root {
 		copy(buf, acc)
 	}
 }
@@ -139,7 +153,7 @@ func Reduce[T Number](c *Comm, buf []T, op Op, root int) {
 // (reduce-scatter followed by allgather). Works for any world size,
 // including sizes that do not divide the buffer length.
 func Allreduce[T Number](c *Comm, buf []T, op Op) {
-	size := c.Size()
+	size := c.GroupSize()
 	if size == 1 {
 		return
 	}
@@ -152,7 +166,7 @@ func Allreduce[T Number](c *Comm, buf []T, op Op) {
 // backends (inproc) both counts are zero. The trainer's flat gradient-sync
 // path uses it so TCP runs attribute all-reduce traffic in the trace.
 func AllreduceWire[T Number](c *Comm, buf []T, op Op) (sent, recv int64) {
-	size := c.Size()
+	size := c.GroupSize()
 	if size == 1 {
 		return 0, 0
 	}
@@ -161,13 +175,13 @@ func AllreduceWire[T Number](c *Comm, buf []T, op Op) (sent, recv int64) {
 }
 
 // defaultBounds fills the Comm's reusable bounds table with the canonical
-// flat partition of an n-element buffer into Size() contiguous chunks
+// flat partition of an n-element buffer into GroupSize() contiguous chunks
 // (chunk i = [i*n/size, (i+1)*n/size)). The table is kept on the Comm
 // (single-goroutine by contract) so repeated blocking collectives — one
 // per training iteration — reuse it; async collectives must NOT use it
 // (they outlive the call and would race the next one).
 func (c *Comm) defaultBounds(n int) []int {
-	size := c.size
+	size := c.GroupSize()
 	if cap(c.boundsScratch) < size+1 {
 		c.boundsScratch = make([]int, size+1)
 	}
@@ -206,7 +220,7 @@ func fillDefaultBounds(bounds []int, n, size int) {
 // runs: the mailbox and both transport backends are concurrency-safe, and
 // internal tags derived from seq never collide with other collectives.
 func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wire bool) (sent, recv int64) {
-	size, rank := c.Size(), c.Rank()
+	size, rank := c.GroupSize(), c.gidx
 	chunk := func(i int) []T { i = ((i % size) + size) % size; return buf[bounds[i]:bounds[i+1]] }
 
 	// For slice types the transport defensively clones (inproc) or
@@ -226,8 +240,8 @@ func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wir
 		}
 	}
 
-	right := (rank + 1) % size
-	left := (rank - 1 + size) % size
+	right := c.worldRank((rank + 1) % size)
+	left := c.worldRank((rank - 1 + size) % size)
 
 	// Phase 1: reduce-scatter. After size-1 steps, chunk (rank+1) holds the
 	// fully reduced values for that segment.
@@ -242,7 +256,7 @@ func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wir
 			sendChunk(right, collTag(seq, step), chunk(sendIdx))
 		}
 		if req != nil {
-			payload, _ := req.Wait()
+			payload, _ := c.collWait(req)
 			if wire {
 				recv += transport.FrameWireSize(payload)
 			}
@@ -261,7 +275,7 @@ func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wir
 			sendChunk(right, collTag(seq, size+step), chunk(sendIdx))
 		}
 		if req != nil {
-			payload, _ := req.Wait()
+			payload, _ := c.collWait(req)
 			if wire {
 				recv += transport.FrameWireSize(payload)
 			}
@@ -276,122 +290,131 @@ func ringAllreduce[T Number](c *Comm, buf []T, op Op, seq int, bounds []int, wir
 // algorithm (DESIGN.md: BenchmarkAblationAllreduce).
 func AllreduceNaive[T Number](c *Comm, buf []T, op Op) {
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
+	size, rank := c.GroupSize(), c.gidx
 	if size == 1 {
 		return
 	}
 	if rank == 0 {
 		reqs := make([]*Request, size-1)
 		for r := 1; r < size; r++ {
-			reqs[r-1] = c.irecvInternal(r, collTag(seq, 0))
+			reqs[r-1] = c.irecvInternal(c.worldRank(r), collTag(seq, 0))
 		}
 		for _, req := range reqs {
-			payload, _ := req.Wait()
+			payload, _ := c.collWait(req)
 			reduceInto(buf, payload.([]T), op)
 		}
 		for r := 1; r < size; r++ {
-			c.isendInternal(r, collTag(seq, 1), buf)
+			c.isendInternal(c.worldRank(r), collTag(seq, 1), buf)
 		}
 	} else {
-		c.isendInternal(0, collTag(seq, 0), append([]T(nil), buf...))
-		payload, _ := c.irecvInternal(0, collTag(seq, 1)).Wait()
+		c.isendInternal(c.worldRank(0), collTag(seq, 0), append([]T(nil), buf...))
+		payload, _ := c.collWait(c.irecvInternal(c.worldRank(0), collTag(seq, 1)))
 		copy(buf, payload.([]T))
 	}
 }
 
-// Gather collects each rank's send buffer at root. At root the return value
-// has size*len(send) elements ordered by rank; other ranks receive nil.
+// Gather collects each group member's send buffer at root. At root the
+// return value has GroupSize()*len(send) elements ordered by group index
+// (world-rank order over the group members); other ranks receive nil. root
+// is a world rank and must belong to the current collective group.
 func Gather[T any](c *Comm, send []T, root int) []T {
-	c.checkRank(root, "Gather")
+	c.collRoot(root, "Gather")
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
-	if rank != root {
+	size, rank := c.GroupSize(), c.gidx
+	if c.rank != root {
 		c.isendInternal(root, collTag(seq, 0), append([]T(nil), send...))
 		return nil
 	}
 	out := make([]T, size*len(send))
 	copy(out[rank*len(send):], send)
 	reqs := make(map[int]*Request, size-1)
-	for r := 0; r < size; r++ {
-		if r != root {
-			reqs[r] = c.irecvInternal(r, collTag(seq, 0))
+	for g := 0; g < size; g++ {
+		if g != rank {
+			reqs[g] = c.irecvInternal(c.worldRank(g), collTag(seq, 0))
 		}
 	}
-	for r, req := range reqs {
-		payload, _ := req.Wait()
-		copy(out[r*len(send):], payload.([]T))
+	for g, req := range reqs {
+		payload, _ := c.collWait(req)
+		copy(out[g*len(send):], payload.([]T))
 	}
 	return out
 }
 
-// Allgather collects each rank's equal-length send buffer on every rank,
-// ordered by rank, using a ring.
+// Allgather collects each group member's equal-length send buffer on every
+// member, ordered by group index (world-rank order over the members),
+// using a ring.
 func Allgather[T any](c *Comm, send []T) []T {
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
+	size, rank := c.GroupSize(), c.gidx
 	out := make([]T, size*len(send))
 	copy(out[rank*len(send):(rank+1)*len(send)], send)
 	if size == 1 {
 		return out
 	}
-	right := (rank + 1) % size
-	left := (rank - 1 + size) % size
+	right := c.worldRank((rank + 1) % size)
+	left := c.worldRank((rank - 1 + size) % size)
 	k := len(send)
 	for step := 0; step < size-1; step++ {
 		sendIdx := ((rank-step)%size + size) % size
 		recvIdx := ((rank-step-1)%size + size) % size
 		req := c.irecvInternal(left, collTag(seq, step))
 		c.isendInternal(right, collTag(seq, step), append([]T(nil), out[sendIdx*k:(sendIdx+1)*k]...))
-		payload, _ := req.Wait()
+		payload, _ := c.collWait(req)
 		copy(out[recvIdx*k:(recvIdx+1)*k], payload.([]T))
 	}
 	return out
 }
 
-// AllgatherVarLen collects variable-length buffers from every rank on every
-// rank, returned indexed by source rank. It is the building block for
-// metadata exchanges whose sizes differ per rank.
+// AllgatherVarLen collects variable-length buffers from every group member
+// on every member, returned indexed by WORLD source rank (length Size();
+// entries for ranks outside the collective group are nil). It is the
+// building block for metadata exchanges whose sizes differ per rank.
 func AllgatherVarLen[T any](c *Comm, send []T) [][]T {
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
-	out := make([][]T, size)
-	out[rank] = append([]T(nil), send...)
+	size := c.GroupSize()
+	out := make([][]T, c.size)
+	out[c.rank] = append([]T(nil), send...)
 	reqs := make([]*Request, 0, size-1)
-	for r := 0; r < size; r++ {
-		if r == rank {
+	for g := 0; g < size; g++ {
+		r := c.worldRank(g)
+		if r == c.rank {
 			continue
 		}
 		c.isendInternal(r, collTag(seq, 0), append([]T(nil), send...))
 		reqs = append(reqs, c.irecvInternal(r, collTag(seq, 0)))
 	}
 	for _, req := range reqs {
-		payload, st := req.Wait()
+		payload, st := c.collWait(req)
 		out[st.Source] = payload.([]T)
 	}
 	return out
 }
 
-// Alltoall performs a personalized all-to-all exchange: send[i] is
-// delivered to rank i, and the result's element i is what rank i sent to
-// this rank. Slices may have differing lengths (MPI_Alltoallv-style).
+// Alltoall performs a personalized all-to-all exchange over the collective
+// group: send[i] is delivered to world rank i, and the result's element i
+// is what world rank i sent to this rank. send must have length Size()
+// (world-indexed); entries for ranks outside the group are ignored, and the
+// result's entries for non-members are nil. Slices may have differing
+// lengths (MPI_Alltoallv-style).
 func Alltoall[T any](c *Comm, send [][]T) [][]T {
 	seq := c.nextSeq()
-	size, rank := c.Size(), c.Rank()
-	if len(send) != size {
-		panic(fmt.Sprintf("mpi: Alltoall: len(send)=%d, want world size %d", len(send), size))
+	size := c.GroupSize()
+	if len(send) != c.size {
+		panic(fmt.Sprintf("mpi: Alltoall: len(send)=%d, want world size %d", len(send), c.size))
 	}
-	out := make([][]T, size)
-	out[rank] = append([]T(nil), send[rank]...)
+	out := make([][]T, c.size)
+	out[c.rank] = append([]T(nil), send[c.rank]...)
 	reqs := make([]*Request, 0, size-1)
-	for r := 0; r < size; r++ {
-		if r == rank {
+	for g := 0; g < size; g++ {
+		r := c.worldRank(g)
+		if r == c.rank {
 			continue
 		}
 		c.isendInternal(r, collTag(seq, 0), append([]T(nil), send[r]...))
 		reqs = append(reqs, c.irecvInternal(r, collTag(seq, 0)))
 	}
 	for _, req := range reqs {
-		payload, st := req.Wait()
+		payload, st := c.collWait(req)
 		out[st.Source] = payload.([]T)
 	}
 	return out

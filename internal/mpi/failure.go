@@ -1,0 +1,376 @@
+package mpi
+
+// Failure semantics (DESIGN.md §10): the transport's asynchronous peer
+// detectors (heartbeats, connection resets, exhausted redial budgets) feed
+// a per-Comm failure registry; every blocking wait in the runtime watches
+// it, so a dead peer surfaces as a typed error instead of an eternal block:
+//
+//   - Internal collective receives unwind the rank with a transportFailure
+//     carrying the *transport.PeerError (recovered by Run/Execute, or by a
+//     caller-level guard at a transaction boundary).
+//   - User-level peer-aware receives (WaitPeerAware) return the error
+//     without unwinding — the exchange scheduler uses this to degrade its
+//     plan around the dead rank instead of dying.
+//   - Shrink re-forms the communicator's collective group over the
+//     survivors (the spirit of MPI-ULFM's MPI_Comm_shrink): subsequent
+//     collectives ring over the live ranks only, while point-to-point
+//     operations keep addressing world ranks.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"plshuffle/internal/transport"
+)
+
+// ErrCommClosed is the cause carried by the unwind of an operation that was
+// blocked in a Wait when the communicator was closed.
+var ErrCommClosed = errors.New("mpi: communicator closed")
+
+// failureRegistry tracks which peers the transport has reported dead. The
+// replace-channel idiom gives waiters an edge-triggered broadcast: each new
+// failure closes the current channel and installs a fresh one, so a waiter
+// snapshots (version, channel), checks its predicate, and blocks on the
+// channel knowing any later failure will wake it.
+type failureRegistry struct {
+	mu   sync.Mutex
+	dead map[int]*transport.PeerError
+	ver  int
+	ch   chan struct{}
+}
+
+func (fr *failureRegistry) init() {
+	fr.dead = make(map[int]*transport.PeerError)
+	fr.ch = make(chan struct{})
+}
+
+// note records a peer failure (idempotent per rank) and wakes all waiters.
+func (fr *failureRegistry) note(pe transport.PeerError) {
+	fr.mu.Lock()
+	if _, dup := fr.dead[pe.Rank]; dup {
+		fr.mu.Unlock()
+		return
+	}
+	cp := pe
+	fr.dead[pe.Rank] = &cp
+	fr.ver++
+	ch := fr.ch
+	fr.ch = make(chan struct{})
+	fr.mu.Unlock()
+	close(ch)
+}
+
+// snapshot returns the current version and the channel that will be closed
+// by the next new failure. Check predicates AFTER taking the snapshot.
+func (fr *failureRegistry) snapshot() (int, <-chan struct{}) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.ver, fr.ch
+}
+
+func (fr *failureRegistry) get(rank int) *transport.PeerError {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.dead[rank]
+}
+
+func (fr *failureRegistry) ranks() []int {
+	fr.mu.Lock()
+	out := make([]int, 0, len(fr.dead))
+	for r := range fr.dead {
+		out = append(out, r)
+	}
+	fr.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// notePeerFailure is the transport.FailureNotifier callback registered by
+// NewWorld/Connect. It runs on a transport goroutine and must not block.
+func (c *Comm) notePeerFailure(pe transport.PeerError) {
+	c.failures.note(pe)
+}
+
+// NotePeerFailure lets callers above the transport (fault injectors, the
+// launcher's watchdog) feed a failure into the registry by hand, with the
+// same wake-all-waiters semantics as a transport-detected death.
+func (c *Comm) NotePeerFailure(pe transport.PeerError) { c.failures.note(pe) }
+
+// FailedPeers returns the sorted ranks the transport has reported dead.
+func (c *Comm) FailedPeers() []int { return c.failures.ranks() }
+
+// PeerFailure returns the recorded failure for rank, or nil if the rank has
+// not been reported dead.
+func (c *Comm) PeerFailure(rank int) *transport.PeerError { return c.failures.get(rank) }
+
+// firstFailedInGroup returns the failure of the lowest-ranked dead member
+// of the current collective group, or nil when every member is live.
+func (c *Comm) firstFailedInGroup() *transport.PeerError {
+	c.failures.mu.Lock()
+	defer c.failures.mu.Unlock()
+	if len(c.failures.dead) == 0 {
+		return nil
+	}
+	if c.group == nil {
+		best := -1
+		for r := range c.failures.dead {
+			if best < 0 || r < best {
+				best = r
+			}
+		}
+		return c.failures.dead[best]
+	}
+	for _, r := range c.group {
+		if pe, ok := c.failures.dead[r]; ok {
+			return pe
+		}
+	}
+	return nil
+}
+
+// collWait is the wait used by every internal collective receive: it blocks
+// until the request completes, and unwinds the rank (panic transportFailure
+// carrying the *transport.PeerError) if any member of the current
+// collective group is reported dead meanwhile. A collective cannot complete
+// once a participant is gone; unwinding promptly — on EVERY survivor, since
+// detection is all-to-all — is what lets a caller-level guard sacrifice the
+// operation and re-form the group, and what guarantees no goroutine is left
+// blocked forever.
+func (c *Comm) collWait(req *Request) (any, Status) {
+	for {
+		_, ch := c.failures.snapshot()
+		if pe := c.firstFailedInGroup(); pe != nil {
+			// Withdraw the posted receive so it cannot steal a future
+			// message. A failed cancel means a delivery already committed
+			// (done closes imminently — deliver closes it right after
+			// unhooking the receive), so consume the message normally.
+			if c.mbox.cancel(req) {
+				c.abortLocalColl(pe)
+			}
+			<-req.done
+			return req.payload, req.status
+		}
+		select {
+		case <-req.done:
+			return req.payload, req.status
+		case <-c.abortCh:
+			panic(abortSignal{})
+		case <-c.closedCh:
+			if c.mbox.cancel(req) {
+				panic(transportFailure{ErrCommClosed})
+			}
+			<-req.done
+			return req.payload, req.status
+		case <-ch:
+			// New failure recorded; re-check the group predicate.
+		}
+	}
+}
+
+// abortLocalColl unwinds the current collective with the peer failure. The
+// panic is recovered by Run/Execute (into a per-rank error) or by a
+// transaction guard (train's degrade mode).
+func (c *Comm) abortLocalColl(pe *transport.PeerError) {
+	panic(transportFailure{pe})
+}
+
+// WaitPeerAware blocks until req completes and returns its payload/status,
+// or returns a non-nil *transport.PeerError as error when a peer fails that
+// the caller does not already know about (known reports ranks whose death
+// the caller has already accounted for; nil means none). On error the
+// posted receive has been withdrawn (unless it completed concurrently, in
+// which case the completed message wins and no error is returned).
+//
+// This is the NON-unwinding failure path: the exchange scheduler uses it so
+// a dead peer mid-drain surfaces as a value it can degrade around, not a
+// rank unwind.
+func (c *Comm) WaitPeerAware(req *Request, known func(rank int) bool) (any, Status, error) {
+	for {
+		_, ch := c.failures.snapshot()
+		if pe := c.newFailure(known); pe != nil {
+			// A failed cancel means a delivery already committed (done
+			// closes imminently); the completed message wins over the error.
+			if c.mbox.cancel(req) {
+				return nil, Status{}, pe
+			}
+			<-req.done
+			return req.payload, req.status, nil
+		}
+		select {
+		case <-req.done:
+			return req.payload, req.status, nil
+		case <-c.abortCh:
+			panic(abortSignal{})
+		case <-c.closedCh:
+			if c.mbox.cancel(req) {
+				return nil, Status{}, fmt.Errorf("mpi: rank %d: %w", c.rank, ErrCommClosed)
+			}
+			<-req.done
+			return req.payload, req.status, nil
+		case <-ch:
+		}
+	}
+}
+
+// newFailure returns the lowest-ranked recorded failure not covered by
+// known, or nil.
+func (c *Comm) newFailure(known func(rank int) bool) *transport.PeerError {
+	c.failures.mu.Lock()
+	defer c.failures.mu.Unlock()
+	best := -1
+	for r := range c.failures.dead {
+		if known != nil && known(r) {
+			continue
+		}
+		if best < 0 || r < best {
+			best = r
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return c.failures.dead[best]
+}
+
+// CancelRecv withdraws a posted receive (e.g. the exchange scheduler's
+// outstanding ANY_SOURCE receive once a degraded epoch's expectation is
+// met). It returns true if the receive was withdrawn before matching; false
+// means the request completed — the caller should consume it via Wait/Test.
+func (c *Comm) CancelRecv(req *Request) bool { return c.mbox.cancel(req) }
+
+// --- group (shrunken communicator) machinery ---
+
+// GroupSize returns the number of ranks in the communicator's collective
+// group: Size() for a full world, fewer after Shrink.
+func (c *Comm) GroupSize() int {
+	if c.group == nil {
+		return c.size
+	}
+	return len(c.group)
+}
+
+// GroupRanks returns the sorted world ranks of the collective group (a
+// copy). For a full world it is simply 0..Size()-1.
+func (c *Comm) GroupRanks() []int {
+	if c.group == nil {
+		out := make([]int, c.size)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return append([]int(nil), c.group...)
+}
+
+// worldRank maps a group index to its world rank.
+func (c *Comm) worldRank(i int) int {
+	if c.group == nil {
+		return i
+	}
+	return c.group[i]
+}
+
+// groupIndex returns the group index of a world rank, or -1 if the rank is
+// not a member of the current group.
+func (c *Comm) groupIndex(rank int) int {
+	if c.group == nil {
+		if rank < 0 || rank >= c.size {
+			return -1
+		}
+		return rank
+	}
+	i := sort.SearchInts(c.group, rank)
+	if i < len(c.group) && c.group[i] == rank {
+		return i
+	}
+	return -1
+}
+
+// Shrink re-forms the communicator's collective group over live: subsequent
+// collectives (Barrier, Allreduce, Bcast, ... and the async IAllreduce)
+// ring over exactly these world ranks. live must be sorted, free of
+// duplicates, within [0, Size()), and contain this rank. Every surviving
+// rank must call Shrink with the SAME list before the group's next
+// collective, and no collective may be in flight during the call — the
+// usual re-formation contract after a failure (compare MPI-ULFM's
+// MPI_Comm_shrink). Shrinking back to the full world is expressed by
+// passing all ranks.
+func (c *Comm) Shrink(live []int) error {
+	if len(live) == 0 {
+		return fmt.Errorf("mpi: Shrink: empty group")
+	}
+	g := append([]int(nil), live...)
+	for i, r := range g {
+		if r < 0 || r >= c.size {
+			return fmt.Errorf("mpi: Shrink: rank %d out of range [0,%d)", r, c.size)
+		}
+		if i > 0 && g[i-1] >= r {
+			return fmt.Errorf("mpi: Shrink: group not strictly sorted at index %d", i)
+		}
+	}
+	idx := sort.SearchInts(g, c.rank)
+	if idx == len(g) || g[idx] != c.rank {
+		return fmt.Errorf("mpi: Shrink: group does not contain this rank %d", c.rank)
+	}
+	if len(g) == c.size {
+		c.group, c.gidx = nil, c.rank
+		return nil
+	}
+	c.group, c.gidx = g, idx
+	return nil
+}
+
+// GroupRank returns this rank's index within the collective group (Rank()
+// for a full world). Callers that shard work across the group — validation
+// shards, per-group denominators — index by GroupRank over GroupSize so a
+// shrunken world still covers the whole range.
+func (c *Comm) GroupRank() int { return c.gidx }
+
+// Guard runs fn and converts a peer-failure unwind into a returned error
+// WITHOUT aborting the world — the transaction boundary for degrade-mode
+// callers (train's -on-peer-fail=degrade) that intend to Shrink the group
+// and continue. Any other unwind — world abort, closed communicator, a
+// genuine panic — propagates unchanged, because those mean the run is over,
+// not that one peer died.
+func (c *Comm) Guard(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			tf, ok := p.(transportFailure)
+			if !ok {
+				panic(p)
+			}
+			if _, isPeer := transport.AsPeerError(tf.err); !isPeer {
+				panic(p)
+			}
+			err = fmt.Errorf("mpi: rank %d sacrificed a collective: %w", c.rank, tf.err)
+		}
+	}()
+	return fn()
+}
+
+// CollSeq returns the communicator's next collective sequence number. After
+// a recovery, survivors exchange these and realign with SetCollSeq so the
+// derived internal tag spaces stay in lock-step.
+func (c *Comm) CollSeq() int { return c.collSeq }
+
+// SetCollSeq realigns the collective sequence counter. seq must be at least
+// the current value on every surviving rank (typically max over survivors,
+// exchanged during reconciliation) so that no future collective reuses a
+// tag a sacrificed collective's stale frames still occupy. Must only be
+// called by the owning goroutine with no collective in flight.
+func (c *Comm) SetCollSeq(seq int) {
+	if seq < c.collSeq {
+		panic(fmt.Sprintf("mpi: SetCollSeq(%d): would rewind past %d and collide with stale tags", seq, c.collSeq))
+	}
+	c.collSeq = seq
+}
+
+// PeerErrorFrom unwraps err into the typed peer failure it carries, if any
+// — the caller-level test for "a specific peer died" versus "the run is
+// broken". It sees through the runtime's unwind wrappers (Run/Execute
+// error text) because those wrap with %w.
+func PeerErrorFrom(err error) (*transport.PeerError, bool) {
+	return transport.AsPeerError(err)
+}

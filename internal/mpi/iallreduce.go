@@ -86,11 +86,12 @@ func (r *CollRequest) Elapsed() time.Duration { return r.elapsed }
 // shared order, so any number of IAllreduce operations may be in flight
 // concurrently, and may overlap blocking collectives, without cross-talk.
 func IAllreduce[T Number](c *Comm, buf []T, op Op) *CollRequest {
-	if c.Size() == 1 {
+	size := c.GroupSize()
+	if size == 1 {
 		return completedCollRequest()
 	}
-	bounds := make([]int, c.Size()+1)
-	fillDefaultBounds(bounds, len(buf), c.Size())
+	bounds := make([]int, size+1)
+	fillDefaultBounds(bounds, len(buf), size)
 	return iallreduce(c, buf, op, bounds)
 }
 
@@ -108,9 +109,9 @@ func IAllreduce[T Number](c *Comm, buf []T, op Op) *CollRequest {
 // reduced in exactly the order the flat single-Allreduce path would use —
 // the overlapped and serial paths produce bitwise-identical results.
 func IAllreduceChunks[T Number](c *Comm, buf []T, op Op, bounds []int) *CollRequest {
-	size := c.Size()
+	size := c.GroupSize()
 	if len(bounds) != size+1 {
-		panic(fmt.Sprintf("mpi: IAllreduceChunks: len(bounds)=%d, want size+1=%d", len(bounds), size+1))
+		panic(fmt.Sprintf("mpi: IAllreduceChunks: len(bounds)=%d, want group size+1=%d", len(bounds), size+1))
 	}
 	if bounds[0] != 0 || bounds[size] != len(buf) {
 		panic(fmt.Sprintf("mpi: IAllreduceChunks: bounds span [%d,%d], want [0,%d]", bounds[0], bounds[size], len(buf)))

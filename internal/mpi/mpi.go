@@ -67,10 +67,11 @@ type pendingRecv struct {
 // until the operation completes and returns the received payload (nil for
 // sends) together with its Status.
 type Request struct {
-	abortCh <-chan struct{}
-	done    chan struct{}
-	payload any
-	status  Status
+	abortCh  <-chan struct{}
+	closedCh <-chan struct{}
+	done     chan struct{}
+	payload  any
+	status   Status
 }
 
 func completedRequest() *Request {
@@ -92,22 +93,37 @@ type transportFailure struct{ err error }
 // Wait blocks until the request completes. For receives it returns the
 // payload and the source/tag status; for sends payload is nil. If the
 // world is aborted while waiting, Wait panics with an abort signal that
-// Run converts into a per-rank error.
+// Run converts into a per-rank error; if the communicator is closed while
+// waiting, it panics with a transport failure wrapping ErrCommClosed — so
+// a Close from a watchdog goroutine wakes a blocked Recv instead of
+// leaking it.
 func (r *Request) Wait() (any, Status) {
 	select {
 	case <-r.done:
 		return r.payload, r.status
 	default:
 	}
-	if r.abortCh == nil {
+	if r.abortCh == nil && r.closedCh == nil {
 		<-r.done
 		return r.payload, r.status
 	}
+	// A nil channel blocks its case forever, so the select degrades
+	// gracefully when only one watch channel is present.
 	select {
 	case <-r.done:
 		return r.payload, r.status
 	case <-r.abortCh:
 		panic(abortSignal{})
+	case <-r.closedCh:
+		// Give a frame already in flight one last chance: the matching
+		// engine is memory, not sockets, so a delivered message should win
+		// over the teardown race.
+		select {
+		case <-r.done:
+			return r.payload, r.status
+		default:
+		}
+		panic(transportFailure{ErrCommClosed})
 	}
 }
 
@@ -178,6 +194,22 @@ func (mb *mailbox) post(src, tag int, req *Request) {
 	mb.mu.Unlock()
 }
 
+// cancel withdraws a posted receive from the matching engine. It returns
+// false when the receive already matched a message (the caller should then
+// consume the request normally) — the cancel-versus-delivery race is
+// resolved inside the mailbox lock, so a message is never half-consumed.
+func (mb *mailbox) cancel(req *Request) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, pr := range mb.posted {
+		if pr.req == req {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // World is a set of communicating ranks living in one process, backed by
 // the inproc transport.
 type World struct {
@@ -201,8 +233,13 @@ func NewWorld(size int) *World {
 	}
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
-		c := &Comm{rank: r, size: size, abortCh: w.abortCh, onAbort: w.Abort}
+		c := &Comm{rank: r, size: size, abortCh: w.abortCh, onAbort: w.Abort,
+			closedCh: make(chan struct{}), gidx: r}
+		c.failures.init()
 		c.conn = w.network.Attach(r, c.handleFrame)
+		if fn, ok := c.conn.(transport.FailureNotifier); ok {
+			fn.OnPeerFailure(c.notePeerFailure)
+		}
 		w.comms[r] = c
 	}
 	return w
@@ -238,6 +275,20 @@ type Comm struct {
 	mbox    mailbox
 	abortCh chan struct{}
 	onAbort func()
+	// closedCh is closed by Close (exactly once) and wakes any operation
+	// blocked in a Wait — a watchdog's Close cannot strand a blocked Recv.
+	closedCh  chan struct{}
+	closeOnce sync.Once
+	// group, when non-nil, is the sorted list of live world ranks this
+	// communicator's collectives run over (it always contains this rank);
+	// gidx is this rank's index within it. A nil group means the full world
+	// — see Shrink. Point-to-point operations always address world ranks.
+	group []int
+	gidx  int
+	// failures is the peer-failure registry fed by the transport's
+	// asynchronous detectors (heartbeats, exhausted retry budgets) — see
+	// failure.go for the registry and the peer-aware wait built on it.
+	failures failureRegistry
 	// collSeq sequences collective operations (including Barrier). Every
 	// rank calls collectives in the same program order, so the counters stay
 	// in lock-step and the derived internal tags never collide across
@@ -258,7 +309,8 @@ type Comm struct {
 //	        return tcp.New(cfg, h)
 //	})
 func Connect(dial func(transport.Handler) (transport.Conn, error)) (*Comm, error) {
-	c := &Comm{abortCh: make(chan struct{})}
+	c := &Comm{abortCh: make(chan struct{}), closedCh: make(chan struct{})}
+	c.failures.init()
 	var abortOnce sync.Once
 	c.onAbort = func() { abortOnce.Do(func() { close(c.abortCh) }) }
 	conn, err := dial(c.handleFrame)
@@ -271,6 +323,10 @@ func Connect(dial func(transport.Handler) (transport.Conn, error)) (*Comm, error
 	c.conn = conn
 	c.rank = conn.Rank()
 	c.size = conn.Size()
+	c.gidx = c.rank
+	if fn, ok := conn.(transport.FailureNotifier); ok {
+		fn.OnPeerFailure(c.notePeerFailure)
+	}
 	return c, nil
 }
 
@@ -286,8 +342,13 @@ func (c *Comm) Transport() transport.Conn { return c.conn }
 
 // Close shuts down the underlying transport connection, draining queued
 // outbound frames first (wire backends). In-process worlds do not require
-// it; distributed ranks should Close before exiting.
-func (c *Comm) Close() error { return c.conn.Close() }
+// it; distributed ranks should Close before exiting. Any operation blocked
+// in a Wait when Close is called unwinds with a transport failure wrapping
+// ErrCommClosed instead of deadlocking.
+func (c *Comm) Close() error {
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	return c.conn.Close()
+}
 
 // Rank returns this endpoint's rank in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
@@ -310,12 +371,39 @@ func (c *Comm) abort() {
 func (c *Comm) Abort() { c.abort() }
 
 // send pushes one frame into the transport, converting a transport failure
-// into a rank unwind (recovered by Run/Execute into an error).
+// into a rank unwind (recovered by Run/Execute into an error). A typed peer
+// failure (dead destination) is scoped: it is recorded in the failure
+// registry and unwinds only this rank — never the whole in-process world —
+// so survivors keep running, which is what the graceful-degradation path
+// depends on. Other transport errors still abort.
 func (c *Comm) send(dest, tag int, payload any) {
 	if err := c.conn.Send(dest, tag, payload); err != nil {
+		if pe, ok := transport.AsPeerError(err); ok {
+			c.failures.note(*pe)
+			panic(transportFailure{err})
+		}
 		c.abort()
 		panic(transportFailure{err})
 	}
+}
+
+// SendPeerAware sends payload to dest like Send, but a dead destination
+// surfaces as a returned *transport.PeerError instead of a rank unwind —
+// the sender-side twin of WaitPeerAware. Non-peer transport errors still
+// unwind. The exchange scheduler uses it so a send racing a peer's death
+// becomes a value it can degrade around.
+func (c *Comm) SendPeerAware(dest, tag int, payload any) *transport.PeerError {
+	c.checkRank(dest, "SendPeerAware")
+	c.checkUserTag(tag, "SendPeerAware")
+	if err := c.conn.Send(dest, tag, payload); err != nil {
+		if pe, ok := transport.AsPeerError(err); ok {
+			c.failures.note(*pe)
+			return pe
+		}
+		c.abort()
+		panic(transportFailure{err})
+	}
+	return nil
 }
 
 // Isend starts a non-blocking send of payload to rank dest with the given
@@ -340,7 +428,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	if tag != AnyTag {
 		c.checkUserTag(tag, "Irecv")
 	}
-	req := &Request{abortCh: c.abortCh, done: make(chan struct{})}
+	req := &Request{abortCh: c.abortCh, closedCh: c.closedCh, done: make(chan struct{})}
 	c.mbox.post(src, tag, req)
 	return req
 }
@@ -363,19 +451,22 @@ func (c *Comm) SendRecv(dest, sendTag int, payload any, src, recvTag int) (any, 
 	return req.Wait()
 }
 
-// Barrier blocks until every rank in the world has entered the barrier. It
-// is a dissemination barrier over the point-to-point layer (log2(M)
-// rounds), so the same implementation works across every transport backend.
+// Barrier blocks until every rank in the communicator's group (the full
+// world unless shrunk) has entered the barrier. It is a dissemination
+// barrier over the point-to-point layer (log2(M) rounds), so the same
+// implementation works across every transport backend. If a group member
+// dies while the barrier is blocked, the rank unwinds with a transport
+// failure carrying the peer error instead of waiting forever.
 func (c *Comm) Barrier() {
 	seq := c.nextSeq()
-	size, rank := c.size, c.rank
+	size, rank := c.GroupSize(), c.gidx
 	round := 0
 	for dist := 1; dist < size; dist <<= 1 {
-		to := (rank + dist) % size
-		from := (rank - dist + size) % size
+		to := c.worldRank((rank + dist) % size)
+		from := c.worldRank((rank - dist + size) % size)
 		req := c.irecvInternal(from, collTag(seq, round))
 		c.isendInternal(to, collTag(seq, round), nil)
-		req.Wait()
+		c.collWait(req)
 		round++
 	}
 }

@@ -100,6 +100,54 @@ func (p ExchangePlan) Execute(c *mpi.Comm, lookup func(id int) (data.Sample, err
 // exchangeTag is the user-level tag for epoch's sample exchange traffic.
 func exchangeTag(epoch int) int { return epoch }
 
+// ExpectedSenders computes, for every slot of an epoch's exchange, the rank
+// that sends toward rank — the inverse of the shared-seed destination
+// permutations. Because every worker derives the same per-slot permutation
+// from the seed, the sender set is locally computable: no consensus round is
+// needed when a failure forces the receive expectation to be rebuilt (the
+// graceful-degradation path). groupSize 0 selects the flat exchange,
+// matching PlanExchange; a positive groupSize matches
+// PlanExchangeHierarchical.
+func ExpectedSenders(rank, size, groupSize, slots int, seed uint64, epoch int) []int {
+	senders := make([]int, slots)
+	if groupSize > 0 {
+		groups := size / groupSize
+		groupPerm := make([]int, groups)
+		intraPerm := make([]int, groupSize)
+		for i := 0; i < slots; i++ {
+			rng.NewStream(seed, saltGroupDest, uint64(epoch), uint64(i)).PermInto(groupPerm)
+			rng.NewStream(seed, saltIntraDest, uint64(epoch), uint64(i)).PermInto(intraPerm)
+			// dest(r) = groupPerm[r/gs]*gs + intraPerm[r%gs]; invert both levels.
+			sg, si := -1, -1
+			for g, dg := range groupPerm {
+				if dg == rank/groupSize {
+					sg = g
+					break
+				}
+			}
+			for l, dl := range intraPerm {
+				if dl == rank%groupSize {
+					si = l
+					break
+				}
+			}
+			senders[i] = sg*groupSize + si
+		}
+		return senders
+	}
+	destPerm := make([]int, size)
+	for i := 0; i < slots; i++ {
+		rng.NewStream(seed, saltDest, uint64(epoch), uint64(i)).PermInto(destPerm)
+		for s, d := range destPerm {
+			if d == rank {
+				senders[i] = s
+				break
+			}
+		}
+	}
+	return senders
+}
+
 // PlanExchangeUnbalanced is the ablation baseline (DESIGN.md §5): each
 // worker draws destinations uniformly at random from its own private
 // stream, as a naive implementation (and the prior systems the paper cites,

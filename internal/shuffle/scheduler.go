@@ -2,6 +2,7 @@ package shuffle
 
 import (
 	"fmt"
+	"sort"
 
 	"plshuffle/internal/data"
 	"plshuffle/internal/mpi"
@@ -61,6 +62,21 @@ type Scheduler struct {
 	// sampling without replacement instead of a uniform permutation
 	// (the Section IV-B importance-sampling extension).
 	sendPriority map[int]float64
+
+	// Graceful degradation (DESIGN.md §10). When degrade is set, a peer
+	// failure observed during the exchange does not unwind the rank:
+	// the scheduler cancels the dead rank's slots — send slots toward it
+	// are retained locally, inbound slots from it are forfeited (capped by
+	// what already arrived) — and the epoch completes with a reduced
+	// effective exchange fraction. The Q spectrum is what makes this
+	// principled: a smaller realized Q is still a valid PLS configuration.
+	degrade  bool
+	dead     map[int]bool // ranks this scheduler treats as dead
+	senders  []int        // per-slot inbound source (lazy, built on first death)
+	recvFrom map[int]int  // samples decoded per source rank this epoch
+
+	degradedSend int // send slots canceled: their samples stay local
+	degradedRecv int // inbound slots forfeited to a death
 }
 
 type schedState int
@@ -146,8 +162,132 @@ func (s *Scheduler) Scheduling(epoch int) error {
 	s.pending = nil
 	s.received = s.received[:0] // capacity reused across epochs
 	s.wireSent, s.wireRecv = 0, 0
+	s.senders = nil // per-epoch permutations; rebuilt lazily on demand
+	s.degradedSend, s.degradedRecv = 0, 0
+	clear(s.recvFrom)
 	s.state = stateScheduled
+	if len(s.dead) > 0 {
+		// Deaths absorbed in earlier epochs persist: rebuild this epoch's
+		// expectation around them before any traffic flows.
+		s.recomputeExpectation()
+	}
 	return nil
+}
+
+// SetDegradeOnPeerFailure selects the scheduler's failure policy. With
+// degrade on, a *transport.PeerError observed while sending or draining
+// the exchange is absorbed (the epoch completes over the survivors, with
+// DegradedSlots accounting the canceled traffic); with it off (the
+// default) the failure unwinds the rank like any other transport error.
+func (s *Scheduler) SetDegradeOnPeerFailure(on bool) { s.degrade = on }
+
+// DeadRanks returns the sorted ranks this scheduler has absorbed as dead.
+func (s *Scheduler) DeadRanks() []int {
+	out := make([]int, 0, len(s.dead))
+	for r := range s.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DegradedSlots reports the current epoch's canceled exchange slots:
+// sendSlots had a dead destination (their samples are retained locally),
+// recvSlots had a dead sender and were forfeited (samples that landed
+// before the death still count as received). Both are zero when every
+// peer is live. Valid after Synchronize; reset by Scheduling.
+func (s *Scheduler) DegradedSlots() (sendSlots, recvSlots int) {
+	return s.degradedSend, s.degradedRecv
+}
+
+// EffectiveQ returns the exchange fraction the current epoch actually
+// realized: q scaled by the surviving fraction of the plan's slots
+// (averaging the send and receive directions, which degrade
+// independently). With no deaths it equals the configured q.
+func (s *Scheduler) EffectiveQ() float64 {
+	k := s.plan.Slots()
+	if k == 0 {
+		return s.q
+	}
+	return s.q * float64(2*k-s.degradedSend-s.degradedRecv) / float64(2*k)
+}
+
+// absorbFailure marks rank dead and rebuilds the epoch's receive
+// expectation around the survivors. It first scoops any frames that
+// already landed (they may carry the dead rank's last samples), so the
+// forfeit count is no larger than necessary.
+func (s *Scheduler) absorbFailure(rank int) error {
+	if s.dead == nil {
+		s.dead = make(map[int]bool)
+	}
+	if s.dead[rank] {
+		return nil
+	}
+	s.dead[rank] = true
+	if err := s.drainLanded(); err != nil {
+		return err
+	}
+	s.recomputeExpectation()
+	return nil
+}
+
+// drainLanded consumes every exchange frame that has already arrived
+// without blocking (no expectation check — it runs while the expectation
+// is being rebuilt).
+func (s *Scheduler) drainLanded() error {
+	for {
+		if s.pending == nil {
+			s.pending = s.comm.Irecv(mpi.AnySource, exchangeTag(s.epoch))
+		}
+		ok, payload, st := s.pending.Test()
+		if !ok {
+			return nil
+		}
+		s.pending = nil
+		if err := s.ingestFrame(payload, st); err != nil {
+			return err
+		}
+	}
+}
+
+// recomputeExpectation rebuilds expected from the shared-seed sender
+// permutations: slots whose sender is live stay expected; slots whose
+// sender is dead are expected only up to what that sender already
+// delivered. Locally computable on every survivor — no consensus round.
+func (s *Scheduler) recomputeExpectation() {
+	k := s.plan.Slots()
+	if s.senders == nil {
+		s.senders = ExpectedSenders(s.comm.Rank(), s.comm.Size(), s.groupSize, k, s.seed, s.epoch)
+	}
+	fromDead := make(map[int]int, len(s.dead))
+	expected := 0
+	for _, src := range s.senders {
+		if s.dead[src] {
+			fromDead[src]++
+		} else {
+			expected++
+		}
+	}
+	if s.recvFrom == nil {
+		s.recvFrom = make(map[int]int)
+	}
+	for src, slots := range fromDead {
+		if got := s.recvFrom[src]; got < slots {
+			expected += got
+		} else {
+			expected += slots
+		}
+	}
+	s.degradedRecv = k - expected
+	// Send-side mirror: slots toward a dead destination are canceled and
+	// their samples retained by CleanLocalStorage.
+	s.degradedSend = 0
+	for _, d := range s.plan.Dests {
+		if s.dead[d] {
+			s.degradedSend++
+		}
+	}
+	s.expected = expected
 }
 
 // Slots returns the number of samples this epoch's plan exchanges.
@@ -169,6 +309,17 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 	if s.state != stateScheduled {
 		return 0, fmt.Errorf("shuffle: Communicate called without a scheduled epoch")
 	}
+	if s.degrade {
+		// Absorb deaths the transport detected since the last call, so the
+		// send loop below never aims at a known-dead rank.
+		for _, r := range s.comm.FailedPeers() {
+			if !s.dead[r] {
+				if err := s.absorbFailure(r); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
 	end := s.plan.Slots()
 	if n >= 0 && s.posted+n < end {
 		end = s.posted + n
@@ -179,6 +330,9 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 		}
 		for i := s.posted; i < end; i++ {
 			d := s.plan.Dests[i]
+			if s.dead[d] {
+				continue // canceled slot: CleanLocalStorage retains the sample
+			}
 			s.destSlots[d] = append(s.destSlots[d], i)
 		}
 		for dest, slots := range s.destSlots {
@@ -194,13 +348,26 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 				s.batchShip = append(s.batchShip, sample)
 			}
 			s.batchBuf = data.AppendSampleBatch(s.batchBuf[:0], s.batchShip)
-			if dest != s.comm.Rank() {
-				s.wireSent += transport.FrameWireSize(s.batchBuf)
-			}
 			// Safe to reuse batchBuf across destinations: the inproc backend
 			// clones []byte payloads synchronously and the TCP backend
 			// serializes before Send returns (the transport contract).
-			s.comm.Isend(dest, exchangeTag(s.epoch), s.batchBuf)
+			if s.degrade {
+				if pe := s.comm.SendPeerAware(dest, exchangeTag(s.epoch), s.batchBuf); pe != nil {
+					// The destination died under the send: absorb and retain
+					// this batch's samples (the receiver is gone, so the local
+					// copies are the only ones among survivors).
+					if err := s.absorbFailure(pe.Rank); err != nil {
+						return 0, err
+					}
+					s.destSlots[dest] = slots[:0]
+					continue
+				}
+			} else {
+				s.comm.Isend(dest, exchangeTag(s.epoch), s.batchBuf)
+			}
+			if dest != s.comm.Rank() {
+				s.wireSent += transport.FrameWireSize(s.batchBuf)
+			}
 			s.destSlots[dest] = slots[:0]
 		}
 		s.posted = end
@@ -224,7 +391,26 @@ func (s *Scheduler) drainReceives(block bool) error {
 		}
 		var payload any
 		var st mpi.Status
-		if block {
+		if block && s.degrade {
+			// The peer-aware wait: a death the scheduler has not yet
+			// absorbed surfaces as a value (the receive is withdrawn), the
+			// plan degrades around it, and the drain continues toward the
+			// reduced expectation — instead of blocking forever on a sender
+			// that will never speak again.
+			p, pst, err := s.comm.WaitPeerAware(s.pending, func(r int) bool { return s.dead[r] })
+			if err != nil {
+				s.pending = nil
+				pe, ok := transport.AsPeerError(err)
+				if !ok {
+					return err
+				}
+				if aerr := s.absorbFailure(pe.Rank); aerr != nil {
+					return aerr
+				}
+				continue
+			}
+			payload, st = p, pst
+		} else if block {
 			payload, st = s.pending.Wait()
 		} else {
 			ok, p, pst := s.pending.Test()
@@ -234,25 +420,44 @@ func (s *Scheduler) drainReceives(block bool) error {
 			payload, st = p, pst
 		}
 		s.pending = nil
-		buf, ok := payload.([]byte)
-		if !ok {
-			return fmt.Errorf("shuffle: exchange frame carries %T, want []byte", payload)
+		if err := s.ingestFrame(payload, st); err != nil {
+			return err
 		}
-		before := len(s.received)
-		var err error
-		s.received, err = data.DecodeSampleBatchInto(s.received, buf)
-		if err != nil {
-			return fmt.Errorf("shuffle: decoding received sample batch: %w", err)
-		}
-		if len(s.received) == before {
-			return fmt.Errorf("shuffle: peer sent an empty sample batch")
-		}
-		if len(s.received) > s.expected {
-			return fmt.Errorf("shuffle: received %d samples, plan expects %d", len(s.received), s.expected)
-		}
-		if st.Source != s.comm.Rank() {
-			s.wireRecv += transport.FrameWireSize(buf)
-		}
+	}
+	return nil
+}
+
+// ingestFrame decodes one exchange frame into the received set and updates
+// the per-source accounting the degradation path depends on.
+func (s *Scheduler) ingestFrame(payload any, st mpi.Status) error {
+	buf, ok := payload.([]byte)
+	if !ok {
+		return fmt.Errorf("shuffle: exchange frame carries %T, want []byte", payload)
+	}
+	before := len(s.received)
+	var err error
+	s.received, err = data.DecodeSampleBatchInto(s.received, buf)
+	if err != nil {
+		return fmt.Errorf("shuffle: decoding received sample batch: %w", err)
+	}
+	n := len(s.received) - before
+	if n == 0 {
+		return fmt.Errorf("shuffle: peer sent an empty sample batch")
+	}
+	if s.recvFrom == nil {
+		s.recvFrom = make(map[int]int)
+	}
+	s.recvFrom[st.Source] += n
+	if st.Source != s.comm.Rank() {
+		s.wireRecv += transport.FrameWireSize(buf)
+	}
+	if s.dead[st.Source] {
+		// A dead sender's straggler landed after its slots were forfeited:
+		// accept the samples and restore the expectation they satisfy.
+		s.recomputeExpectation()
+	}
+	if len(s.received) > s.expected {
+		return fmt.Errorf("shuffle: received %d samples, plan expects %d", len(s.received), s.expected)
 	}
 	return nil
 }
@@ -269,8 +474,43 @@ func (s *Scheduler) Synchronize() error {
 	if err := s.drainReceives(true); err != nil {
 		return err
 	}
+	// A degraded epoch can meet its (reduced) expectation while a receive
+	// is still posted; withdraw it so it cannot dangle into later epochs.
+	if s.pending != nil {
+		if !s.comm.CancelRecv(s.pending) {
+			// A frame matched concurrently; the completed message wins.
+			payload, st := s.pending.Wait()
+			if err := s.ingestFrame(payload, st); err != nil {
+				return err
+			}
+		}
+		s.pending = nil
+	}
 	s.state = stateSynchronized
 	return nil
+}
+
+// Reset abandons the current epoch after a failed exchange, returning the
+// scheduler to the idle state so a later Scheduling can start fresh. The
+// outstanding receive (if any) is withdrawn and this epoch's received
+// samples are discarded. The local store is untouched — no sample has been
+// deleted, because CleanLocalStorage only runs after a successful
+// Synchronize — so the abandoned epoch loses no local data. Frames already
+// delivered for the abandoned epoch rot harmlessly in the mailbox: epoch
+// tags are never reused.
+func (s *Scheduler) Reset() {
+	if s.pending != nil {
+		if !s.comm.CancelRecv(s.pending) {
+			s.pending.Wait() // matched concurrently: consume and discard
+		}
+		s.pending = nil
+	}
+	s.received = s.received[:0]
+	clear(s.recvFrom)
+	s.posted = 0
+	s.expected = 0
+	s.degradedSend, s.degradedRecv = 0, 0
+	s.state = stateIdle
 }
 
 // Received returns the samples obtained in the last synchronized exchange
@@ -292,13 +532,45 @@ func (s *Scheduler) CleanLocalStorage() error {
 	if s.state != stateSynchronized {
 		return fmt.Errorf("shuffle: CleanLocalStorage called before Synchronize")
 	}
+	if s.degrade {
+		// Deleting a sent sample is the irreversible step of the exchange:
+		// once a death is known, samples shipped to the dead rank must be
+		// retained (the receiver died holding the only other copy). Absorb
+		// every death the transport has reported up to this moment, so the
+		// retention decision below uses the freshest knowledge. A death
+		// detected only after this commit point loses the samples the dead
+		// rank had already received — exactly the semantics of a node dying
+		// with its share of the data.
+		changed := false
+		for _, r := range s.comm.FailedPeers() {
+			if !s.dead[r] {
+				if s.dead == nil {
+					s.dead = make(map[int]bool)
+				}
+				s.dead[r] = true
+				changed = true
+			}
+		}
+		if changed {
+			s.recomputeExpectation() // refresh the DegradedSlots accounting
+		}
+	}
 	if s.sentScratch == nil {
 		s.sentScratch = make(map[int]bool, len(s.plan.SendIDs))
 	} else {
 		clear(s.sentScratch)
 	}
 	sent := s.sentScratch
-	for _, id := range s.plan.SendIDs {
+	for i, id := range s.plan.SendIDs {
+		if s.dead[s.plan.Dests[i]] {
+			// Canceled slot: whether or not the sample was already shipped
+			// before the destination died, the receiver is gone — the local
+			// copy is the only one among the survivors, so retain it. This
+			// is the no-sample-lost half of the degradation invariant; the
+			// no-duplicate half holds because the dead rank is not a
+			// survivor.
+			continue
+		}
 		sent[id] = true
 	}
 	for _, sample := range s.received {

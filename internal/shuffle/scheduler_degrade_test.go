@@ -1,0 +1,375 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/store"
+	"plshuffle/internal/transport"
+)
+
+// killComm abruptly removes the rank from its world (fault injection).
+func killComm(t *testing.T, c *mpi.Comm) {
+	t.Helper()
+	k, ok := c.Transport().(transport.Killer)
+	if !ok {
+		t.Fatalf("transport %T does not implement Killer", c.Transport())
+	}
+	k.Kill()
+}
+
+// TestExpectedSendersInvertsPlans: the locally computable sender table must
+// be the exact inverse of the shared-seed destination permutations, for
+// both the flat and the hierarchical planner.
+func TestExpectedSendersInvertsPlans(t *testing.T) {
+	const n, seed = 240, 77
+	for _, tc := range []struct {
+		size, groupSize int
+	}{
+		{4, 0}, {7, 0}, {1, 0}, {8, 4}, {6, 2},
+	} {
+		for epoch := 0; epoch < 3; epoch++ {
+			ids := make([]int, n/tc.size+1)
+			plans := make([]ExchangePlan, tc.size)
+			for r := range plans {
+				for j := range ids {
+					ids[j] = j
+				}
+				var err error
+				if tc.groupSize > 0 {
+					plans[r], err = PlanExchangeHierarchical(r, tc.size, tc.groupSize, ids, 0.5, n, seed, epoch)
+				} else {
+					plans[r], err = PlanExchange(r, tc.size, ids, 0.5, n, seed, epoch)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			k := plans[0].Slots()
+			for d := 0; d < tc.size; d++ {
+				senders := ExpectedSenders(d, tc.size, tc.groupSize, k, seed, epoch)
+				for i := 0; i < k; i++ {
+					// Brute-force: the unique rank whose slot-i destination is d.
+					want := -1
+					for s := 0; s < tc.size; s++ {
+						if plans[s].Dests[i] == d {
+							want = s
+							break
+						}
+					}
+					if senders[i] != want {
+						t.Fatalf("size=%d gs=%d epoch=%d: ExpectedSenders(%d)[%d]=%d, want %d",
+							tc.size, tc.groupSize, epoch, d, i, senders[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// survivorConservation asserts that every sample a survivor held before the
+// run is present on exactly one survivor after it, and that no sample is
+// duplicated across survivors. Samples that lived only on the dead rank may
+// be lost (they died with it) but must never be duplicated.
+func survivorConservation(t *testing.T, stores []*store.Local, dead int, heldBefore map[int]bool) {
+	t.Helper()
+	seen := map[int]int{}
+	for r, st := range stores {
+		if r == dead {
+			continue
+		}
+		for _, id := range st.IDs() {
+			seen[id]++
+			if seen[id] > 1 {
+				t.Fatalf("sample %d present on two survivors", id)
+			}
+		}
+	}
+	for id := range heldBefore {
+		if seen[id] != 1 {
+			t.Fatalf("survivor-held sample %d lost (count %d)", id, seen[id])
+		}
+	}
+}
+
+// TestDegradeKillBeforeEpoch: the dead rank is known before the exchange
+// starts; survivors must complete the epoch with exactly the degraded
+// expectation, retain the slots aimed at the dead rank, and report
+// EffectiveQ < Q.
+func TestDegradeKillBeforeEpoch(t *testing.T) {
+	const n, m, q, seed, deadRank = 160, 4, 0.5, 99, 3
+	stores, _ := mkStores(t, n, m, seed, 0)
+
+	heldBefore := map[int]bool{}
+	for r, st := range stores {
+		if r == deadRank {
+			continue
+		}
+		for _, id := range st.IDs() {
+			heldBefore[id] = true
+		}
+	}
+	initialLen := make([]int, m)
+	for r, st := range stores {
+		initialLen[r] = st.Len()
+	}
+
+	type report struct {
+		degSend, degRecv int
+		effQ             float64
+		slots            int
+		peak             int64
+	}
+	reports := make([]report, m)
+
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		if c.Rank() == deadRank {
+			killComm(t, c)
+			return nil
+		}
+		for len(c.FailedPeers()) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		sched, err := NewScheduler(c, stores[c.Rank()], q, n, seed)
+		if err != nil {
+			return err
+		}
+		sched.SetDegradeOnPeerFailure(true)
+		for e := 0; e < 3; e++ {
+			if err := sched.Scheduling(e); err != nil {
+				return err
+			}
+			if err := sched.Synchronize(); err != nil {
+				return err
+			}
+			if e == 0 {
+				ds, dr := sched.DegradedSlots()
+				reports[c.Rank()] = report{ds, dr, sched.EffectiveQ(), sched.Slots(), 0}
+			}
+			if err := sched.CleanLocalStorage(); err != nil {
+				return err
+			}
+		}
+		reports[c.Rank()].peak = stores[c.Rank()].Peak()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < m; r++ {
+		if r == deadRank {
+			continue
+		}
+		rep := reports[r]
+		// Exact expected degradation from the shared-seed permutations:
+		// inbound slots whose sender is the dead rank, and outbound slots
+		// whose destination is the dead rank (= slots where this rank is
+		// the dead rank's expected sender).
+		wantRecv := 0
+		for _, s := range ExpectedSenders(r, m, 0, rep.slots, seed, 0) {
+			if s == deadRank {
+				wantRecv++
+			}
+		}
+		wantSend := 0
+		for _, s := range ExpectedSenders(deadRank, m, 0, rep.slots, seed, 0) {
+			if s == r {
+				wantSend++
+			}
+		}
+		if rep.degRecv != wantRecv {
+			t.Errorf("rank %d: DegradedSlots recv = %d, want %d", r, rep.degRecv, wantRecv)
+		}
+		if rep.degSend != wantSend {
+			t.Errorf("rank %d: DegradedSlots send = %d, want %d", r, rep.degSend, wantSend)
+		}
+		if rep.degSend+rep.degRecv > 0 && rep.effQ >= q {
+			t.Errorf("rank %d: EffectiveQ = %v, want < %v", r, rep.effQ, q)
+		}
+		// Peak storage stays within the (1+Q)·N/M discipline: at most the
+		// initial residency plus one full exchange's worth of receives
+		// (Peak counts bytes; mkStores uses 10-byte samples).
+		const sampleBytes = 10
+		if rep.peak > int64((initialLen[r]+rep.slots)*sampleBytes) {
+			t.Errorf("rank %d: peak %d bytes exceeds (initial %d + slots %d) samples", r, rep.peak, initialLen[r], rep.slots)
+		}
+	}
+	survivorConservation(t, stores, deadRank, heldBefore)
+}
+
+// TestDegradeKillMidEpoch: the rank dies after shipping part of its epoch
+// traffic. Survivors absorb the death mid-drain, accept the straggler
+// samples that landed before it, and complete this and subsequent epochs
+// without losing or duplicating any survivor-held sample.
+func TestDegradeKillMidEpoch(t *testing.T) {
+	const n, m, q, seed, deadRank = 200, 4, 0.6, 1234, 2
+	stores, _ := mkStores(t, n, m, seed, 0)
+
+	heldBefore := map[int]bool{}
+	for r, st := range stores {
+		if r == deadRank {
+			continue
+		}
+		for _, id := range st.IDs() {
+			heldBefore[id] = true
+		}
+	}
+
+	var sawDegradation atomic.Bool
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		sched, err := NewScheduler(c, stores[c.Rank()], q, n, seed)
+		if err != nil {
+			return err
+		}
+		sched.SetDegradeOnPeerFailure(true)
+		if c.Rank() == deadRank {
+			// Ship a few slots, then die abruptly mid-Communicate. The
+			// count is kept below any survivor's inbound expectation from
+			// this rank, so every survivor is guaranteed to block in
+			// Synchronize and absorb the death before its epoch commits.
+			if err := sched.Scheduling(0); err != nil {
+				return err
+			}
+			if _, err := sched.Communicate(3); err != nil {
+				return err
+			}
+			killComm(t, c)
+			return nil
+		}
+		for e := 0; e < 3; e++ {
+			if err := sched.Scheduling(e); err != nil {
+				return err
+			}
+			// Chunked posting so the death interleaves with live traffic.
+			for posted := 0; posted < sched.Slots(); posted += 7 {
+				if _, err := sched.Communicate(7); err != nil {
+					return err
+				}
+			}
+			if err := sched.Synchronize(); err != nil {
+				return err
+			}
+			ds, dr := sched.DegradedSlots()
+			if ds+dr > 0 {
+				sawDegradation.Store(true)
+				if sched.EffectiveQ() >= q {
+					return fmt.Errorf("rank %d epoch %d: EffectiveQ %v not reduced", c.Rank(), e, sched.EffectiveQ())
+				}
+			}
+			if err := sched.CleanLocalStorage(); err != nil {
+				return err
+			}
+		}
+		if got := sched.DeadRanks(); len(got) != 1 || got[0] != deadRank {
+			return fmt.Errorf("rank %d: DeadRanks = %v, want [%d]", c.Rank(), got, deadRank)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDegradation.Load() {
+		t.Fatal("no rank observed any degraded slots; the kill did not bite")
+	}
+	survivorConservation(t, stores, deadRank, heldBefore)
+}
+
+// TestSchedulerResetAfterFailedEpoch: a failed (abandoned) epoch must leave
+// the scheduler re-schedulable via Reset, with the local stores untouched —
+// the cleanly-poisoned contract.
+func TestSchedulerResetAfterFailedEpoch(t *testing.T) {
+	const n, m, q, seed = 80, 2, 0.5, 5
+	stores, _ := mkStores(t, n, m, seed, 0)
+	before := make([][]int, m)
+	for r, st := range stores {
+		before[r] = append([]int(nil), st.IDs()...)
+	}
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		sched, err := NewScheduler(c, stores[c.Rank()], q, n, seed)
+		if err != nil {
+			return err
+		}
+		// Start epoch 0 and post part of it, then abandon: the epoch's
+		// frames rot in per-epoch tag space and nothing was deleted.
+		if err := sched.Scheduling(0); err != nil {
+			return err
+		}
+		if _, err := sched.Communicate(3); err != nil {
+			return err
+		}
+		if err := sched.Scheduling(1); err == nil {
+			return fmt.Errorf("Scheduling(1) succeeded over an unfinished epoch")
+		}
+		sched.Reset()
+		// After Reset the scheduler is idle again: a full epoch runs clean.
+		if err := sched.Scheduling(1); err != nil {
+			return fmt.Errorf("Scheduling after Reset: %w", err)
+		}
+		if err := sched.Synchronize(); err != nil {
+			return err
+		}
+		return sched.CleanLocalStorage()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation across the abandoned epoch + the clean one: the union of
+	// both stores is still the whole dataset, no duplicates. (Counts can
+	// shift between ranks only via the clean epoch's balanced exchange, so
+	// per-rank counts are preserved.)
+	perWorker := []int{len(before[0]), len(before[1])}
+	checkConservation(t, stores, n, perWorker)
+}
+
+// TestDegradeHierarchical: the degradation path must also work under the
+// two-level exchange (its sender table inverts both permutation levels).
+func TestDegradeHierarchical(t *testing.T) {
+	const n, m, gs, q, seed, deadRank = 240, 6, 3, 0.4, 31, 4
+	stores, _ := mkStores(t, n, m, seed, 0)
+	heldBefore := map[int]bool{}
+	for r, st := range stores {
+		if r == deadRank {
+			continue
+		}
+		for _, id := range st.IDs() {
+			heldBefore[id] = true
+		}
+	}
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		if c.Rank() == deadRank {
+			killComm(t, c)
+			return nil
+		}
+		for len(c.FailedPeers()) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		sched, err := NewScheduler(c, stores[c.Rank()], q, n, seed)
+		if err != nil {
+			return err
+		}
+		if err := sched.UseHierarchical(gs); err != nil {
+			return err
+		}
+		sched.SetDegradeOnPeerFailure(true)
+		for e := 0; e < 2; e++ {
+			if err := sched.Scheduling(e); err != nil {
+				return err
+			}
+			if err := sched.Synchronize(); err != nil {
+				return err
+			}
+			if err := sched.CleanLocalStorage(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivorConservation(t, stores, deadRank, heldBefore)
+}

@@ -21,6 +21,11 @@ const (
 	PhaseFWBW     = "fwbw"
 	PhaseGEWU     = "gewu"
 	PhaseValidate = "validate"
+	// PhaseDegraded marks an epoch whose exchange ran with a reduced
+	// effective shuffling fraction because one or more peers died
+	// (DESIGN.md §10). Bytes carries the number of forfeited exchange
+	// slots; EffectiveQ the realized fraction.
+	PhaseDegraded = "degraded"
 )
 
 // Event is one recorded phase execution.
@@ -30,6 +35,9 @@ type Event struct {
 	Phase    string        `json:"phase"`
 	Duration time.Duration `json:"duration_ns"`
 	Bytes    int64         `json:"bytes,omitempty"`
+	// EffectiveQ is the realized shuffling fraction of a PhaseDegraded
+	// event: Q scaled by the live share of the epoch's exchange slots.
+	EffectiveQ float64 `json:"effective_q,omitempty"`
 }
 
 // Recorder collects events from concurrent workers. The zero value is not

@@ -28,6 +28,7 @@ import (
 	"plshuffle/internal/store"
 	"plshuffle/internal/tensor"
 	"plshuffle/internal/trace"
+	"plshuffle/internal/transport"
 )
 
 // Config describes one training run.
@@ -104,6 +105,23 @@ type Config struct {
 	// Trace, if non-nil, receives one event per (rank, epoch, phase) with
 	// duration and byte volume — the Figure 10 instrumentation.
 	Trace *trace.Recorder
+	// OnPeerFail selects the policy when the transport reports a peer dead
+	// mid-run (DESIGN.md §10). "abort" (or "") propagates the typed
+	// transport.PeerError and fails the rank — the launcher reports it and
+	// exits non-zero. "degrade" keeps the survivors training: the exchange
+	// scheduler forfeits the dead rank's slots (reduced effective Q), the
+	// collective group shrinks over the survivors (mpi.Shrink), weights are
+	// re-synchronized from the lowest surviving rank, and the epoch in
+	// flight when the failure struck is completed without further gradient
+	// steps.
+	OnPeerFail string
+
+	// testIterHook, when non-nil, runs at the top of every training
+	// iteration (after the epoch's exchange is scheduled). Tests use it to
+	// inject deterministic faults — e.g. kill this rank's transport at a
+	// chosen (epoch, iteration). A non-nil return unwinds the rank with
+	// that error.
+	testIterHook func(epoch, iter int) error
 }
 
 // Validate reports configuration errors.
@@ -133,6 +151,11 @@ func (c Config) Validate() error {
 	}
 	if c.GradBucketBytes < 0 {
 		return fmt.Errorf("train: GradBucketBytes must be non-negative, got %d", c.GradBucketBytes)
+	}
+	switch c.OnPeerFail {
+	case "", "abort", "degrade":
+	default:
+		return fmt.Errorf("train: unknown OnPeerFail policy %q (want abort or degrade)", c.OnPeerFail)
 	}
 	return c.Model.Validate()
 }
@@ -164,6 +187,23 @@ type EpochStats struct {
 	// Wall-clock phase times on this process (for the testing.B benches;
 	// the paper-scale times come from internal/perfmodel).
 	IOTime, ExchangeTime, FWBWTime, GEWUTime time.Duration
+	// DegradedSlots counts the exchange slots this epoch forfeited because
+	// their partner rank was dead (send slots whose destination died plus
+	// receive slots whose sender died). Zero in a healthy run.
+	DegradedSlots int
+	// EffectiveQ is the shuffling fraction the epoch actually realized:
+	// Q scaled by the live share of the exchange slots. Equal to the
+	// configured Q while every peer is alive; meaningful only for the
+	// partial-local strategy (zero otherwise).
+	EffectiveQ float64
+	// Disrupted marks the epoch during which a peer failure unwound this
+	// rank's collectives in degrade mode: its remaining gradient steps
+	// were abandoned while the survivors re-formed the group, and its
+	// ValAcc was not measured. Skipped marks an epoch the recovery jumped
+	// over entirely to keep survivors aligned (possible when the failure
+	// lands exactly on an epoch boundary).
+	Disrupted, Skipped bool
+
 	// GEWUWaitTime is the EXPOSED portion of the gradient exchange: time
 	// the rank's main goroutine spent blocked waiting for all-reduce
 	// results (the whole ring on the flat path; only the drain waits on the
@@ -239,6 +279,11 @@ type RankResult struct {
 	// after the last epoch (0 for GS, which streams from the PFS). The
 	// distributed launcher gathers it to check the N/M balance invariant.
 	FinalLocalSamples int
+	// FinalLocalIDs is the sorted list of sample IDs in this rank's storage
+	// area after the last epoch (nil for GS). The chaos tests use it to
+	// prove sample conservation across survivors after a peer death: no ID
+	// held twice, every surviving ID in range.
+	FinalLocalIDs []int
 }
 
 // RunRank executes one rank's share of the configured training on an
@@ -295,7 +340,8 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 	rr := &RankResult{Epochs: stats, FinalParams: w.model.Params(), FinalModel: w.model}
 	if w.local != nil {
 		rr.PeakStorageBytes = w.local.Peak()
-		rr.FinalLocalSamples = len(w.local.IDs())
+		rr.FinalLocalIDs = w.local.IDs()
+		rr.FinalLocalSamples = len(rr.FinalLocalIDs)
 	}
 	return rr, nil
 }
@@ -335,6 +381,16 @@ type worker struct {
 	// lossByID holds the latest per-sample loss, the importance weight of
 	// the ImportanceSampling extension.
 	lossByID map[int]float64
+
+	// Fault-tolerance state (cfg.OnPeerFail == "degrade"; DESIGN.md §10).
+	// exchEpoch is the epoch whose exchange is currently open (-1 when no
+	// Scheduling…CleanLocalStorage window is in flight) — the recovery path
+	// uses it to decide whether the disrupted epoch's exchange must be
+	// completed or abandoned. recoveries counts group re-formations; it
+	// seeds the deterministic collective-sequence realignment every
+	// survivor computes without communicating.
+	exchEpoch  int
+	recoveries int
 }
 
 func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *store.PFS) (*worker, error) {
@@ -348,12 +404,13 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		nn.CopyWeights(model.Params(), cfg.WarmStart)
 	}
 	w := &worker{
-		cfg:    cfg,
-		sched:  sched,
-		comm:   c,
-		model:  model,
-		params: model.Params(),
-		pfs:    pfs,
+		cfg:       cfg,
+		sched:     sched,
+		comm:      c,
+		model:     model,
+		params:    model.Params(),
+		pfs:       pfs,
+		exchEpoch: -1,
 	}
 	if cfg.ImportanceSampling {
 		w.lossByID = make(map[int]float64)
@@ -370,18 +427,7 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 	if cfg.OverlapGrads {
 		w.setupOverlap()
 	}
-	switch {
-	case cfg.Optimizer == "lamb":
-		w.opt = nn.NewLAMB(cfg.WeightDecay)
-	case cfg.Optimizer == "lars" || (cfg.Optimizer == "" && cfg.UseLARS):
-		eta := cfg.LARSEta
-		if eta == 0 {
-			eta = 0.01
-		}
-		w.opt = nn.NewLARS(cfg.Momentum, cfg.WeightDecay, eta)
-	default:
-		w.opt = nn.NewSGD(cfg.Momentum, cfg.WeightDecay)
-	}
+	w.opt = newOptimizer(cfg)
 	if cfg.Strategy.Kind != shuffle.Global {
 		w.local = store.NewLocal(cfg.LocalCapacityBytes)
 		for _, id := range parts[c.Rank()] {
@@ -403,9 +449,30 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 					return nil, err
 				}
 			}
+			if cfg.OnPeerFail == "degrade" {
+				w.exchanger.SetDegradeOnPeerFailure(true)
+			}
 		}
 	}
 	return w, nil
+}
+
+// newOptimizer builds the configured update rule. The recovery path re-runs
+// it after a group re-formation: re-created state (zeroed momentum) is the
+// one optimizer state every survivor can agree on without shipping buffers.
+func newOptimizer(cfg Config) nn.Optimizer {
+	switch {
+	case cfg.Optimizer == "lamb":
+		return nn.NewLAMB(cfg.WeightDecay)
+	case cfg.Optimizer == "lars" || (cfg.Optimizer == "" && cfg.UseLARS):
+		eta := cfg.LARSEta
+		if eta == 0 {
+			eta = 0.01
+		}
+		return nn.NewLARS(cfg.Momentum, cfg.WeightDecay, eta)
+	default:
+		return nn.NewSGD(cfg.Momentum, cfg.WeightDecay)
+	}
 }
 
 // setupOverlap builds the bucketed gradient-sync state: the reverse-layer
@@ -420,7 +487,10 @@ func (w *worker) setupOverlap() {
 	w.plan = nn.NewBucketPlan(w.model, w.cfg.GradBucketBytes)
 	w.gradBuf = make([]float32, w.plan.NumEl)
 	w.bucketReqs = make([]*mpi.CollRequest, len(w.plan.Buckets))
-	size := w.comm.Size()
+	// Group size, not world size: after a degrade-mode Shrink the bucket
+	// rings run over the survivors, and IAllreduceChunks requires bounds
+	// sized to the collective group. The recovery path re-runs setupOverlap.
+	size := w.comm.GroupSize()
 	global := make([]int, size+1)
 	for i := 0; i <= size; i++ {
 		global[i] = i * w.plan.NumEl / size
@@ -474,7 +544,7 @@ func (w *worker) launchReadyBuckets(layer int) {
 // Exposed wait, total in-flight time, and exact wire bytes are accounted
 // per bucket.
 func (w *worker) drainBuckets(es *EpochStats, lr float32) {
-	inv := 1 / float32(w.comm.Size())
+	inv := 1 / float32(w.comm.GroupSize())
 	for bi, req := range w.bucketReqs {
 		b := w.plan.Buckets[bi]
 		tw := time.Now()
@@ -496,16 +566,47 @@ func (w *worker) drainBuckets(es *EpochStats, lr float32) {
 func (w *worker) train() ([]EpochStats, error) {
 	stats := make([]EpochStats, 0, w.cfg.Epochs)
 	for epoch := 0; epoch < w.cfg.Epochs; epoch++ {
-		es, err := w.runEpoch(epoch)
+		es := EpochStats{Epoch: epoch}
+		// The whole per-epoch block runs under a Guard: in degrade mode a
+		// peer death unwinds the current collective on every survivor
+		// (mpi.collWait) and surfaces here as a typed error instead of
+		// killing the rank — the transaction boundary at which the group
+		// re-forms.
+		err := w.comm.Guard(func() error {
+			if err := w.runEpoch(epoch, &es); err != nil {
+				return err
+			}
+			if w.cfg.SyncBatchNormStats {
+				w.syncBatchNormStats()
+			}
+			tv := time.Now()
+			es.ValAcc = w.validate()
+			w.emitTrace(epoch, es, time.Since(tv))
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			pe, isPeer := mpi.PeerErrorFrom(err)
+			if !isPeer || w.cfg.OnPeerFail != "degrade" {
+				return nil, err // abort policy (or a non-failure error)
+			}
+			resume, rerr := w.recoverPeerFailure(epoch, pe, &es)
+			if rerr != nil {
+				return nil, fmt.Errorf("recovering from death of rank %d: %w", pe.Rank, rerr)
+			}
+			es.Disrupted = true
+			w.emitTrace(epoch, es, 0)
+			stats = append(stats, es)
+			// A failure straddling an epoch boundary can leave part of the
+			// group one epoch ahead; the resume point skips past the
+			// furthest progress so no epoch (and no exchange tag space) is
+			// ever re-entered.
+			for skip := epoch + 1; skip < resume && skip < w.cfg.Epochs; skip++ {
+				stats = append(stats, EpochStats{Epoch: skip, Skipped: true,
+					DegradedSlots: es.DegradedSlots, EffectiveQ: es.EffectiveQ})
+			}
+			epoch = resume - 1
+			continue
 		}
-		if w.cfg.SyncBatchNormStats {
-			w.syncBatchNormStats()
-		}
-		tv := time.Now()
-		es.ValAcc = w.validate()
-		w.emitTrace(epoch, es, time.Since(tv))
 		stats = append(stats, es)
 	}
 	return stats, nil
@@ -539,6 +640,241 @@ func (w *worker) emitTrace(epoch int, es EpochStats, valTime time.Duration) {
 		Duration: es.GEWUTime, Bytes: es.GradWireBytes})
 	rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseValidate,
 		Duration: valTime})
+	if es.DegradedSlots > 0 || es.Disrupted {
+		rec.Record(trace.Event{Rank: rank, Epoch: epoch, Phase: trace.PhaseDegraded,
+			Bytes: int64(es.DegradedSlots), EffectiveQ: es.EffectiveQ})
+	}
+}
+
+// finishExchange completes the open epoch's exchange: Synchronize, record
+// the epoch's volumes and degradation, apply the storage swap, and close
+// the Scheduling…CleanLocalStorage window. It is pure point-to-point work —
+// the recovery path calls it too, after the survivors have agreed that
+// every one of them reached this epoch's exchange.
+func (w *worker) finishExchange(es *EpochStats) error {
+	if err := w.exchanger.Synchronize(); err != nil {
+		return err
+	}
+	// On a wire backend, record the exchange's true network volume (exact
+	// frame sizes; the traffic itself overlaps with compute, so transport
+	// counter deltas cannot attribute it to this phase).
+	if w.comm.Transport().Stats().Wire {
+		sent, recv := w.exchanger.WireTraffic()
+		es.ExchangeWireBytes += sent + recv
+	}
+	for _, s := range w.exchanger.Received() {
+		es.ExchangeBytes += s.Bytes
+	}
+	ds, dr := w.exchanger.DegradedSlots()
+	es.DegradedSlots = ds + dr
+	es.EffectiveQ = w.exchanger.EffectiveQ()
+	if err := w.exchanger.CleanLocalStorage(); err != nil {
+		return err
+	}
+	w.exchEpoch = -1
+	return nil
+}
+
+// recoverPeerFailure re-forms the world around the dead peer(s) and returns
+// the epoch at which every survivor resumes. It runs on every survivor —
+// the failure registry unwinds the same collective on each of them (they
+// are at most ONE collective apart, because every trainer collective is a
+// ring that cannot complete without all members) — and performs, in
+// lock-step:
+//
+//  1. Drain any in-flight gradient buckets (their rings unwind on the
+//     failure registry; waiting here is what keeps the no-leaked-goroutine
+//     guarantee).
+//  2. Shrink the collective group to the survivors and realign the
+//     collective sequence counter to a generation-salted base every
+//     survivor derives locally, so stale frames from the sacrificed
+//     collective can never alias a future tag.
+//  3. Reconcile over the shrunken group (one AllgatherVarLen): each
+//     survivor shares its current epoch and its known-dead set. If the
+//     dead sets disagree (a survivor learned of the death late), everyone
+//     adopts the union and repeats with the next generation.
+//  4. Resolve the disrupted epoch's exchange: if every survivor had opened
+//     it, complete it (Synchronize + CleanLocalStorage — the no-lost/no-dup
+//     invariant's normal path); if some survivor never entered the epoch,
+//     the ranks that did ABANDON it (Scheduler.Reset — the store is
+//     untouched, so their unreceived sends stay conserved at the sender)
+//     and the resume point skips past it so its tag space is never
+//     re-entered.
+//  5. Re-synchronize state: broadcast weights from the lowest surviving
+//     rank (survivors can be one gradient step apart), reset optimizer
+//     state (zeroed momentum is the
+//     one state all survivors agree on without shipping buffers), and
+//     rebuild the overlap bucket bounds for the new group size.
+func (w *worker) recoverPeerFailure(epoch int, first *transport.PeerError, es *EpochStats) (resume int, err error) {
+	// Step 1: settle in-flight bucket all-reduces. Each either completed
+	// before the death or unwinds on the failure registry; both are fine.
+	for bi, req := range w.bucketReqs {
+		if req == nil {
+			continue
+		}
+		r := req
+		_ = w.comm.Guard(func() error { r.Wait(); return nil })
+		w.bucketReqs[bi] = nil
+	}
+
+	// Steps 2-3: shrink + reconcile, repeating if the death sets disagree
+	// or another peer dies during the reconciliation itself.
+	const maxGenerations = 4
+	var gathered [][]int
+	for attempt := 0; ; attempt++ {
+		if attempt == maxGenerations {
+			return 0, fmt.Errorf("reconciliation did not converge after %d generations", maxGenerations)
+		}
+		dead := w.comm.FailedPeers()
+		live := subtractSorted(w.comm.GroupRanks(), dead)
+		if len(live) == 0 {
+			return 0, fmt.Errorf("no survivors")
+		}
+		if err := w.comm.Shrink(live); err != nil {
+			return 0, err
+		}
+		w.recoveries++
+		base := w.recoveries << 32
+		if base <= w.comm.CollSeq() {
+			return 0, fmt.Errorf("collective sequence space exhausted (seq %d)", w.comm.CollSeq())
+		}
+		w.comm.SetCollSeq(base)
+		var g [][]int
+		gerr := w.comm.Guard(func() error {
+			g = mpi.AllgatherVarLen(w.comm, append([]int{epoch}, dead...))
+			return nil
+		})
+		if gerr != nil {
+			continue // another death mid-reconciliation: next generation
+		}
+		union := append([]int(nil), dead...)
+		agreed := true
+		for _, r := range live {
+			union = unionSorted(union, g[r][1:])
+		}
+		for _, r := range live {
+			if !equalInts(g[r][1:], union) {
+				agreed = false
+			}
+		}
+		if !agreed {
+			// Adopt the union and repeat — every survivor sees the same
+			// gathered sets, so every survivor repeats with the same
+			// generation counter.
+			for _, dr := range union {
+				if w.comm.PeerFailure(dr) == nil {
+					w.comm.NotePeerFailure(transport.PeerError{Rank: dr, Phase: "reconciliation"})
+				}
+			}
+			continue
+		}
+		gathered = g
+		break
+	}
+
+	// Step 4: resolve the disrupted epoch's exchange and the resume point.
+	minCur, maxCur := epoch, epoch
+	for _, r := range w.comm.GroupRanks() {
+		if c := gathered[r][0]; c < minCur {
+			minCur = c
+		} else if c > maxCur {
+			maxCur = c
+		}
+	}
+	if maxCur-minCur > 1 {
+		return 0, fmt.Errorf("survivors diverged by %d epochs (min %d, max %d)", maxCur-minCur, minCur, maxCur)
+	}
+	resume = maxCur + 1
+	if w.exchEpoch >= 0 {
+		if epoch == minCur {
+			// Everyone reached this epoch's exchange (ranks further along
+			// completed it already): finish it properly so sent samples
+			// commit and received ones are saved.
+			if ferr := w.finishExchange(es); ferr != nil {
+				return 0, ferr
+			}
+		} else {
+			// Some survivor never opened this epoch: abandon it. The store
+			// is untouched (no sample was deleted), so what we sent and
+			// they never received survives here — conserved, not duplicated
+			// (their copies rot undecoded in the mailbox; the epoch's tag
+			// is never used again because resume skips past it).
+			ds, dr := w.exchanger.DegradedSlots()
+			es.DegradedSlots = ds + dr
+			es.EffectiveQ = w.exchanger.EffectiveQ()
+			w.exchanger.Reset()
+			w.exchEpoch = -1
+		}
+	} else if w.exchanger != nil {
+		ds, dr := w.exchanger.DegradedSlots()
+		es.DegradedSlots = ds + dr
+		es.EffectiveQ = w.exchanger.EffectiveQ()
+	}
+
+	// Step 5: re-synchronize replica state across the survivors. They are
+	// at most one applied gradient step apart; the lowest survivor's
+	// weights win.
+	// Batch-norm RUNNING statistics are deliberately left alone: they are
+	// per-worker by design (the paper's central mechanism) and were never
+	// synchronized, so they carry no cross-rank consistency requirement.
+	root := w.comm.GroupRanks()[0]
+	for _, p := range w.params {
+		mpi.Bcast(w.comm, p.W, root)
+	}
+	w.opt = newOptimizer(w.cfg)
+	if w.cfg.OverlapGrads {
+		w.setupOverlap()
+	}
+	return resume, nil
+}
+
+// subtractSorted returns a minus b; both must be sorted ascending.
+func subtractSorted(a, b []int) []int {
+	out := a[:0:0]
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// unionSorted merges two sorted ascending slices without duplicates.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // syncBatchNormStats averages every BatchNorm layer's running mean and
@@ -558,7 +894,7 @@ func (w *worker) syncBatchNormStats() {
 		return
 	}
 	mpi.Allreduce(w.comm, stats, mpi.OpSum)
-	inv := 1 / float32(w.comm.Size())
+	inv := 1 / float32(w.comm.GroupSize())
 	off := 0
 	for _, bn := range layers {
 		for j := range bn.RunMean {
@@ -606,11 +942,10 @@ func (w *worker) readSample(id int, es *EpochStats) (data.Sample, error) {
 	return s, err
 }
 
-func (w *worker) runEpoch(epoch int) (EpochStats, error) {
-	es := EpochStats{Epoch: epoch}
+func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 	ids, err := w.epochIDs(epoch)
 	if err != nil {
-		return es, err
+		return err
 	}
 	// Iteration count and effective batch are derived from the GLOBAL
 	// shape (drop-last semantics): every rank must execute the same number
@@ -618,6 +953,21 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 	// local counts differ by one.
 	b := w.cfg.BatchSize
 	minLocal := len(w.cfg.Dataset.Train) / w.comm.Size()
+	if w.comm.GroupSize() < w.comm.Size() {
+		// Degraded world: the dead ranks' unexchanged samples are gone, so
+		// survivor stores can dip below N/M (retention and forfeiture also
+		// skew them independently). The survivors agree on the smallest
+		// surviving store with one group-min all-reduce — same iteration
+		// count everywhere, and no rank slices past its own sample list.
+		buf := []int{len(ids)}
+		mpi.Allreduce(w.comm, buf, mpi.OpMin)
+		if buf[0] < minLocal {
+			minLocal = buf[0]
+		}
+		if minLocal == 0 {
+			return fmt.Errorf("epoch %d: a surviving rank has no local samples left", epoch)
+		}
+	}
 	if b > minLocal {
 		b = minLocal
 	}
@@ -631,19 +981,25 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 			w.exchanger.SetSendPriority(w.lossByID)
 		}
 		if err := w.exchanger.Scheduling(epoch); err != nil {
-			return es, err
+			return err
 		}
+		w.exchEpoch = epoch
 		chunk = (w.exchanger.Slots() + iters - 1) / iters
 	}
 
 	lr := w.sched.LR(float64(epoch))
 	var lossSum float64
 	for it := 0; it < iters; it++ {
+		if w.cfg.testIterHook != nil {
+			if err := w.cfg.testIterHook(epoch, it); err != nil {
+				return err
+			}
+		}
 		// Phase: I/O — assemble the mini-batch from storage.
 		t0 := time.Now()
 		batch := ids[it*b : (it+1)*b]
-		if err := w.loadBatch(batch, &es); err != nil {
-			return es, err
+		if err := w.loadBatch(batch, es); err != nil {
+			return fmt.Errorf("epoch %d iteration %d: %w", epoch, it, err)
 		}
 		es.IOTime += time.Since(t0)
 
@@ -651,7 +1007,7 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 		if w.exchanger != nil && chunk > 0 {
 			t0 = time.Now()
 			if _, err := w.exchanger.Communicate(chunk); err != nil {
-				return es, err
+				return err
 			}
 			es.ExchangeTime += time.Since(t0)
 		}
@@ -679,7 +1035,7 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 		// buffer (exposed wait == total comm, the A/B baseline).
 		t0 = time.Now()
 		if w.plan != nil {
-			w.drainBuckets(&es, lr)
+			w.drainBuckets(es, lr)
 		} else {
 			w.gradBuf = nn.FlattenGrads(w.params, w.gradBuf)
 			tw := time.Now()
@@ -688,7 +1044,7 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 			es.GEWUWaitTime += d
 			es.GEWUCommTime += d
 			es.GradWireBytes += sent + recv
-			inv := 1 / float32(w.comm.Size())
+			inv := 1 / float32(w.comm.GroupSize())
 			for i := range w.gradBuf {
 				w.gradBuf[i] *= inv
 			}
@@ -701,21 +1057,8 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 	// Epoch boundary: finish the exchange and swap storage.
 	if w.exchanger != nil {
 		t0 := time.Now()
-		if err := w.exchanger.Synchronize(); err != nil {
-			return es, err
-		}
-		// On a wire backend, record the exchange's true network volume
-		// (exact frame sizes; the traffic itself overlaps with compute, so
-		// transport counter deltas cannot attribute it to this phase).
-		if w.comm.Transport().Stats().Wire {
-			sent, recv := w.exchanger.WireTraffic()
-			es.ExchangeWireBytes += sent + recv
-		}
-		for _, s := range w.exchanger.Received() {
-			es.ExchangeBytes += s.Bytes
-		}
-		if err := w.exchanger.CleanLocalStorage(); err != nil {
-			return es, err
+		if err := w.finishExchange(es); err != nil {
+			return err
 		}
 		es.ExchangeTime += time.Since(t0)
 	}
@@ -724,8 +1067,8 @@ func (w *worker) runEpoch(epoch int) (EpochStats, error) {
 	// same curve.
 	buf := []float64{lossSum / float64(iters)}
 	mpi.Allreduce(w.comm, buf, mpi.OpSum)
-	es.TrainLoss = buf[0] / float64(w.comm.Size())
-	return es, nil
+	es.TrainLoss = buf[0] / float64(w.comm.GroupSize())
+	return nil
 }
 
 // loadBatch fills the reusable batch tensors from storage.
@@ -756,7 +1099,9 @@ func (w *worker) validate() float64 {
 	if len(val) == 0 {
 		return 0
 	}
-	m, r := w.comm.Size(), w.comm.Rank()
+	// Shard over the collective GROUP so a shrunken world still covers the
+	// whole validation set (dead ranks' shards are re-spread).
+	m, r := w.comm.GroupSize(), w.comm.GroupRank()
 	lo := r * len(val) / m
 	hi := (r + 1) * len(val) / m
 	correct := 0

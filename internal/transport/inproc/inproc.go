@@ -26,6 +26,8 @@ type Network struct {
 	handlers []transport.Handler
 	mu       sync.RWMutex
 	stats    []connStats
+	dead     []bool                     // rank → killed (fault injection)
+	onFail   []func(transport.PeerError) // per-rank failure callbacks
 }
 
 type connStats struct {
@@ -44,6 +46,38 @@ func NewNetwork(size int) *Network {
 		size:     size,
 		handlers: make([]transport.Handler, size),
 		stats:    make([]connStats, size),
+		dead:     make([]bool, size),
+		onFail:   make([]func(transport.PeerError), size),
+	}
+}
+
+// Kill simulates the abrupt death of one rank: its handler stops receiving,
+// every Send toward it fails with a *transport.PeerError, and every other
+// rank's registered failure callback fires — the in-process analogue of a
+// SIGKILLed process whose peers detect the silence. Killing a rank twice is
+// a no-op. This is the fault-injection hook the chaos tests use to exercise
+// graceful degradation without real processes.
+func (n *Network) Kill(rank int) {
+	if rank < 0 || rank >= n.size {
+		panic(fmt.Sprintf("inproc: Kill(%d): rank out of range [0,%d)", rank, n.size))
+	}
+	n.mu.Lock()
+	if n.dead[rank] {
+		n.mu.Unlock()
+		return
+	}
+	n.dead[rank] = true
+	n.handlers[rank] = nil
+	callbacks := make([]func(transport.PeerError), 0, n.size)
+	for r, cb := range n.onFail {
+		if r != rank && !n.dead[r] && cb != nil {
+			callbacks = append(callbacks, cb)
+		}
+	}
+	n.mu.Unlock()
+	pe := transport.PeerError{Rank: rank, Phase: transport.PhaseRecv}
+	for _, cb := range callbacks {
+		cb(pe)
 	}
 }
 
@@ -86,7 +120,11 @@ func (c *conn) Send(dst, tag int, payload any) error {
 	}
 	c.net.mu.RLock()
 	h := c.net.handlers[dst]
+	dead := c.net.dead[dst]
 	c.net.mu.RUnlock()
+	if dead {
+		return &transport.PeerError{Rank: dst, Phase: transport.PhaseSend}
+	}
 	if h == nil {
 		return fmt.Errorf("inproc: Send: destination rank %d not attached", dst)
 	}
@@ -117,3 +155,24 @@ func (c *conn) Close() error {
 	c.closed.Store(true)
 	return nil
 }
+
+// OnPeerFailure registers this rank's peer-failure callback (invoked by
+// Network.Kill for every surviving rank). Implements
+// transport.FailureNotifier.
+func (c *conn) OnPeerFailure(cb func(transport.PeerError)) {
+	c.net.mu.Lock()
+	c.net.onFail[c.rank] = cb
+	c.net.mu.Unlock()
+}
+
+// Kill abruptly removes this rank from the network (transport.Killer):
+// the fault-injection analogue of the process dying.
+func (c *conn) Kill() {
+	c.closed.Store(true)
+	c.net.Kill(c.rank)
+}
+
+var (
+	_ transport.FailureNotifier = (*conn)(nil)
+	_ transport.Killer          = (*conn)(nil)
+)

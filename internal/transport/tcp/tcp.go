@@ -73,10 +73,32 @@ type Config struct {
 	// ReadIdleTimeout, when positive, is the per-read deadline on
 	// established data connections. Zero (the default) means reads block
 	// indefinitely — epochs between exchanges can be arbitrarily long.
+	// When heartbeats are enabled it defaults to PeerTimeout, since a
+	// healthy peer then guarantees traffic at least every
+	// HeartbeatInterval.
 	ReadIdleTimeout time.Duration
+	// RetryTimeout is the TOTAL deadline for one outbound batch's
+	// dial/redial retry loop, layered on top of the per-attempt budget
+	// (DialAttempts × backoff): whichever bound is hit first marks the
+	// peer dead. Default 20s.
+	RetryTimeout time.Duration
 	// DrainTimeout bounds how long Close waits for queued outbound frames
 	// to flush. Default 10s.
 	DrainTimeout time.Duration
+
+	// HeartbeatInterval, when positive, enables liveness detection: a
+	// background prober enqueues a KindPing frame to every peer each
+	// interval. Because pings ride the normal write path — dial, retry
+	// budget, deadlines — a dead or partitioned peer is detected even by
+	// ranks that never send it data, surfacing as a *transport.PeerError
+	// through OnPeerFailure instead of an eternal block. Zero (the
+	// default) disables heartbeats; byte accounting then stays exactly the
+	// data traffic, which the wire-exactness tests rely on.
+	HeartbeatInterval time.Duration
+	// PeerTimeout bounds how long a silent established connection is
+	// trusted when heartbeats are enabled (it becomes the read deadline on
+	// data connections). Default 4 × HeartbeatInterval.
+	PeerTimeout time.Duration
 
 	// Dial overrides the dial function (tests inject flaky networks).
 	// Default net.DialTimeout("tcp", addr, timeout).
@@ -102,8 +124,19 @@ func (c *Config) fillDefaults() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 20 * time.Second
+	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.HeartbeatInterval > 0 {
+		if c.PeerTimeout <= 0 {
+			c.PeerTimeout = 4 * c.HeartbeatInterval
+		}
+		if c.ReadIdleTimeout <= 0 {
+			c.ReadIdleTimeout = c.PeerTimeout
+		}
 	}
 	if c.Dial == nil {
 		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -141,14 +174,17 @@ type Conn struct {
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	killed    atomic.Bool
 	readerWG  sync.WaitGroup
 	writerWG  sync.WaitGroup
+	beatWG    sync.WaitGroup
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{} // every live socket, for shutdown
 
-	errMu sync.Mutex
-	err   error
+	errMu  sync.Mutex
+	err    error
+	onFail func(transport.PeerError) // registered via OnPeerFailure
 }
 
 // track remembers a live socket so Close can tear it down even if it never
@@ -180,7 +216,8 @@ type peer struct {
 	spare   []*transport.WireBuf // recycled backing array for queue
 	conn    net.Conn             // current write connection; nil → (re)dial on demand
 	closing bool
-	dead    bool // retry budget exhausted; queue is discarded
+	dead    bool                 // retry budget exhausted; queue is discarded
+	err     *transport.PeerError // why the peer is dead (set with dead)
 
 	iov net.Buffers // writer-goroutine scratch for vectored writes
 }
@@ -234,8 +271,174 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 
 	c.readerWG.Add(1)
 	go c.acceptLoop()
+	if cfg.HeartbeatInterval > 0 {
+		c.beatWG.Add(1)
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
+
+// heartbeatLoop enqueues a KindPing frame to every live peer each interval.
+// Pings ride the normal write path — dial, retry budget, deadlines — so a
+// dead peer is detected (and surfaces through OnPeerFailure) even by ranks
+// that never send it data.
+func (c *Conn) heartbeatLoop() {
+	defer c.beatWG.Done()
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-ticker.C:
+		}
+		for _, p := range c.peers {
+			if p == nil {
+				continue
+			}
+			wb := transport.GetWireBuf()
+			buf, err := transport.AppendFrame(wb.B[:0], transport.WireFrame{
+				Kind: transport.KindPing,
+				Src:  int32(c.cfg.Rank),
+				Dst:  int32(p.rank),
+			})
+			wb.B = buf
+			if err != nil {
+				transport.PutWireBuf(wb)
+				continue
+			}
+			p.mu.Lock()
+			if p.dead || p.closing {
+				p.mu.Unlock()
+				transport.PutWireBuf(wb)
+				continue
+			}
+			p.queue = append(p.queue, wb)
+			p.cond.Signal()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// OnPeerFailure registers the callback invoked (at most once per peer, from
+// a writer goroutine) when that peer's retry budget or deadline is
+// exhausted. Implements transport.FailureNotifier.
+func (c *Conn) OnPeerFailure(cb func(transport.PeerError)) {
+	c.errMu.Lock()
+	c.onFail = cb
+	c.errMu.Unlock()
+}
+
+func (c *Conn) notifyPeerFailure(pe transport.PeerError) {
+	if c.killed.Load() {
+		return // our own teardown, not a remote failure
+	}
+	c.errMu.Lock()
+	cb := c.onFail
+	c.errMu.Unlock()
+	if cb != nil {
+		cb(pe)
+	}
+}
+
+// Kill tears the endpoint down instantly — no drain, no goodbye frames —
+// exactly as SIGKILL would: every socket and the listener close, queued
+// frames are discarded, and subsequent Sends fail. Peers observe the death
+// through their own detectors (read resets, heartbeat silence, exhausted
+// redial budgets). Implements transport.Killer for fault-injection tests.
+func (c *Conn) Kill() {
+	c.killed.Store(true)
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		for _, p := range c.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.closing = true
+			p.dead = true
+			if p.err == nil {
+				p.err = &transport.PeerError{Rank: p.rank, Phase: transport.PhaseClose,
+					Err: errors.New("transport killed")}
+			}
+			for _, wb := range p.queue {
+				transport.PutWireBuf(wb)
+			}
+			p.queue = nil
+			p.conn = nil
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		c.connsMu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.conns = nil
+		c.connsMu.Unlock()
+		c.beatWG.Wait()
+	})
+}
+
+// ResetPeers forces every established connection to be recycled WITHOUT
+// marking any peer dead — the transient-blip fault (transport.Resetter).
+// Each socket's write side is shut down (half-close): bytes already
+// accepted by the kernel still flush, the remote reader consumes them and
+// then sees a clean EOF, drops the connection, and both sides redial within
+// the normal retry budget. Half-close rather than full close is what makes
+// the fault survivable-by-construction: a full close would destroy inbound
+// frames sitting in the local receive buffer — frames the peer's write
+// accounting already counted as delivered, so nothing would ever resend
+// them and the next collective would hang. (A fault that loses
+// acknowledged frames is a peer death, not a reset; inject that with
+// Kill.) Only an exhausted retry budget — never the reset itself —
+// surfaces as a peer failure.
+func (c *Conn) ResetPeers() {
+	select {
+	case <-c.closed:
+		return // already torn down; nothing to reset
+	default:
+	}
+	// Detach each peer's canonical write connection first so writers redial
+	// instead of queueing more writes onto a socket that is about to refuse
+	// them.
+	for _, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.conn = nil
+		p.mu.Unlock()
+	}
+	c.connsMu.Lock()
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.connsMu.Unlock()
+	for _, conn := range conns {
+		// The socket stays tracked and its read side stays open: inbound
+		// frames keep draining until the peer reacts to the EOF, closes its
+		// end, and our reader drops the connection (dropConn unregisters
+		// it). Close and Kill can still tear it down meanwhile.
+		if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		} else {
+			// Injected test dials may not be TCP; a full close is the best
+			// available approximation there.
+			c.untrack(conn)
+			conn.Close()
+		}
+	}
+}
+
+var (
+	_ transport.FailureNotifier = (*Conn)(nil)
+	_ transport.Killer          = (*Conn)(nil)
+	_ transport.Resetter        = (*Conn)(nil)
+)
 
 // Rank returns this endpoint's rank.
 func (c *Conn) Rank() int { return c.cfg.Rank }
@@ -277,7 +480,11 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 		return fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.Size)
 	}
 	if err := c.Err(); err != nil {
-		return fmt.Errorf("tcp: Send to rank %d: transport already failed: %w", dst, err)
+		// A peer-scoped failure poisons only sends toward that peer (checked
+		// below); whole-transport failures poison everything.
+		if _, isPeer := transport.AsPeerError(err); !isPeer {
+			return fmt.Errorf("tcp: Send to rank %d: transport already failed: %w", dst, err)
+		}
 	}
 	select {
 	case <-c.closed:
@@ -318,9 +525,13 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 	p := c.peers[dst]
 	p.mu.Lock()
 	if p.dead {
+		pe := p.err
 		p.mu.Unlock()
 		transport.PutWireBuf(wb)
-		return fmt.Errorf("tcp: Send to rank %d: peer unreachable: %w", dst, c.Err())
+		if pe != nil {
+			return fmt.Errorf("tcp: Send to rank %d: %w", dst, pe)
+		}
+		return &transport.PeerError{Rank: dst, Phase: transport.PhaseSend}
 	}
 	if p.closing {
 		p.mu.Unlock()
@@ -356,6 +567,7 @@ func (c *Conn) Close() error {
 			c.fail(fmt.Errorf("tcp: rank %d: close: outbound queues not drained within %v", c.cfg.Rank, c.cfg.DrainTimeout))
 		}
 		close(c.closed)
+		c.beatWG.Wait()
 		if c.listener != nil {
 			c.listener.Close()
 		}
@@ -630,6 +842,9 @@ func (c *Conn) readLoop(rank int, conn net.Conn) {
 		case transport.KindBye:
 			c.dropConn(rank, conn)
 			return
+		case transport.KindPing:
+			// Liveness probe: the successful read is the signal; nothing to
+			// deliver. (Byte accounting above already includes it.)
 		default:
 			// Control frames are not expected mid-stream; ignore.
 		}
@@ -671,11 +886,20 @@ func (c *Conn) writeLoop(p *peer) {
 			transport.PutWireBuf(wb)
 		}
 		if err != nil {
+			pe, ok := transport.AsPeerError(err)
+			if !ok {
+				pe = &transport.PeerError{Rank: p.rank, Phase: transport.PhaseSend, Err: err}
+			}
 			c.fail(err)
 			p.mu.Lock()
 			p.dead = true
+			p.err = pe
+			for _, wb := range p.queue {
+				transport.PutWireBuf(wb)
+			}
 			p.queue = nil
 			p.mu.Unlock()
+			c.notifyPeerFailure(*pe)
 			return
 		}
 		clear(batch)
@@ -695,9 +919,21 @@ func (c *Conn) writeLoop(p *peer) {
 func (c *Conn) writeBatch(p *peer, batch []*transport.WireBuf) error {
 	done := 0 // frames fully written
 	backoff := c.cfg.DialBackoff
+	deadline := time.Now().Add(c.cfg.RetryTimeout)
+	phase := transport.PhaseDial // no connection ever established this batch
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
+	attempt := 0
+	for ; attempt < c.cfg.DialAttempts; attempt++ {
+		if c.killed.Load() {
+			return &transport.PeerError{Rank: p.rank, Phase: transport.PhaseClose,
+				Err: errors.New("transport killed")}
+		}
 		if attempt > 0 {
+			if time.Now().Add(backoff).After(deadline) {
+				return &transport.PeerError{Rank: p.rank, Phase: phase,
+					Err: fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts (retry deadline %v exceeded): %w",
+						c.cfg.Rank, p.rank, attempt, c.cfg.RetryTimeout, lastErr)}
+			}
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > time.Second {
 				backoff = time.Second
@@ -708,6 +944,7 @@ func (c *Conn) writeBatch(p *peer, batch []*transport.WireBuf) error {
 			lastErr = err
 			continue
 		}
+		phase = transport.PhaseSend
 		p.iov = p.iov[:0]
 		for _, wb := range batch[done:] {
 			p.iov = append(p.iov, wb.B)
@@ -727,8 +964,9 @@ func (c *Conn) writeBatch(p *peer, batch []*transport.WireBuf) error {
 		}
 		c.dropConn(p.rank, conn)
 	}
-	return fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts: %w",
-		c.cfg.Rank, p.rank, c.cfg.DialAttempts, lastErr)
+	return &transport.PeerError{Rank: p.rank, Phase: phase,
+		Err: fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts: %w",
+			c.cfg.Rank, p.rank, attempt, lastErr)}
 }
 
 // peerConn returns the peer's current connection, dialing its data

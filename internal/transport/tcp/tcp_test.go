@@ -190,6 +190,74 @@ func TestReconnectAfterDroppedConnection(t *testing.T) {
 	}
 }
 
+func TestResetPeersIsLossless(t *testing.T) {
+	t.Parallel()
+	// ResetPeers models a transient network blip: every established
+	// connection is recycled, but no frame already handed to Send may be
+	// lost and no peer may be declared dead. The half-close discipline is
+	// what makes this safe — a full close would destroy inbound frames
+	// sitting in the local receive buffer that the sender already counted
+	// as delivered.
+	var failures atomic.Int32
+	conns, inbox := startWorld(t, 3, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+	})
+	for _, c := range conns {
+		c.OnPeerFailure(func(transport.PeerError) { failures.Add(1) })
+	}
+
+	const rounds, perRound = 6, 40
+	sent := 0
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			for src := range conns {
+				dst := (src + 1) % 3
+				if err := conns[src].Send(dst, 0, sent*3+src); err != nil {
+					t.Fatalf("round %d: rank %d send: %v", round, src, err)
+				}
+			}
+			sent++
+		}
+		// Recycle every rank's connections mid-stream, including while
+		// peers may still be draining the previous round.
+		for _, c := range conns {
+			c.ResetPeers()
+		}
+	}
+
+	// Each rank receives rounds*perRound frames from its single upstream
+	// neighbour, in FIFO order despite the resets.
+	for dst := range conns {
+		src := (dst + 2) % 3
+		got := recvN(t, inbox[dst], rounds*perRound)
+		for i, f := range got {
+			if f.Src != src {
+				t.Fatalf("rank %d frame %d: src %d, want %d", dst, i, f.Src, src)
+			}
+			if want := i*3 + src; f.Payload.(int) != want {
+				t.Fatalf("rank %d frame %d: payload %v, want %d (reset broke FIFO)", dst, i, f.Payload, want)
+			}
+		}
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d peer-failure notifications fired for a survivable reset", n)
+	}
+	for r, c := range conns {
+		if err := c.Err(); err != nil {
+			t.Fatalf("rank %d recorded failure despite lossless resets: %v", r, err)
+		}
+	}
+}
+
+func TestResetPeersAfterCloseIsNoop(t *testing.T) {
+	t.Parallel()
+	conns, _ := startWorld(t, 2, nil)
+	if err := conns[0].Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	conns[0].ResetPeers() // must not panic or resurrect dial loops
+}
+
 func TestRetryBudgetExhaustedFailsFast(t *testing.T) {
 	t.Parallel()
 	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
@@ -223,6 +291,162 @@ func TestRetryBudgetExhaustedFailsFast(t *testing.T) {
 	}
 	if cerr := conns[0].Close(); cerr == nil {
 		t.Fatal("Close returned nil after a recorded transport failure")
+	}
+}
+
+func TestWriteRetryRespectsTotalDeadline(t *testing.T) {
+	t.Parallel()
+	// A huge attempt budget must still be cut short by RetryTimeout: the
+	// total deadline, not the per-attempt count, bounds how long a dead peer
+	// can wedge the writer.
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.DialAttempts = 1 << 20
+		cfg.DialBackoff = 20 * time.Millisecond
+		cfg.DialTimeout = 200 * time.Millisecond
+		cfg.RetryTimeout = 300 * time.Millisecond
+	})
+	if err := conns[1].Close(); err != nil {
+		t.Fatalf("closing rank 1: %v", err)
+	}
+	start := time.Now()
+	if err := conns[0].Send(1, 0, 42); err != nil {
+		t.Fatalf("eager send must enqueue even while the peer is down: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for conns[0].Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := conns[0].Err()
+	if err == nil {
+		t.Fatal("transport never surfaced a failure despite the retry deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure took %v to surface; RetryTimeout was 300ms", elapsed)
+	}
+	if !strings.Contains(err.Error(), "retry deadline") {
+		t.Fatalf("error does not mention the retry deadline: %v", err)
+	}
+	pe, ok := transport.AsPeerError(err)
+	if !ok || pe.Rank != 1 {
+		t.Fatalf("recorded error is not a PeerError for rank 1: %v", err)
+	}
+}
+
+func TestPeerDeathIsScopedAndNotified(t *testing.T) {
+	t.Parallel()
+	// Rank 2 dies; rank 0 must (a) get an OnPeerFailure callback naming rank
+	// 2, (b) fail sends toward rank 2 with a PeerError, and (c) keep
+	// exchanging traffic with rank 1 — peer death is scoped, not a
+	// whole-transport poison.
+	conns, inbox := startWorld(t, 3, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+		cfg.DialAttempts = 3
+		cfg.DialTimeout = 200 * time.Millisecond
+	})
+	failed := make(chan transport.PeerError, 4)
+	conns[0].OnPeerFailure(func(pe transport.PeerError) { failed <- pe })
+
+	conns[2].Kill()
+	if err := conns[0].Send(2, 0, 1); err != nil {
+		t.Fatalf("eager send must enqueue even while the peer is down: %v", err)
+	}
+	select {
+	case pe := <-failed:
+		if pe.Rank != 2 {
+			t.Fatalf("failure callback named rank %d, want 2", pe.Rank)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnPeerFailure callback never fired")
+	}
+	// Sends toward the dead peer now fail fast with a typed error.
+	err := conns[0].Send(2, 0, 2)
+	if pe, ok := transport.AsPeerError(err); !ok || pe.Rank != 2 {
+		t.Fatalf("Send to dead peer returned %v, want PeerError for rank 2", err)
+	}
+	// Traffic to the surviving peer keeps flowing.
+	if err := conns[0].Send(1, 9, "alive"); err != nil {
+		t.Fatalf("send to surviving peer failed: %v", err)
+	}
+	f := recvN(t, inbox[1], 1)[0]
+	if f.Payload.(string) != "alive" || f.Src != 0 {
+		t.Fatalf("unexpected frame %+v", f)
+	}
+}
+
+func TestHeartbeatDetectsSilentPeerDeath(t *testing.T) {
+	t.Parallel()
+	// Rank 0 never sends rank 1 any data. With heartbeats enabled it must
+	// still detect rank 1's death: pings ride the normal write path, so the
+	// exhausted redial budget surfaces as a PeerError.
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+		cfg.DialBackoff = time.Millisecond
+		cfg.DialAttempts = 3
+		cfg.DialTimeout = 200 * time.Millisecond
+	})
+	failed := make(chan transport.PeerError, 4)
+	conns[0].OnPeerFailure(func(pe transport.PeerError) { failed <- pe })
+
+	conns[1].Kill()
+	select {
+	case pe := <-failed:
+		if pe.Rank != 1 {
+			t.Fatalf("failure callback named rank %d, want 1", pe.Rank)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("heartbeats never detected the dead peer")
+	}
+}
+
+func TestKillStopsEndpointImmediately(t *testing.T) {
+	t.Parallel()
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.DialBackoff = time.Millisecond
+	})
+	conns[0].Kill()
+	if err := conns[0].Send(1, 0, 1); err == nil {
+		t.Fatal("Send succeeded on a killed transport")
+	}
+	// Kill must be idempotent and compatible with a later Close.
+	conns[0].Kill()
+	conns[0].Close()
+}
+
+func TestRendezvousRetryBoundedByTotalDeadline(t *testing.T) {
+	t.Parallel()
+	// A rendezvous endpoint that accepts but never answers must not hang the
+	// bootstrap forever: the retry loop is bounded by BootstrapTimeout as a
+	// total deadline, and New fails with a descriptive error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn // accept and go silent; never send the table
+		}
+	}()
+	start := time.Now()
+	_, err = New(Config{
+		Rank:             1,
+		Size:             2,
+		Rendezvous:       ln.Addr().String(),
+		BootstrapTimeout: 400 * time.Millisecond,
+		DialBackoff:      time.Millisecond,
+	}, func(transport.Frame) {})
+	if err == nil {
+		t.Fatal("New succeeded against a mute rendezvous")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bootstrap failure took %v; BootstrapTimeout was 400ms", elapsed)
+	}
+	if !strings.Contains(err.Error(), "rendezvous") {
+		t.Fatalf("error does not mention the rendezvous: %v", err)
 	}
 }
 

@@ -20,6 +20,11 @@
 // semantics both backends must provide.
 package transport
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Frame is one addressed message as delivered to a rank's handler. Payload
 // is a decoded Go value: for the inproc backend it is the (cloned) value the
 // sender passed; for wire backends it is the result of DecodePayload, so
@@ -75,6 +80,76 @@ type Conn interface {
 	// budget) and releases resources. It reports the first transport
 	// failure observed during the connection's lifetime, if any.
 	Close() error
+}
+
+// Phases a peer failure can be observed in — the Phase field of PeerError.
+// They name the transport operation that exposed the failure, not the
+// training phase (the trainer maps failures onto its own phases).
+const (
+	PhaseSend      = "send"      // outbound frame could not be delivered
+	PhaseRecv      = "recv"      // inbound connection died mid-stream
+	PhaseDial      = "dial"      // peer's data listener unreachable
+	PhaseHeartbeat = "heartbeat" // liveness probe went unanswered
+	PhaseClose     = "close"     // local endpoint closed while ops pending
+)
+
+// PeerError is the typed failure a transport backend reports when one
+// specific remote rank is unreachable: dead process, partitioned network,
+// exhausted retry budget. It deliberately identifies WHICH peer failed and
+// during WHAT operation, so upper layers can degrade around the dead rank
+// (shrink the effective exchange fraction, drop it from collectives)
+// instead of treating the failure as a whole-world loss.
+type PeerError struct {
+	Rank  int    // the unreachable peer's rank
+	Phase string // transport operation that surfaced the failure (Phase* consts)
+	Err   error  // underlying cause, if any
+}
+
+func (e *PeerError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("transport: peer rank %d unreachable (%s)", e.Rank, e.Phase)
+	}
+	return fmt.Sprintf("transport: peer rank %d unreachable (%s): %v", e.Rank, e.Phase, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// AsPeerError extracts a *PeerError from an error chain.
+func AsPeerError(err error) (*PeerError, bool) {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// FailureNotifier is implemented by backends that detect peer death
+// asynchronously (heartbeats, connection resets, exhausted redial budgets).
+// OnPeerFailure registers a callback invoked at most once per failed peer,
+// from a backend goroutine; it must be registered before traffic flows and
+// must not block. The mpi layer uses it to wake receives and collectives
+// that would otherwise block forever on a dead rank.
+type FailureNotifier interface {
+	OnPeerFailure(func(PeerError))
+}
+
+// Killer is implemented by backends that can simulate an abrupt process
+// death for fault-injection tests: Kill tears the endpoint down instantly —
+// no drain, no goodbye frames — exactly as SIGKILL would. After Kill every
+// Send fails and peers observe the silence through their own detectors.
+type Killer interface {
+	Kill()
+}
+
+// Resetter is implemented by wire backends whose established connections
+// can be torn down WITHOUT declaring any peer dead — the fault-injection
+// analogue of a transient network blip (switch reboot, TCP RST storm).
+// After ResetPeers the next frame toward each peer redials within the
+// backend's normal retry budget; no queued frame is lost and no failure is
+// reported unless the budget is then exhausted. Shared-memory backends have
+// no connections to reset and simply don't implement the interface.
+type Resetter interface {
+	ResetPeers()
 }
 
 // ClonePayload defensively copies the slice types commonly exchanged by the

@@ -2,7 +2,10 @@ package transporttest_test
 
 import (
 	"testing"
+	"time"
 
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/faultinject"
 	"plshuffle/internal/transport/transporttest"
 )
 
@@ -12,4 +15,36 @@ func TestInprocConformance(t *testing.T) {
 
 func TestTCPConformance(t *testing.T) {
 	transporttest.RunTransportTests(t, transporttest.TCP())
+}
+
+func TestInprocCloseSemantics(t *testing.T) {
+	transporttest.RunCloseSemanticsTests(t, transporttest.Inproc())
+}
+
+func TestTCPCloseSemantics(t *testing.T) {
+	transporttest.RunCloseSemanticsTests(t, transporttest.TCP())
+}
+
+// delayWrap injects random frame delays on every rank: a semantics-
+// preserving fault (delayed-but-ordered delivery), so the FULL conformance
+// suite must still pass through the injector. This is the transparency
+// claim the chaos soak builds on — delays alone never change results.
+func delayWrap(rank int, inner transport.Conn) transport.Conn {
+	return faultinject.New(inner, faultinject.Script{
+		Seed:      0xD0 + int64(rank),
+		DelayProb: 0.25,
+		MaxDelay:  2 * time.Millisecond,
+	})
+}
+
+func TestInprocConformanceUnderInjectedDelays(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.InprocWrapped("inproc+delay", delayWrap))
+}
+
+func TestTCPConformanceUnderInjectedDelays(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.TCPWrapped("tcp+delay", delayWrap, nil))
+}
+
+func TestInprocCloseSemanticsUnderInjectedDelays(t *testing.T) {
+	transporttest.RunCloseSemanticsTests(t, transporttest.InprocWrapped("inproc+delay", delayWrap))
 }

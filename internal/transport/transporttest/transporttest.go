@@ -8,6 +8,7 @@
 package transporttest
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -17,8 +18,14 @@ import (
 	"plshuffle/internal/data"
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/inproc"
 	"plshuffle/internal/transport/tcp"
 )
+
+// WrapConn interposes on one rank's connection — how the chaos suite slides
+// a fault injector under an unmodified rank program. A nil WrapConn is the
+// identity.
+type WrapConn func(rank int, inner transport.Conn) transport.Conn
 
 // Backend runs a rank program over a world of a given size on one concrete
 // transport.
@@ -26,38 +33,151 @@ type Backend interface {
 	Name() string
 	// Run executes fn once per rank and returns the joined rank errors.
 	Run(n int, fn func(c *mpi.Comm) error) error
+	// Open builds the world's communicators WITHOUT running a program and
+	// without Run's quiesce-then-close epilogue — teardown-semantics tests
+	// (RunCloseSemanticsTests) drive Close/Recv races directly. The cleanup
+	// closes every communicator still open.
+	Open(n int) ([]*mpi.Comm, func(), error)
 }
 
 // Inproc returns the in-process (goroutine) backend harness.
-func Inproc() Backend { return inprocBackend{} }
+func Inproc() Backend { return inprocBackend{name: "inproc"} }
 
-type inprocBackend struct{}
+// InprocWrapped returns an in-process backend with every rank's connection
+// passed through wrap. Unlike Inproc (mpi.Run, whole-world abort), ranks run
+// over per-rank communicators (mpi.Connect), so one rank failing — say, a
+// scripted crash — does not unwind its peers; that is exactly the isolation
+// the chaos tests need.
+func InprocWrapped(name string, wrap WrapConn) Backend {
+	return inprocBackend{name: name, wrap: wrap}
+}
 
-func (inprocBackend) Name() string { return "inproc" }
+type inprocBackend struct {
+	name string
+	wrap WrapConn
+}
 
-func (inprocBackend) Run(n int, fn func(c *mpi.Comm) error) error {
-	return mpi.Run(n, fn)
+func (b inprocBackend) Name() string { return b.name }
+
+func (b inprocBackend) Run(n int, fn func(c *mpi.Comm) error) error {
+	if b.wrap == nil {
+		return mpi.Run(n, fn)
+	}
+	comms, cleanup, err := b.Open(n)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = mpi.Execute(comms[rank], fn)
+		}(r)
+	}
+	if !waitTimeout(&wg, 60*time.Second) {
+		return fmt.Errorf("transporttest: %s world of %d ranks did not finish within 60s", b.name, n)
+	}
+	return errors.Join(errs...)
+}
+
+func (b inprocBackend) Open(n int) ([]*mpi.Comm, func(), error) {
+	if b.wrap == nil {
+		w := mpi.NewWorld(n)
+		comms := make([]*mpi.Comm, n)
+		for r := 0; r < n; r++ {
+			comms[r] = w.Comm(r)
+		}
+		return comms, func() { closeAll(comms) }, nil
+	}
+	network := inproc.NewNetwork(n)
+	comms := make([]*mpi.Comm, n)
+	for r := 0; r < n; r++ {
+		rank := r
+		comm, err := mpi.Connect(func(h transport.Handler) (transport.Conn, error) {
+			return b.wrap(rank, network.Attach(rank, h)), nil
+		})
+		if err != nil {
+			closeAll(comms[:r])
+			return nil, nil, fmt.Errorf("transporttest: rank %d: %w", rank, err)
+		}
+		comms[r] = comm
+	}
+	return comms, func() { closeAll(comms) }, nil
 }
 
 // TCP returns a backend harness that runs every rank as a goroutine in this
 // process but moves every frame across real localhost TCP sockets through
 // the tcp backend — the full wire path (codec, framing, rendezvous, mesh)
 // without needing to fork processes inside a test.
-func TCP() Backend { return tcpBackend{} }
+func TCP() Backend { return tcpBackend{name: "tcp"} }
 
-type tcpBackend struct{}
+// TCPWrapped returns a TCP backend with every rank's connection passed
+// through wrap and the given per-rank config hook applied before dialing
+// (nil cfgHook keeps the defaults) — the chaos suite uses it to enable
+// heartbeats and shorten retry budgets.
+func TCPWrapped(name string, wrap WrapConn, cfgHook func(rank int, cfg *tcp.Config)) Backend {
+	return tcpBackend{name: name, wrap: wrap, cfgHook: cfgHook}
+}
 
-func (tcpBackend) Name() string { return "tcp" }
+type tcpBackend struct {
+	name    string
+	wrap    WrapConn
+	cfgHook func(rank int, cfg *tcp.Config)
+}
 
-func (tcpBackend) Run(n int, fn func(c *mpi.Comm) error) error {
+func (b tcpBackend) Name() string { return b.name }
+
+func (b tcpBackend) Run(n int, fn func(c *mpi.Comm) error) error {
+	comms, cleanup, err := b.Open(n)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			err := mpi.Execute(comms[rank], func(c *mpi.Comm) error {
+				if err := fn(c); err != nil {
+					return err
+				}
+				// Quiesce before teardown so no rank closes its transport
+				// while peers still expect frames.
+				c.Barrier()
+				return nil
+			})
+			if cerr := comms[rank].Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("rank %d: close: %w", rank, cerr)
+			}
+			errs[rank] = err
+		}(r)
+	}
+	if !waitTimeout(&wg, 60*time.Second) {
+		return fmt.Errorf("transporttest: %s world of %d ranks did not finish within 60s", b.name, n)
+	}
+	cleanup()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b tcpBackend) Open(n int) ([]*mpi.Comm, func(), error) {
 	// Reserve the rendezvous port race-free: bind it here and hand the
 	// listener to rank 0.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return fmt.Errorf("transporttest: reserving rendezvous: %w", err)
+		return nil, nil, fmt.Errorf("transporttest: reserving rendezvous: %w", err)
 	}
 	rendezvous := ln.Addr().String()
 
+	comms := make([]*mpi.Comm, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -73,42 +193,116 @@ func (tcpBackend) Run(n int, fn func(c *mpi.Comm) error) error {
 			if rank == 0 {
 				cfg.RendezvousListener = ln
 			}
+			if b.cfgHook != nil {
+				b.cfgHook(rank, &cfg)
+			}
 			comm, err := mpi.Connect(func(h transport.Handler) (transport.Conn, error) {
-				return tcp.New(cfg, h)
+				inner, err := tcp.New(cfg, h)
+				if err != nil {
+					return nil, err
+				}
+				if b.wrap != nil {
+					return b.wrap(rank, inner), nil
+				}
+				return inner, nil
 			})
 			if err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
 				return
 			}
-			err = mpi.Execute(comm, func(c *mpi.Comm) error {
-				if err := fn(c); err != nil {
-					return err
-				}
-				// Quiesce before teardown so no rank closes its transport
-				// while peers still expect frames.
-				c.Barrier()
-				return nil
-			})
-			if cerr := comm.Close(); err == nil && cerr != nil {
-				err = fmt.Errorf("rank %d: close: %w", rank, cerr)
-			}
-			errs[rank] = err
+			comms[rank] = comm
 		}(r)
 	}
+	if !waitTimeout(&wg, 40*time.Second) {
+		closeAll(comms)
+		return nil, nil, fmt.Errorf("transporttest: tcp bootstrap of %d ranks did not finish within 40s", n)
+	}
+	if err := errors.Join(errs...); err != nil {
+		closeAll(comms)
+		return nil, nil, err
+	}
+	return comms, func() { closeAll(comms) }, nil
+}
 
+func closeAll(comms []*mpi.Comm) {
+	for _, c := range comms {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// waitTimeout waits for wg up to d; false means the deadline expired first.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(60 * time.Second):
-		return fmt.Errorf("transporttest: tcp world of %d ranks did not finish within 60s", n)
+		return true
+	case <-time.After(d):
+		return false
 	}
-	for _, err := range errs {
+}
+
+// RunCloseSemanticsTests pins the teardown contract every backend must
+// honor: a Close issued from another goroutine (a watchdog) wakes a Recv
+// blocked on a message that will never come — surfacing ErrCommClosed
+// instead of deadlocking — and a Send after Close returns an error instead
+// of panicking or silently dropping the frame.
+func RunCloseSemanticsTests(t *testing.T, b Backend) {
+	t.Helper()
+
+	t.Run(fmt.Sprintf("%s/CloseWakesBlockedRecv", b.Name()), func(t *testing.T) {
+		comms, cleanup, err := b.Open(2)
 		if err != nil {
-			return err
+			t.Fatal(err)
 		}
-	}
-	return nil
+		defer cleanup()
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- mpi.Execute(comms[0], func(c *mpi.Comm) error {
+				c.Recv(1, 7) // no peer ever sends tag 7
+				return nil
+			})
+		}()
+		time.Sleep(50 * time.Millisecond) // let the Recv block
+		comms[0].Close()
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatal("blocked Recv returned nil after Close; want ErrCommClosed unwind")
+			}
+			if !errors.Is(err, mpi.ErrCommClosed) {
+				t.Fatalf("blocked Recv unwound with %v; want ErrCommClosed in the chain", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Recv still blocked 10s after Close — teardown deadlock")
+		}
+	})
+
+	t.Run(fmt.Sprintf("%s/SendAfterClose", b.Name()), func(t *testing.T) {
+		comms, cleanup, err := b.Open(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		if err := comms[0].Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Transport level: the raw connection must refuse the frame.
+		if err := comms[0].Transport().Send(1, 0, []int{1}); err == nil {
+			t.Error("transport Send after Close returned nil; want an error")
+		}
+		// Runtime level: the same misuse through the mpi API must surface as
+		// a recovered rank error, not a panic or a hang.
+		err = mpi.Execute(comms[0], func(c *mpi.Comm) error {
+			c.Send(1, 0, []int{1})
+			return nil
+		})
+		if err == nil {
+			t.Error("mpi Send after Close returned nil; want a transport-failure error")
+		}
+	})
 }
 
 // RunTransportTests runs the conformance suite against a backend. Every

@@ -13,6 +13,7 @@ const (
 	KindHello = uint8(1) // dialer identifies itself; payload = optional addr
 	KindTable = uint8(2) // rendezvous rank↔addr table; payload = EncodeAddrTable
 	KindBye   = uint8(3) // graceful shutdown marker
+	KindPing  = uint8(4) // liveness heartbeat; carries no payload
 )
 
 // WireFrame is the binary frame exchanged by wire backends:
@@ -107,7 +108,7 @@ func UnmarshalFrame(buf []byte) (WireFrame, error) {
 		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
 		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
 	}
-	if f.Kind > KindBye {
+	if f.Kind > KindPing {
 		return WireFrame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
 	}
 	if n := int(body) - wireHeaderLen; n > 0 {
@@ -175,7 +176,7 @@ func ReadFrameInto(r io.Reader, scratch *[]byte) (WireFrame, int, error) {
 		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
 		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
 	}
-	if f.Kind > KindBye {
+	if f.Kind > KindPing {
 		return WireFrame{}, need, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
 	}
 	if int(body) > wireHeaderLen {
