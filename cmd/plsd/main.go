@@ -39,25 +39,27 @@ func main() {
 	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
 	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
 	onPeerFail := flag.String("on-peer-fail", "abort", "policy when a peer rank dies mid-run: abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q); must match on every rank")
+	telemetryAddr := flag.String("telemetry-addr", "", "BASE host:port of the per-rank telemetry endpoints; rank r serves /metrics, /trace, /healthz, and /debug/pprof on port+r, and rank 0 additionally serves /cluster/metrics (empty = telemetry off)")
 	flag.Parse()
 
 	err := distrun.Run(distrun.Options{
-		Rank:         *rank,
-		World:        *world,
-		Rendezvous:   *rendezvous,
-		Dataset:      *dataset,
-		Model:        *model,
-		Strategy:     *strategy,
-		Q:            *q,
-		Epochs:       *epochs,
-		Batch:        *batch,
-		LR:           *lr,
-		Locality:     *locality,
-		LARS:         *lars,
-		OverlapGrads: *overlapGrads,
-		Seed:         *seed,
-		Timeout:      *timeout,
-		OnPeerFail:   *onPeerFail,
+		Rank:          *rank,
+		World:         *world,
+		Rendezvous:    *rendezvous,
+		Dataset:       *dataset,
+		Model:         *model,
+		Strategy:      *strategy,
+		Q:             *q,
+		Epochs:        *epochs,
+		Batch:         *batch,
+		LR:            *lr,
+		Locality:      *locality,
+		LARS:          *lars,
+		OverlapGrads:  *overlapGrads,
+		Seed:          *seed,
+		Timeout:       *timeout,
+		OnPeerFail:    *onPeerFail,
+		TelemetryAddr: *telemetryAddr,
 	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -44,6 +44,7 @@ func main() {
 	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
 	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
 	onPeerFail := flag.String("on-peer-fail", "abort", "with -launch: policy when a peer rank dies mid-run — abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q)")
+	telemetryAddr := flag.String("telemetry-addr", "", "BASE host:port of the live telemetry endpoints (/metrics, /trace, /healthz, /debug/pprof); with -launch rank r serves on port+r and rank 0 additionally serves /cluster/metrics (empty = telemetry off)")
 	saveWeights := flag.String("save-weights", "", "write the trained model checkpoint to this file")
 	listDatasets := flag.Bool("list-datasets", false, "list dataset keys and exit")
 	workerRank := flag.Int("worker-rank", -1, "internal: play one rank of a -launch world")
@@ -59,19 +60,20 @@ func main() {
 	}
 
 	opts := distrun.Options{
-		Dataset:      *dataset,
-		Model:        *model,
-		Strategy:     *strategy,
-		Q:            *q,
-		Epochs:       *epochs,
-		Batch:        *batch,
-		LR:           *lr,
-		Locality:     *locality,
-		LARS:         *lars,
-		OverlapGrads: *overlapGrads,
-		Seed:         *seed,
-		Timeout:      *timeout,
-		OnPeerFail:   *onPeerFail,
+		Dataset:       *dataset,
+		Model:         *model,
+		Strategy:      *strategy,
+		Q:             *q,
+		Epochs:        *epochs,
+		Batch:         *batch,
+		LR:            *lr,
+		Locality:      *locality,
+		LARS:          *lars,
+		OverlapGrads:  *overlapGrads,
+		Seed:          *seed,
+		Timeout:       *timeout,
+		OnPeerFail:    *onPeerFail,
+		TelemetryAddr: *telemetryAddr,
 	}
 
 	if *workerRank >= 0 {
@@ -95,7 +97,7 @@ func main() {
 	}
 
 	runInproc(*workers, *strategy, *q, *dataset, *model, *epochs, *batch, *lr,
-		*locality, *lars, *overlapGrads, *seed, *timeout, *saveWeights)
+		*locality, *lars, *overlapGrads, *seed, *timeout, *saveWeights, *telemetryAddr)
 }
 
 // runLaunched forks world-1 copies of this binary as worker ranks and plays
@@ -135,6 +137,10 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-on-peer-fail", opts.OnPeerFail,
 		// Explicit because the flag defaults to true: every rank must agree.
 		"-overlap-grads=" + strconv.FormatBool(opts.OverlapGrads),
+	}
+	if opts.TelemetryAddr != "" {
+		// Forward the BASE address; each worker offsets the port by its rank.
+		args = append(args, "-telemetry-addr", opts.TelemetryAddr)
 	}
 	if opts.LARS {
 		args = append(args, "-lars")
@@ -207,7 +213,7 @@ func runLaunched(world int, opts distrun.Options) error {
 // runInproc is the original single-process path (goroutine workers).
 func runInproc(workers int, strategy string, q float64, dataset, model string,
 	epochs, batch int, lr, locality float64, lars, overlapGrads bool, seed uint64,
-	timeout time.Duration, saveWeights string) {
+	timeout time.Duration, saveWeights, telemetryAddr string) {
 	var strat plshuffle.Strategy
 	switch strategy {
 	case "global":
@@ -232,6 +238,27 @@ func runInproc(workers int, strategy string, q float64, dataset, model string,
 		os.Exit(1)
 	}
 
+	// Inproc telemetry: all workers are goroutines sharing one registry, so
+	// a single server on the base address exposes the whole "world" — every
+	// per-rank series is distinguished by its {rank=...} label.
+	var reg *plshuffle.TelemetryRegistry
+	var rec *plshuffle.TraceRecorder
+	if telemetryAddr != "" {
+		reg = plshuffle.NewTelemetryRegistry()
+		rec = plshuffle.NewTraceRecorder()
+		srv, err := plshuffle.NewTelemetryServer(plshuffle.TelemetryServerConfig{
+			Addr:     telemetryAddr,
+			Registry: reg,
+			Trace:    rec,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plsrun: telemetry listen %s: %v\n", telemetryAddr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /trace, /healthz, /debug/pprof)\n", srv.Addr())
+	}
+
 	type trained struct {
 		res *plshuffle.TrainResult
 		err error
@@ -252,6 +279,8 @@ func runInproc(workers int, strategy string, q float64, dataset, model string,
 			Seed:              seed,
 			PartitionLocality: locality,
 			OverlapGrads:      overlapGrads,
+			Trace:             rec,
+			Telemetry:         reg,
 		})
 		done <- trained{res, err}
 	}()

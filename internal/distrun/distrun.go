@@ -18,6 +18,7 @@ import (
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
+	"plshuffle/internal/telemetry"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/train"
 	"plshuffle/internal/transport"
@@ -61,6 +62,15 @@ type Options struct {
 	// rank, "degrade" completes the run among the survivors with a
 	// reduced effective Q. Every rank must agree.
 	OnPeerFail string
+
+	// TelemetryAddr, when non-empty, is the BASE listen address of the
+	// per-rank telemetry endpoints (DESIGN.md §11): rank r serves
+	// /metrics, /trace, /healthz, and /debug/pprof on port+r (the same
+	// port-offset rule the launcher uses), and rank 0 additionally serves
+	// /cluster/metrics, the concatenated exposition of every rank. Empty
+	// disables telemetry entirely — zero observers, zero overhead beyond
+	// the always-on atomic counters.
+	TelemetryAddr string
 }
 
 func (o Options) strategy() (shuffle.Strategy, error) {
@@ -125,10 +135,43 @@ func Run(o Options, out io.Writer) error {
 	// where each rank last made progress, not just that it stopped.
 	rec := trace.NewRecorder()
 
+	// Telemetry plane (DESIGN.md §11): one HTTP server per rank on
+	// base-port+rank, sharing the registry the trainer will populate. The
+	// health view reflects the transport's peer-failure registry, so
+	// /healthz flips to 503 the moment a peer is declared dead.
+	var reg *telemetry.Registry
+	if o.TelemetryAddr != "" {
+		addr, aerr := telemetry.OffsetAddr(o.TelemetryAddr, o.Rank)
+		if aerr != nil {
+			comm.Close()
+			return fmt.Errorf("distrun: rank %d: telemetry: %w", o.Rank, aerr)
+		}
+		reg = telemetry.NewRegistry()
+		sc := telemetry.ServerConfig{
+			Addr:     addr,
+			Registry: reg,
+			Trace:    rec,
+			Health: func() telemetry.Health {
+				fp := comm.FailedPeers()
+				return telemetry.Health{OK: len(fp) == 0, Rank: o.Rank, FailedPeers: fp}
+			},
+		}
+		if o.Rank == 0 && o.World > 1 {
+			targets := telemetryTargets(o.TelemetryAddr, o.World)
+			sc.ClusterTargets = func() []string { return targets }
+		}
+		tsrv, serr := telemetry.NewServer(sc)
+		if serr != nil {
+			comm.Close()
+			return fmt.Errorf("distrun: rank %d: telemetry listen %s: %w", o.Rank, addr, serr)
+		}
+		defer tsrv.Close()
+	}
+
 	done := make(chan error, 1)
 	go func() {
 		done <- mpi.Execute(comm, func(c *mpi.Comm) error {
-			if err := trainRank(c, o, strat, ds, spec, rec, out); err != nil {
+			if err := trainRank(c, o, strat, ds, spec, rec, reg, out); err != nil {
 				return err
 			}
 			// Quiesce before teardown: no rank may close its transport while
@@ -182,15 +225,46 @@ func lastPhase(rec *trace.Recorder) string {
 	if len(events) == 0 {
 		return "bootstrap (no phase completed)"
 	}
-	// Events() sorts by (epoch, rank, phase); the trainer emits whole epochs
-	// at a time, so any event of the last epoch identifies the frontier.
-	last := events[len(events)-1]
+	// Events() sorts by (rank, epoch, phase) with phases in execution
+	// order; the frontier is the last event of the maximum epoch. Scanning
+	// explicitly keeps this correct even for multi-rank recorders.
+	last := events[0]
+	for _, e := range events[1:] {
+		if e.Epoch >= last.Epoch {
+			last = e
+		}
+	}
 	return fmt.Sprintf("%s (epoch %d)", last.Phase, last.Epoch)
+}
+
+// telemetryTargets derives every rank's scrape URL from the base address
+// using the same port-offset rule each rank applies to itself, so rank 0's
+// /cluster/metrics can aggregate the whole world. Unspecified listen hosts
+// (empty, 0.0.0.0, ::) are scraped via loopback — the launcher's workers
+// are local processes.
+func telemetryTargets(base string, world int) []string {
+	targets := make([]string, 0, world)
+	for r := 0; r < world; r++ {
+		addr, err := telemetry.OffsetAddr(base, r)
+		if err != nil {
+			continue
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			continue
+		}
+		switch host {
+		case "", "0.0.0.0", "::":
+			host = "127.0.0.1"
+		}
+		targets = append(targets, "http://"+net.JoinHostPort(host, port))
+	}
+	return targets
 }
 
 // trainRank is the per-rank program: train, gather balance/peak/byte
 // accounting at the lowest surviving rank, and print the report there.
-func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, rec *trace.Recorder, out io.Writer) error {
+func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, rec *trace.Recorder, reg *telemetry.Registry, out io.Writer) error {
 	rr, err := train.RunRank(c, train.Config{
 		Workers:           c.Size(),
 		Strategy:          strat,
@@ -207,6 +281,7 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		OverlapGrads:      o.OverlapGrads,
 		OnPeerFail:        o.OnPeerFail,
 		Trace:             rec,
+		Telemetry:         reg,
 	})
 	if err != nil {
 		return err

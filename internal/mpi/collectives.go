@@ -63,9 +63,7 @@ func collTag(seq, phase int) int {
 
 // nextSeq reserves a collective sequence number on this rank.
 func (c *Comm) nextSeq() int {
-	s := c.collSeq
-	c.collSeq++
-	return s
+	return int(c.collSeq.Add(1) - 1)
 }
 
 // collRoot validates that root (a world rank) is a member of the current

@@ -352,8 +352,9 @@ func (c *Comm) Guard(fn func() error) (err error) {
 
 // CollSeq returns the communicator's next collective sequence number. After
 // a recovery, survivors exchange these and realign with SetCollSeq so the
-// derived internal tag spaces stay in lock-step.
-func (c *Comm) CollSeq() int { return c.collSeq }
+// derived internal tag spaces stay in lock-step. Safe to call from any
+// goroutine (telemetry samples it as a progress gauge).
+func (c *Comm) CollSeq() int { return int(c.collSeq.Load()) }
 
 // SetCollSeq realigns the collective sequence counter. seq must be at least
 // the current value on every surviving rank (typically max over survivors,
@@ -361,11 +362,16 @@ func (c *Comm) CollSeq() int { return c.collSeq }
 // tag a sacrificed collective's stale frames still occupy. Must only be
 // called by the owning goroutine with no collective in flight.
 func (c *Comm) SetCollSeq(seq int) {
-	if seq < c.collSeq {
-		panic(fmt.Sprintf("mpi: SetCollSeq(%d): would rewind past %d and collide with stale tags", seq, c.collSeq))
+	if cur := int(c.collSeq.Load()); seq < cur {
+		panic(fmt.Sprintf("mpi: SetCollSeq(%d): would rewind past %d and collide with stale tags", seq, cur))
 	}
-	c.collSeq = seq
+	c.collSeq.Store(int64(seq))
 }
+
+// InflightCollectives returns the number of non-blocking collectives
+// currently in flight (launched, Wait not yet satisfied) — the live overlap
+// depth of the bucketed gradient sync. Safe to call from any goroutine.
+func (c *Comm) InflightCollectives() int { return int(c.inflightColl.Load()) }
 
 // PeerErrorFrom unwraps err into the typed peer failure it carries, if any
 // — the caller-level test for "a specific peer died" versus "the run is

@@ -141,12 +141,14 @@ func iallreduce[T Number](c *Comm, buf []T, op Op, bounds []int) *CollRequest {
 	}
 	seq := c.nextSeq()
 	wire := c.conn.Stats().Wire
+	c.inflightColl.Add(1)
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
 				req.panicVal = p
 			}
 			req.elapsed = time.Since(req.started)
+			c.inflightColl.Add(-1)
 			close(req.done)
 		}()
 		req.sent, req.recv = ringAllreduce(c, buf, op, seq, bounds, wire)

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"plshuffle/internal/transport"
 	"plshuffle/internal/transport/inproc"
@@ -292,8 +293,13 @@ type Comm struct {
 	// collSeq sequences collective operations (including Barrier). Every
 	// rank calls collectives in the same program order, so the counters stay
 	// in lock-step and the derived internal tags never collide across
-	// concurrent collectives.
-	collSeq int
+	// concurrent collectives. Only the owning goroutine advances it, but it
+	// is an atomic so telemetry scrapes (CollSeq from the HTTP goroutine)
+	// are race-free.
+	collSeq atomic.Int64
+	// inflightColl counts launched-but-unfinished non-blocking collectives
+	// (IAllreduce goroutines in flight) — a live overlap-depth gauge.
+	inflightColl atomic.Int64
 	// boundsScratch is the ring-Allreduce chunk-bounds table, reused across
 	// calls (a Comm is single-goroutine by contract, so no locking).
 	boundsScratch []int

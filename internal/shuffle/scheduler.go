@@ -2,7 +2,9 @@ package shuffle
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"plshuffle/internal/data"
 	"plshuffle/internal/mpi"
@@ -77,6 +79,20 @@ type Scheduler struct {
 
 	degradedSend int // send slots canceled: their samples stay local
 	degradedRecv int // inbound slots forfeited to a death
+
+	// Telemetry mirrors (DESIGN.md §11): scrape-safe atomic shadows of the
+	// single-goroutine state above, updated at the same mutation points.
+	// The wire counters are CUMULATIVE across epochs (Prometheus counters
+	// never reset), unlike wireSent/wireRecv which Scheduling zeroes; the
+	// rest are gauges of the current epoch. A scraper on the HTTP goroutine
+	// reads these without touching the scheduler's own fields.
+	telWireSent     atomic.Int64
+	telWireRecv     atomic.Int64
+	telEffQ         atomic.Uint64 // float64 bits; 0 ⇒ not yet scheduled, read as configured q
+	telEffQSet      atomic.Bool
+	telDegradedSend atomic.Int64
+	telDegradedRecv atomic.Int64
+	telEpoch        atomic.Int64
 }
 
 type schedState int
@@ -166,10 +182,13 @@ func (s *Scheduler) Scheduling(epoch int) error {
 	s.degradedSend, s.degradedRecv = 0, 0
 	clear(s.recvFrom)
 	s.state = stateScheduled
+	s.telEpoch.Store(int64(epoch))
 	if len(s.dead) > 0 {
 		// Deaths absorbed in earlier epochs persist: rebuild this epoch's
 		// expectation around them before any traffic flows.
 		s.recomputeExpectation()
+	} else {
+		s.mirrorDegradation()
 	}
 	return nil
 }
@@ -288,6 +307,18 @@ func (s *Scheduler) recomputeExpectation() {
 		}
 	}
 	s.expected = expected
+	s.mirrorDegradation()
+}
+
+// mirrorDegradation refreshes the telemetry shadows of the degradation
+// state (DegradedSlots and EffectiveQ) from the current epoch's values. It
+// runs on the owning goroutine at every mutation point; scrapers read the
+// atomics from any goroutine.
+func (s *Scheduler) mirrorDegradation() {
+	s.telDegradedSend.Store(int64(s.degradedSend))
+	s.telDegradedRecv.Store(int64(s.degradedRecv))
+	s.telEffQ.Store(math.Float64bits(s.EffectiveQ()))
+	s.telEffQSet.Store(true)
 }
 
 // Slots returns the number of samples this epoch's plan exchanges.
@@ -366,7 +397,9 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 				s.comm.Isend(dest, exchangeTag(s.epoch), s.batchBuf)
 			}
 			if dest != s.comm.Rank() {
-				s.wireSent += transport.FrameWireSize(s.batchBuf)
+				n := transport.FrameWireSize(s.batchBuf)
+				s.wireSent += n
+				s.telWireSent.Add(n)
 			}
 			s.destSlots[dest] = slots[:0]
 		}
@@ -449,7 +482,9 @@ func (s *Scheduler) ingestFrame(payload any, st mpi.Status) error {
 	}
 	s.recvFrom[st.Source] += n
 	if st.Source != s.comm.Rank() {
-		s.wireRecv += transport.FrameWireSize(buf)
+		n := transport.FrameWireSize(buf)
+		s.wireRecv += n
+		s.telWireRecv.Add(n)
 	}
 	if s.dead[st.Source] {
 		// A dead sender's straggler landed after its slots were forfeited:
@@ -510,6 +545,7 @@ func (s *Scheduler) Reset() {
 	s.posted = 0
 	s.expected = 0
 	s.degradedSend, s.degradedRecv = 0, 0
+	s.mirrorDegradation()
 	s.state = stateIdle
 }
 
@@ -521,6 +557,33 @@ func (s *Scheduler) Received() []data.Sample { return s.received }
 // (sent and received sample frames, headers included, self-sends excluded).
 // The counters reset at Scheduling; read them after Synchronize.
 func (s *Scheduler) WireTraffic() (sent, recv int64) { return s.wireSent, s.wireRecv }
+
+// CumulativeWireTraffic returns the total exchange wire volume across ALL
+// epochs so far (same accounting as WireTraffic, never reset). Unlike the
+// other accessors it is safe to call from any goroutine — it backs the
+// pls_exchange_wire_bytes_total telemetry counters.
+func (s *Scheduler) CumulativeWireTraffic() (sent, recv int64) {
+	return s.telWireSent.Load(), s.telWireRecv.Load()
+}
+
+// ObservedEffectiveQ is the scrape-safe mirror of EffectiveQ: the exchange
+// fraction the current epoch is realizing, from any goroutine. Before the
+// first Scheduling it reports the configured q.
+func (s *Scheduler) ObservedEffectiveQ() float64 {
+	if !s.telEffQSet.Load() {
+		return s.q
+	}
+	return math.Float64frombits(s.telEffQ.Load())
+}
+
+// ObservedDegradedSlots is the scrape-safe mirror of DegradedSlots.
+func (s *Scheduler) ObservedDegradedSlots() (sendSlots, recvSlots int64) {
+	return s.telDegradedSend.Load(), s.telDegradedRecv.Load()
+}
+
+// ObservedEpoch returns the most recently scheduled epoch, from any
+// goroutine.
+func (s *Scheduler) ObservedEpoch() int { return int(s.telEpoch.Load()) }
 
 // CleanLocalStorage applies the exchange to the local store: received
 // samples are saved and transmitted samples removed. Receives are applied

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pls_test_total", "a counter", nil)
+	g := reg.Gauge("pls_test_gauge", "a gauge", nil)
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	g.Set(2.5)
+	if got := g.Load(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.SetInt(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %v, want -3", got)
+	}
+}
+
+func scrapeText(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWritePrometheusFormat pins the exposition contract: one HELP/TYPE
+// header per family (even with many series), sorted+escaped labels, exact
+// integer rendering (the wire-byte conformance tests diff these values
+// bitwise against int64 accounting), and shortest-round-trip floats.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	for _, rank := range []string{"0", "1"} {
+		c := reg.Counter("pls_bytes_total", "bytes", Labels{"rank": rank, "direction": "sent"})
+		if rank == "1" {
+			c.Add(999999999999999) // largest magnitude rendered as an exact integer
+		}
+	}
+	g := reg.Gauge("pls_q", "effective q", Labels{"weird": "a\\b\"c\nd"})
+	g.Set(0.25)
+
+	text := scrapeText(t, reg)
+	if n := strings.Count(text, "# HELP pls_bytes_total"); n != 1 {
+		t.Errorf("HELP header appears %d times, want 1\n%s", n, text)
+	}
+	if n := strings.Count(text, "# TYPE pls_bytes_total counter"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1\n%s", n, text)
+	}
+	for _, want := range []string{
+		`pls_bytes_total{direction="sent",rank="0"} 0` + "\n", // keys sorted
+		`pls_bytes_total{direction="sent",rank="1"} 999999999999999` + "\n",
+		`pls_q{weird="a\\b\"c\nd"} 0.25` + "\n",
+		"# TYPE pls_q gauge\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestFuncMetricsSampleAtScrape pins the pull model: GaugeFunc/CounterFunc
+// read their source at scrape time, not at registration.
+func TestFuncMetricsSampleAtScrape(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.0
+	reg.GaugeFunc("pls_live", "sampled", nil, func() float64 { return v })
+	if !strings.Contains(scrapeText(t, reg), "pls_live 1\n") {
+		t.Fatal("first scrape should read 1")
+	}
+	v = 42
+	if !strings.Contains(scrapeText(t, reg), "pls_live 42\n") {
+		t.Fatal("second scrape should read the updated 42")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.register("0bad", "h", kindCounter, nil, nil); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+	if err := reg.register("pls_ok", "h", kindCounter, Labels{"0bad": "v"}, nil); err == nil {
+		t.Error("invalid label name accepted")
+	}
+	read := func() float64 { return 0 }
+	if err := reg.register("pls_dup", "h", kindCounter, Labels{"a": "b"}, read); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.register("pls_dup", "h", kindCounter, Labels{"a": "b"}, read); err == nil {
+		t.Error("duplicate series accepted")
+	}
+	if err := reg.register("pls_dup", "h", kindGauge, Labels{"a": "c"}, read); err == nil {
+		t.Error("kind mismatch within a family accepted")
+	}
+	// Same family, different labels: fine.
+	if err := reg.register("pls_dup", "h", kindCounter, Labels{"a": "c"}, read); err != nil {
+		t.Errorf("second series of a family rejected: %v", err)
+	}
+}
+
+func TestOffsetAddr(t *testing.T) {
+	cases := []struct {
+		addr string
+		rank int
+		want string
+		err  bool
+	}{
+		{"127.0.0.1:9000", 0, "127.0.0.1:9000", false},
+		{"127.0.0.1:9000", 3, "127.0.0.1:9003", false},
+		{":9000", 2, ":9002", false},
+		{"[::1]:9000", 1, "[::1]:9001", false},
+		{"127.0.0.1:0", 0, "127.0.0.1:0", false}, // ephemeral ok for rank 0
+		{"127.0.0.1:0", 1, "", true},             // but cannot be offset
+		{"127.0.0.1:65535", 1, "", true},         // overflow
+		{"no-port", 0, "", true},
+		{"127.0.0.1:http", 0, "", true},
+	}
+	for _, tc := range cases {
+		got, err := OffsetAddr(tc.addr, tc.rank)
+		if tc.err {
+			if err == nil {
+				t.Errorf("OffsetAddr(%q, %d) = %q, want error", tc.addr, tc.rank, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("OffsetAddr(%q, %d): %v", tc.addr, tc.rank, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("OffsetAddr(%q, %d) = %q, want %q", tc.addr, tc.rank, got, tc.want)
+		}
+	}
+}
+
+// TestHotPathOpsZeroAlloc pins the PR 2 invariant at the source: the only
+// operations instrumented hot paths perform — Counter.Add, Gauge.Set/SetInt,
+// and the Load side sampled by scrapes — must not allocate.
+func TestHotPathOpsZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pls_hot_total", "h", Labels{"rank": "0"})
+	g := reg.Gauge("pls_hot_gauge", "h", Labels{"rank": "0"})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(128)
+		g.Set(0.5)
+		g.SetInt(7)
+		_ = c.Load()
+		_ = g.Load()
+	}); allocs > 0 {
+		t.Fatalf("hot-path metric ops allocate %.1f times per run, want 0", allocs)
+	}
+}

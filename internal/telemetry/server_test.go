@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plshuffle/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints walks every route of one rank's plane: /metrics
+// content type and body, /healthz flipping 200→503 when the health source
+// records a dead peer, /trace in both formats, and /debug/pprof.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pls_test_total", "t", Labels{"rank": "0"})
+	c.Add(41)
+
+	rec := trace.NewRecorder()
+	rec.Record(trace.Event{Rank: 0, Epoch: 0, Phase: trace.PhaseIO, Duration: time.Millisecond, Bytes: 64})
+
+	var dead atomic.Bool
+	srv, err := NewServer(ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Trace:    rec,
+		Health: func() Health {
+			if dead.Load() {
+				return Health{OK: false, Rank: 0, FailedPeers: []int{2}}
+			}
+			return Health{OK: true, Rank: 0}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(string(body), `pls_test_total{rank="0"} 41`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	if code, body := get(t, srv.URL()+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok":true`) {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	dead.Store(true)
+	code, hb := get(t, srv.URL()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz after failure = %d, want 503", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(hb), &h); err != nil || h.OK || len(h.FailedPeers) != 1 || h.FailedPeers[0] != 2 {
+		t.Errorf("/healthz body = %q, want failed_peers [2] (err %v)", hb, err)
+	}
+
+	if code, body := get(t, srv.URL()+"/trace"); code != http.StatusOK || !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/trace = %d, want Chrome JSON:\n%s", code, body)
+	}
+	if code, body := get(t, srv.URL()+"/trace?format=jsonl"); code != http.StatusOK || !strings.Contains(body, `"phase":"io"`) {
+		t.Errorf("/trace?format=jsonl = %d %q, want one io event line", code, body)
+	}
+	if code, _ := get(t, srv.URL()+"/trace?format=nope"); code != http.StatusBadRequest {
+		t.Errorf("/trace?format=nope = %d, want 400", code)
+	}
+	if code, _ := get(t, srv.URL()+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", code)
+	}
+}
+
+// TestTraceJSONLDeterministic pins satellite 5 end to end: events recorded
+// in scrambled order come back in canonical (rank, epoch, phase) order, and
+// repeated scrapes are byte-identical.
+func TestTraceJSONLDeterministic(t *testing.T) {
+	rec := trace.NewRecorder()
+	// Scrambled on purpose.
+	rec.Record(trace.Event{Rank: 1, Epoch: 0, Phase: trace.PhaseFWBW, Duration: 3})
+	rec.Record(trace.Event{Rank: 0, Epoch: 1, Phase: trace.PhaseIO, Duration: 2})
+	rec.Record(trace.Event{Rank: 0, Epoch: 0, Phase: trace.PhaseGEWU, Duration: 1})
+	rec.Record(trace.Event{Rank: 0, Epoch: 0, Phase: trace.PhaseExchange, Duration: 4})
+
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Registry: NewRegistry(), Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, first := get(t, srv.URL()+"/trace?format=jsonl")
+	_, second := get(t, srv.URL()+"/trace?format=jsonl")
+	if first != second {
+		t.Fatalf("two scrapes differ:\n%s\nvs\n%s", first, second)
+	}
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL lines, want 4:\n%s", len(lines), first)
+	}
+	type key struct {
+		Rank  int    `json:"rank"`
+		Epoch int    `json:"epoch"`
+		Phase string `json:"phase"`
+	}
+	want := []key{
+		{0, 0, "exchange"}, // exchange precedes gewu in execution order
+		{0, 0, "gewu"},
+		{0, 1, "io"},
+		{1, 0, "fwbw"},
+	}
+	for i, line := range lines {
+		var k key
+		if err := json.Unmarshal([]byte(line), &k); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if k != want[i] {
+			t.Fatalf("line %d = %+v, want %+v", i, k, want[i])
+		}
+	}
+}
+
+// TestClusterAggregation spins three per-rank servers and asserts rank 0's
+// /cluster/metrics is a valid single exposition: every rank's series
+// present, one HELP/TYPE header per family, and a readable comment for an
+// unreachable target rather than a failed scrape.
+func TestClusterAggregation(t *testing.T) {
+	var targets []string
+	var servers []*Server
+	for rank := 0; rank < 3; rank++ {
+		reg := NewRegistry()
+		c := reg.Counter("pls_cluster_total", "cluster test", Labels{"rank": fmt.Sprint(rank)})
+		c.Add(int64(100 + rank))
+		cfg := ServerConfig{Addr: "127.0.0.1:0", Registry: reg}
+		if rank == 0 {
+			cfg.ClusterTargets = func() []string { return targets }
+		}
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		targets = append(targets, srv.URL())
+	}
+	// One dead target: must degrade to a comment, not an error.
+	targets = append(targets, "http://127.0.0.1:1")
+
+	code, body := get(t, servers[0].URL()+"/cluster/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster/metrics = %d, want 200", code)
+	}
+	for rank := 0; rank < 3; rank++ {
+		want := fmt.Sprintf(`pls_cluster_total{rank="%d"} %d`, rank, 100+rank)
+		if !strings.Contains(body, want) {
+			t.Errorf("aggregation missing %q:\n%s", want, body)
+		}
+	}
+	if n := strings.Count(body, "# HELP pls_cluster_total"); n != 1 {
+		t.Errorf("HELP header appears %d times in aggregation, want exactly 1:\n%s", n, body)
+	}
+	if n := strings.Count(body, "# TYPE pls_cluster_total"); n != 1 {
+		t.Errorf("TYPE header appears %d times in aggregation, want exactly 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, "unreachable") {
+		t.Errorf("dead target not reported as a comment:\n%s", body)
+	}
+}
+
+// TestServerCloseNoGoroutineLeak pins the shutdown contract: Close returns
+// only after the serve goroutine exits, so repeated start/stop cycles leave
+// the goroutine count flat.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	reg := NewRegistry()
+	// Warm up the http package's lazy singletons outside the measured window.
+	srv0, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv0.URL()+"/metrics")
+	srv0.Close()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		get(t, srv.URL()+"/metrics")
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idle HTTP client keep-alive reapers settle asynchronously; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 5 server start/stop cycles", before, runtime.NumGoroutine())
+		}
+		runtime.GC()
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -58,21 +58,53 @@ func (r *Recorder) Record(e Event) {
 	r.mu.Unlock()
 }
 
-// Events returns a copy of all recorded events, ordered by (epoch, rank,
-// phase) for deterministic output regardless of goroutine interleaving.
+// phaseOrder ranks the trainer's phases in execution order within an epoch
+// — the canonical tiebreak for exports and the layout order of the Chrome
+// trace timeline. Unknown phases sort after the known ones, alphabetically.
+func phaseOrder(phase string) int {
+	switch phase {
+	case PhaseIO:
+		return 0
+	case PhaseExchange:
+		return 1
+	case PhaseFWBW:
+		return 2
+	case PhaseGEWU:
+		return 3
+	case PhaseValidate:
+		return 4
+	case PhaseDegraded:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// less is the canonical deterministic event ordering: (rank, epoch, phase),
+// with phases in execution order. Grouping by rank first keeps each rank's
+// timeline contiguous, so JSONL exports diff cleanly run-to-run and
+// rank-by-rank — golden tests and diff-based tooling depend on it.
+func less(a, b Event) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	if pa, pb := phaseOrder(a.Phase), phaseOrder(b.Phase); pa != pb {
+		return pa < pb
+	}
+	return a.Phase < b.Phase
+}
+
+// Events returns a copy of all recorded events in the canonical (rank,
+// epoch, phase) order — deterministic regardless of goroutine interleaving,
+// so every export built on it (JSONL, Chrome trace) is byte-stable.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := append([]Event(nil), r.events...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Epoch != out[j].Epoch {
-			return out[i].Epoch < out[j].Epoch
-		}
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Phase < out[j].Phase
-	})
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
 }
 

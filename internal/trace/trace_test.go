@@ -15,12 +15,31 @@ func TestRecordAndEventsOrdering(t *testing.T) {
 	if r.Len() != 3 {
 		t.Fatalf("Len = %d", r.Len())
 	}
+	// Canonical export ordering is (rank, epoch, phase): each rank's
+	// timeline is contiguous, epochs ascend within it.
 	ev := r.Events()
-	if ev[0].Epoch != 0 || ev[0].Rank != 0 {
-		t.Fatalf("ordering wrong: %+v", ev[0])
+	if ev[0].Rank != 0 || ev[0].Epoch != 0 || ev[0].Phase != PhaseGEWU {
+		t.Fatalf("ordering wrong: ev[0] = %+v", ev[0])
 	}
-	if ev[2].Epoch != 1 {
-		t.Fatalf("ordering wrong: %+v", ev[2])
+	if ev[1].Rank != 0 || ev[1].Epoch != 1 {
+		t.Fatalf("ordering wrong: ev[1] = %+v", ev[1])
+	}
+	if ev[2].Rank != 1 || ev[2].Epoch != 0 {
+		t.Fatalf("ordering wrong: ev[2] = %+v", ev[2])
+	}
+}
+
+func TestEventsOrderPhasesWithinEpoch(t *testing.T) {
+	r := NewRecorder()
+	// Recorded deliberately out of execution order.
+	for _, p := range []string{PhaseValidate, PhaseGEWU, PhaseFWBW, PhaseExchange, PhaseIO} {
+		r.Record(Event{Rank: 0, Epoch: 0, Phase: p, Duration: time.Second})
+	}
+	want := []string{PhaseIO, PhaseExchange, PhaseFWBW, PhaseGEWU, PhaseValidate}
+	for i, e := range r.Events() {
+		if e.Phase != want[i] {
+			t.Fatalf("phase[%d] = %s, want %s", i, e.Phase, want[i])
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package train
+
+import (
+	"strconv"
+	"time"
+
+	"plshuffle/internal/telemetry"
+	"plshuffle/internal/transport"
+)
+
+// registerTelemetry binds this rank's live metrics into the registry
+// (DESIGN.md §11). Everything allocated or formatted happens HERE, once at
+// startup: the training hot path only performs atomic adds on w.tm's
+// fields, and the pull-model metrics (GaugeFunc/CounterFunc) sample
+// scrape-safe atomics owned by their subsystems — mpi's collective
+// sequence, the exchange scheduler's mirrors, the transport's counters —
+// only when an HTTP scrape happens.
+//
+// Naming (the canonical pls_* registry):
+//
+//	pls_train_*                        progress + per-phase time (TrainMetrics)
+//	pls_exchange_wire_bytes_total      PLS exchange wire volume {direction}
+//	pls_exchange_effective_q           realized shuffling fraction (gauge)
+//	pls_exchange_degraded_slots        forfeited slots this epoch {direction}
+//	pls_exchange_epoch                 most recently scheduled exchange epoch
+//	pls_mpi_collectives_total          collective sequence number
+//	pls_mpi_inflight_collectives       non-blocking collectives in flight
+//	pls_mpi_failed_peers               peers the failure registry knows dead
+//	pls_transport_bytes_total          wire bytes {direction}
+//	pls_transport_frames_total         frames {direction}
+//	pls_transport_frames_by_kind_total frames {direction,kind}
+//	pls_transport_peer_silence_seconds seconds since a peer was last heard {peer}
+func (w *worker) registerTelemetry(reg *telemetry.Registry) {
+	rank := w.comm.Rank()
+	l := telemetry.Labels{"rank": strconv.Itoa(rank)}
+
+	w.tm = &telemetry.TrainMetrics{}
+	w.tm.Register(reg, rank)
+	w.tm.EpochsTotal.SetInt(int64(w.cfg.Epochs))
+
+	// --- mpi runtime ---
+	c := w.comm
+	reg.CounterFunc("pls_mpi_collectives_total",
+		"Collective operations launched (the internal sequence number).", l,
+		func() float64 { return float64(c.CollSeq()) })
+	reg.GaugeFunc("pls_mpi_inflight_collectives",
+		"Non-blocking collectives currently in flight (gradient-overlap depth).", l,
+		func() float64 { return float64(c.InflightCollectives()) })
+	reg.GaugeFunc("pls_mpi_failed_peers",
+		"World ranks the failure registry has recorded dead.", l,
+		func() float64 { return float64(len(c.FailedPeers())) })
+
+	// --- exchange scheduler (PLS only) ---
+	if ex := w.exchanger; ex != nil {
+		for _, dir := range []string{"sent", "recv"} {
+			dir := dir
+			ld := telemetry.Labels{"rank": l["rank"], "direction": dir}
+			reg.CounterFunc("pls_exchange_wire_bytes_total",
+				"Cumulative exchange wire volume (frame overhead included, self-sends excluded).", ld,
+				func() float64 {
+					s, r := ex.CumulativeWireTraffic()
+					if dir == "sent" {
+						return float64(s)
+					}
+					return float64(r)
+				})
+			reg.GaugeFunc("pls_exchange_degraded_slots",
+				"Exchange slots the current epoch forfeited to dead peers.", ld,
+				func() float64 {
+					s, r := ex.ObservedDegradedSlots()
+					if dir == "sent" {
+						return float64(s)
+					}
+					return float64(r)
+				})
+		}
+		reg.GaugeFunc("pls_exchange_effective_q",
+			"Shuffling fraction the current epoch actually realizes (q scaled by surviving slots).", l,
+			func() float64 { return ex.ObservedEffectiveQ() })
+		reg.GaugeFunc("pls_exchange_epoch",
+			"Most recently scheduled exchange epoch.", l,
+			func() float64 { return float64(ex.ObservedEpoch()) })
+	}
+
+	// --- transport ---
+	conn := w.comm.Transport()
+	for _, dir := range []string{"sent", "recv"} {
+		dir := dir
+		ld := telemetry.Labels{"rank": l["rank"], "direction": dir}
+		reg.CounterFunc("pls_transport_bytes_total",
+			"Bytes moved by the transport (real wire bytes on TCP, estimated encoded sizes inproc).", ld,
+			func() float64 {
+				st := conn.Stats()
+				if dir == "sent" {
+					return float64(st.BytesSent)
+				}
+				return float64(st.BytesRecv)
+			})
+		reg.CounterFunc("pls_transport_frames_total",
+			"Frames moved by the transport.", ld,
+			func() float64 {
+				st := conn.Stats()
+				if dir == "sent" {
+					return float64(st.FramesSent)
+				}
+				return float64(st.FramesRecv)
+			})
+	}
+	if ks, ok := transport.AsKindStatser(conn); ok {
+		kindNames := [transport.NumKinds]string{"data", "hello", "table", "bye", "ping"}
+		for k := 0; k < transport.NumKinds; k++ {
+			k := k
+			for _, dir := range []string{"sent", "recv"} {
+				dir := dir
+				lk := telemetry.Labels{"rank": l["rank"], "direction": dir, "kind": kindNames[k]}
+				reg.CounterFunc("pls_transport_frames_by_kind_total",
+					"Frames moved by the transport, by wire kind (data, hello, table, bye, ping).", lk,
+					func() float64 {
+						st := ks.FramesByKind()
+						if dir == "sent" {
+							return float64(st.Sent[k])
+						}
+						return float64(st.Recv[k])
+					})
+			}
+		}
+	}
+	if ls, ok := transport.AsLivenessStatser(conn); ok {
+		for peer := 0; peer < w.comm.Size(); peer++ {
+			if peer == rank {
+				continue
+			}
+			peer := peer
+			lp := telemetry.Labels{"rank": l["rank"], "peer": strconv.Itoa(peer)}
+			reg.GaugeFunc("pls_transport_peer_silence_seconds",
+				"Seconds since the transport last heard anything from the peer (-1 = never).", lp,
+				func() float64 {
+					t := ls.LastHeard(peer)
+					if t.IsZero() {
+						return -1
+					}
+					return time.Since(t).Seconds()
+				})
+		}
+	}
+}

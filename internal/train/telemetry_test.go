@@ -1,0 +1,497 @@
+package train
+
+// Telemetry conformance (DESIGN.md §11): the observability plane must be a
+// faithful witness, not an estimate. These tests scrape /metrics over real
+// HTTP during and after live multi-rank runs and diff the scraped counters
+// BITWISE against the run's own internal accounting — the scheduler's wire
+// traffic, EpochStats.GradWireBytes, and the TCP transport's byte counters
+// — plus the concurrency and zero-allocation guarantees the hot paths make.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/telemetry"
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/faultinject"
+	"plshuffle/internal/transport/transporttest"
+)
+
+// parseMetrics reads a Prometheus text exposition into a map keyed by the
+// full series line prefix, e.g. `pls_train_epoch{rank="0"}`.
+func parseMetrics(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func scrapeURL(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// runTelemetryWorld trains n ranks (one goroutine each) over the backend
+// with a shared registry, returning per-rank results and the still-open
+// comms; the caller owns cleanup. The world barriers before returning, so
+// every counter is quiescent when the final scrape happens.
+func runTelemetryWorld(t *testing.T, b transporttest.Backend, n int, cfg Config) ([]*RankResult, []*mpi.Comm, func()) {
+	t.Helper()
+	comms, cleanup, err := b.Open(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs := make([]*RankResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = mpi.Execute(comms[rank], func(c *mpi.Comm) error {
+				rr, err := RunRank(c, cfg)
+				rrs[rank] = rr
+				if err != nil {
+					return err
+				}
+				c.Barrier()
+				return nil
+			})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		cleanup()
+		t.Fatal("telemetry world deadlocked")
+	}
+	for r, err := range errs {
+		if err != nil {
+			cleanup()
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return rrs, comms, cleanup
+}
+
+// TestTelemetryConformanceTCP is the acceptance gate: a live 4-rank world
+// over real TCP sockets, scraped over real HTTP mid-run and after
+// completion. The post-run scrape must match the run's internal accounting
+// exactly — same int64s, no estimates:
+//
+//	pls_exchange_wire_bytes_total (sent+recv)  == Σ EpochStats.ExchangeWireBytes
+//	pls_train_grad_wire_bytes_total            == Σ EpochStats.GradWireBytes
+//	pls_transport_bytes_total                  == transport.Stats() at scrape time
+//	Σ_kind pls_transport_frames_by_kind_total  == pls_transport_frames_total
+func TestTelemetryConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank TCP conformance in -short mode")
+	}
+	const (
+		n      = 4
+		epochs = 3
+		q      = 0.3
+	)
+	ds := testDataset(t, 512, 4)
+	cfg := baseConfig(t, ds, n, shuffle.Partial(q))
+	cfg.Epochs = epochs
+	cfg.OverlapGrads = true
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	srv, err := telemetry.NewServer(telemetry.ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Mid-run scrapes: poll until the trainer's series appear, proving the
+	// plane is live while training is in flight (not a post-hoc dump).
+	sawLive := make(chan bool, 1)
+	go func() {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(srv.URL() + "/metrics")
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if strings.Contains(string(body), "pls_train_epoch{") {
+					sawLive <- true
+					return
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sawLive <- false
+	}()
+
+	rrs, comms, cleanup := runTelemetryWorld(t, transporttest.TCP(), n, cfg)
+	defer cleanup()
+	if !<-sawLive {
+		t.Error("never scraped a live pls_train_epoch series during the run")
+	}
+
+	m := parseMetrics(t, scrapeURL(t, srv.URL()+"/metrics"))
+	for r := 0; r < n; r++ {
+		rl := fmt.Sprintf(`rank="%d"`, r)
+
+		// Exchange wire volume: scraped sent+recv vs the per-epoch sums the
+		// run reported (both fed by the identical scheduler counters).
+		var wantExchange int64
+		var wantGrad int64
+		for _, e := range rrs[r].Epochs {
+			wantExchange += e.ExchangeWireBytes
+			wantGrad += e.GradWireBytes
+		}
+		gotExchange := int64(m[`pls_exchange_wire_bytes_total{direction="sent",`+rl+`}`]) +
+			int64(m[`pls_exchange_wire_bytes_total{direction="recv",`+rl+`}`])
+		if gotExchange != wantExchange {
+			t.Errorf("rank %d: scraped exchange wire bytes %d != accounted %d", r, gotExchange, wantExchange)
+		}
+		if got := int64(m[`pls_train_grad_wire_bytes_total{`+rl+`}`]); got != wantGrad {
+			t.Errorf("rank %d: scraped grad wire bytes %d != accounted %d", r, got, wantGrad)
+		}
+		if wantExchange == 0 || wantGrad == 0 {
+			t.Errorf("rank %d: zero wire traffic (exchange %d, grad %d); conformance check vacuous", r, wantExchange, wantGrad)
+		}
+
+		// Transport byte counters: scraped == Stats() right now (the world
+		// barriered and heartbeats are off, so the counters are quiescent).
+		st := comms[r].Transport().Stats()
+		if got := int64(m[`pls_transport_bytes_total{direction="sent",`+rl+`}`]); got != st.BytesSent {
+			t.Errorf("rank %d: scraped transport sent %d != Stats %d", r, got, st.BytesSent)
+		}
+		if got := int64(m[`pls_transport_bytes_total{direction="recv",`+rl+`}`]); got != st.BytesRecv {
+			t.Errorf("rank %d: scraped transport recv %d != Stats %d", r, got, st.BytesRecv)
+		}
+
+		// Frames by kind vs the frame totals. The two families count at
+		// different layers by design: frames_total is the app-frame view
+		// (every frame the write loop ships; only DATA frames delivered to
+		// the handler on receive), while frames_by_kind sees every wire
+		// frame including the bootstrap hellos that bypass the write loop.
+		// The exact relations:
+		//
+		//	frames_total{sent} == Σ_kind by_kind{sent} − by_kind{hello,sent}
+		//	frames_total{recv} == by_kind{data,recv}
+		byKind := func(dir, kind string) int64 {
+			return int64(m[fmt.Sprintf(`pls_transport_frames_by_kind_total{direction=%q,kind=%q,%s}`, dir, kind, rl)])
+		}
+		var sentAll int64
+		for _, kind := range []string{"data", "hello", "table", "bye", "ping"} {
+			sentAll += byKind("sent", kind)
+		}
+		if got := int64(m[`pls_transport_frames_total{direction="sent",`+rl+`}`]); got != sentAll-byKind("sent", "hello") {
+			t.Errorf("rank %d: frames_total{sent} %d != Σ by_kind %d − hello %d", r, got, sentAll, byKind("sent", "hello"))
+		}
+		if got := int64(m[`pls_transport_frames_total{direction="recv",`+rl+`}`]); got != byKind("recv", "data") {
+			t.Errorf("rank %d: frames_total{recv} %d != by_kind{data,recv} %d", r, got, byKind("recv", "data"))
+		}
+		if byKind("sent", "hello") == 0 && byKind("recv", "hello") == 0 {
+			t.Errorf("rank %d: no hello frames in either direction; kind attribution broken", r)
+		}
+
+		// Progress gauges at completion.
+		if got := m[`pls_train_epoch{`+rl+`}`]; got != epochs-1 {
+			t.Errorf("rank %d: final epoch gauge %v, want %d", r, got, epochs-1)
+		}
+		if got := m[`pls_train_epochs_total{`+rl+`}`]; got != epochs {
+			t.Errorf("rank %d: epochs_total %v, want %d", r, got, epochs)
+		}
+		if got := m[`pls_train_samples_total{`+rl+`}`]; got < float64(epochs*len(ds.Train)/n) {
+			t.Errorf("rank %d: samples_total %v, want ≥ %d", r, got, epochs*len(ds.Train)/n)
+		}
+
+		// Healthy world: the realized Q is the configured one and the mpi
+		// sequence mirrors the scraped counter exactly.
+		if got := m[`pls_exchange_effective_q{`+rl+`}`]; got != q {
+			t.Errorf("rank %d: effective q %v, want %v (no degradation happened)", r, got, q)
+		}
+		if got := int64(m[`pls_mpi_collectives_total{`+rl+`}`]); got != int64(comms[r].CollSeq()) || got == 0 {
+			t.Errorf("rank %d: scraped collectives %d != CollSeq %d (or zero)", r, got, comms[r].CollSeq())
+		}
+		if got := m[`pls_mpi_failed_peers{`+rl+`}`]; got != 0 {
+			t.Errorf("rank %d: failed peers %v, want 0", r, got)
+		}
+	}
+}
+
+// TestTelemetryScrapeUnderChaos is the concurrency guard (run under -race
+// in CI): several goroutines hammer /metrics and /healthz over HTTP while a
+// 4-rank inproc world trains under scripted faults and loses a rank
+// mid-run. Afterward /healthz must report the dead peer with a 503 and the
+// scraped effective Q must have dropped below the configured one.
+func TestTelemetryScrapeUnderChaos(t *testing.T) {
+	const (
+		workers   = 4
+		victim    = 2
+		q         = 0.5
+		epochs    = 3
+		killEpoch = 1
+	)
+	baseGoroutines := runtime.NumGoroutine()
+	ds := testDataset(t, 512, 4)
+	cfg := baseConfig(t, ds, workers, shuffle.Partial(q))
+	cfg.Epochs = epochs
+	cfg.OnPeerFail = "degrade"
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+
+	scripts := chaosScripts(workers, victim, killEpoch, false)
+	conns := make([]*faultinject.Conn, workers)
+	b := transporttest.InprocWrapped("chaos-telemetry", chaosWrap(scripts, conns))
+
+	comms, cleanup, err := b.Open(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Health reflects survivor rank 0's failure registry, exactly as
+	// distrun wires it.
+	srv, err := telemetry.NewServer(telemetry.ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Health: func() telemetry.Health {
+			fp := comms[0].FailedPeers()
+			return telemetry.Health{OK: len(fp) == 0, Rank: 0, FailedPeers: fp}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape hammer: 4 goroutines polling both endpoints for the whole run.
+	stop := make(chan struct{})
+	var hammer sync.WaitGroup
+	var scrapes atomic64
+	for i := 0; i < 4; i++ {
+		hammer.Add(1)
+		go func() {
+			defer hammer.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/healthz"} {
+					resp, err := client.Get(srv.URL() + path)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						scrapes.add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	rrs := make([]*RankResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = mpi.Execute(comms[rank], func(c *mpi.Comm) error {
+				rr, err := RunRank(c, cfg)
+				rrs[rank] = rr
+				return err
+			})
+		}(r)
+	}
+	wg.Wait()
+
+	// The victim must have failed; the survivors must have finished.
+	if errs[victim] == nil {
+		t.Fatal("victim survived the scripted crash")
+	}
+	for r := 0; r < workers; r++ {
+		if r != victim && errs[r] != nil {
+			t.Fatalf("survivor rank %d failed: %v", r, errs[r])
+		}
+	}
+
+	// Post-kill plane state: 503 with the victim named, and a degraded Q.
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz after the kill = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), fmt.Sprintf("[%d]", victim)) {
+		t.Errorf("/healthz does not name the dead rank %d: %s", victim, body)
+	}
+	m := parseMetrics(t, scrapeURL(t, srv.URL()+"/metrics"))
+	for _, r := range []int{0, 1, 3} {
+		rl := fmt.Sprintf(`rank="%d"`, r)
+		if got := m[`pls_exchange_effective_q{`+rl+`}`]; got <= 0 || got >= q {
+			t.Errorf("survivor %d: effective q %v, want in (0, %v) after losing a rank", r, got, q)
+		}
+		if got := m[`pls_mpi_failed_peers{`+rl+`}`]; got != 1 {
+			t.Errorf("survivor %d: failed peers gauge %v, want 1", r, got)
+		}
+	}
+
+	close(stop)
+	hammer.Wait()
+	if scrapes.load() == 0 {
+		t.Error("scrape hammer never completed a request; concurrency guard vacuous")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	cleanup()
+	waitGoroutines(t, baseGoroutines)
+}
+
+// TestTelemetryBitwiseNeutral pins the observer-effect contract over the
+// full 2×2 matrix {flat, overlap} × {telemetry off, on}: three epochs of
+// PLS training must produce bitwise identical weights in all four cells —
+// attaching the observability plane changes nothing about the computation.
+func TestTelemetryBitwiseNeutral(t *testing.T) {
+	ds := testDataset(t, 256, 4)
+	weightsOf := func(overlap, instrumented bool) []float32 {
+		cfg := baseConfig(t, ds, 4, shuffle.Partial(0.5))
+		cfg.Epochs = 3
+		cfg.OverlapGrads = overlap
+		if instrumented {
+			cfg.Telemetry = telemetry.NewRegistry() // fresh per run: rank series re-register
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float32
+		for _, p := range res.FinalParams {
+			out = append(out, p.W...)
+		}
+		return out
+	}
+	ref := weightsOf(false, false)
+	for _, tc := range []struct {
+		name                  string
+		overlap, instrumented bool
+	}{
+		{"flat+telemetry", false, true},
+		{"overlap", true, false},
+		{"overlap+telemetry", true, true},
+	} {
+		got := weightsOf(tc.overlap, tc.instrumented)
+		if len(got) != len(ref) {
+			t.Fatalf("%s: weight count %d != %d", tc.name, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: weight[%d] = %v != baseline %v — telemetry/overlap must be bitwise neutral",
+					tc.name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestTelemetryIterationOpsZeroAlloc pins the PR 2 invariant for the exact
+// set of operations one instrumented training iteration adds: gauge stores
+// and counter adds on registered series — including while a concurrent
+// scraper is reading them — must allocate nothing.
+func TestTelemetryIterationOpsZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	reg := telemetry.NewRegistry()
+	tm := &telemetry.TrainMetrics{}
+	tm.Register(reg, 0)
+
+	// Concurrent scraper: sampling must not force the hot path to allocate.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+
+	iteration := func() {
+		// The per-iteration instrumentation of runEpoch, verbatim.
+		tm.Iteration.SetInt(7)
+		tm.IONs.Add(1000)
+		tm.Samples.Add(16)
+		tm.ExchangeNs.Add(1000)
+		tm.FWBWNs.Add(1000)
+		tm.GEWUNs.Add(1000)
+		tm.GEWUWaitNs.Add(500)
+		tm.GEWUCommNs.Add(800)
+		tm.GradWireBytes.Add(4096)
+	}
+	iteration() // warm up
+	if allocs := testing.AllocsPerRun(1000, iteration); allocs > 0 {
+		t.Errorf("instrumented iteration ops allocate %.1f times per run, want 0", allocs)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// skipIfRace skips allocation-regression tests under the race detector
+// (see raceEnabled).
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}
+
+// atomic64 is a tiny counter for test bookkeeping.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+var _ = transport.NumKinds // document the kind-partition dependency above

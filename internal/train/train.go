@@ -26,6 +26,7 @@ import (
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
 	"plshuffle/internal/store"
+	"plshuffle/internal/telemetry"
 	"plshuffle/internal/tensor"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/transport"
@@ -105,6 +106,14 @@ type Config struct {
 	// Trace, if non-nil, receives one event per (rank, epoch, phase) with
 	// duration and byte volume — the Figure 10 instrumentation.
 	Trace *trace.Recorder
+	// Telemetry, if non-nil, registers this rank's live metrics (DESIGN.md
+	// §11): training progress and per-phase time, the exchange scheduler's
+	// EffectiveQ/DegradedSlots and cumulative wire volume, the runtime's
+	// collective sequence and overlap depth, and the transport's byte/frame
+	// counters. The hot path only touches preallocated atomic words — the
+	// steady-state training iteration stays 0 allocs/op with telemetry on,
+	// and the trained weights are bitwise identical either way.
+	Telemetry *telemetry.Registry
 	// OnPeerFail selects the policy when the transport reports a peer dead
 	// mid-run (DESIGN.md §10). "abort" (or "") propagates the typed
 	// transport.PeerError and fails the rank — the launcher reports it and
@@ -382,6 +391,11 @@ type worker struct {
 	// the ImportanceSampling extension.
 	lossByID map[int]float64
 
+	// tm is the rank's live-metric bundle (nil when cfg.Telemetry is nil).
+	// Hot-path updates are single atomic adds on its fields; all naming and
+	// labeling happened at registration (registerTelemetry).
+	tm *telemetry.TrainMetrics
+
 	// Fault-tolerance state (cfg.OnPeerFail == "degrade"; DESIGN.md §10).
 	// exchEpoch is the epoch whose exchange is currently open (-1 when no
 	// Scheduling…CleanLocalStorage window is in flight) — the recovery path
@@ -453,6 +467,9 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 				w.exchanger.SetDegradeOnPeerFailure(true)
 			}
 		}
+	}
+	if cfg.Telemetry != nil {
+		w.registerTelemetry(cfg.Telemetry)
 	}
 	return w, nil
 }
@@ -549,10 +566,16 @@ func (w *worker) drainBuckets(es *EpochStats, lr float32) {
 		b := w.plan.Buckets[bi]
 		tw := time.Now()
 		req.Wait()
-		es.GEWUWaitTime += time.Since(tw)
+		wait := time.Since(tw)
+		es.GEWUWaitTime += wait
 		es.GEWUCommTime += req.Elapsed()
 		sent, recv := req.WireBytes()
 		es.GradWireBytes += sent + recv
+		if w.tm != nil {
+			w.tm.GEWUWaitNs.Add(int64(wait))
+			w.tm.GEWUCommNs.Add(int64(req.Elapsed()))
+			w.tm.GradWireBytes.Add(sent + recv)
+		}
 		seg := w.gradBuf[b.Lo:b.Hi]
 		for i := range seg {
 			seg[i] *= inv
@@ -988,6 +1011,9 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 	}
 
 	lr := w.sched.LR(float64(epoch))
+	if w.tm != nil {
+		w.tm.Epoch.SetInt(int64(epoch))
+	}
 	var lossSum float64
 	for it := 0; it < iters; it++ {
 		if w.cfg.testIterHook != nil {
@@ -995,13 +1021,21 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 				return err
 			}
 		}
+		if w.tm != nil {
+			w.tm.Iteration.SetInt(int64(it))
+		}
 		// Phase: I/O — assemble the mini-batch from storage.
 		t0 := time.Now()
 		batch := ids[it*b : (it+1)*b]
 		if err := w.loadBatch(batch, es); err != nil {
 			return fmt.Errorf("epoch %d iteration %d: %w", epoch, it, err)
 		}
-		es.IOTime += time.Since(t0)
+		d := time.Since(t0)
+		es.IOTime += d
+		if w.tm != nil {
+			w.tm.IONs.Add(int64(d))
+			w.tm.Samples.Add(int64(b))
+		}
 
 		// Phase: overlapped sample exchange (post this iteration's chunk).
 		if w.exchanger != nil && chunk > 0 {
@@ -1009,7 +1043,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 			if _, err := w.exchanger.Communicate(chunk); err != nil {
 				return err
 			}
-			es.ExchangeTime += time.Since(t0)
+			d = time.Since(t0)
+			es.ExchangeTime += d
+			if w.tm != nil {
+				w.tm.ExchangeNs.Add(int64(d))
+			}
 		}
 
 		// Phase: forward + backward. With OverlapGrads the backward pass
@@ -1026,7 +1064,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 			}
 		}
 		w.model.BackwardWithHook(w.loss.Backward(), w.bucketHook)
-		es.FWBWTime += time.Since(t0)
+		d = time.Since(t0)
+		es.FWBWTime += d
+		if w.tm != nil {
+			w.tm.FWBWNs.Add(int64(d))
+		}
 
 		// Phase: gradient exchange + weight update (Equation 1: average
 		// the per-worker gradients, then step). Overlapped: drain the
@@ -1040,10 +1082,15 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 			w.gradBuf = nn.FlattenGrads(w.params, w.gradBuf)
 			tw := time.Now()
 			sent, recv := mpi.AllreduceWire(w.comm, w.gradBuf, mpi.OpSum)
-			d := time.Since(tw)
-			es.GEWUWaitTime += d
-			es.GEWUCommTime += d
+			dw := time.Since(tw)
+			es.GEWUWaitTime += dw
+			es.GEWUCommTime += dw
 			es.GradWireBytes += sent + recv
+			if w.tm != nil {
+				w.tm.GEWUWaitNs.Add(int64(dw))
+				w.tm.GEWUCommNs.Add(int64(dw))
+				w.tm.GradWireBytes.Add(sent + recv)
+			}
 			inv := 1 / float32(w.comm.GroupSize())
 			for i := range w.gradBuf {
 				w.gradBuf[i] *= inv
@@ -1051,7 +1098,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 			nn.UnflattenGrads(w.params, w.gradBuf)
 			w.opt.Step(w.params, lr)
 		}
-		es.GEWUTime += time.Since(t0)
+		d = time.Since(t0)
+		es.GEWUTime += d
+		if w.tm != nil {
+			w.tm.GEWUNs.Add(int64(d))
+		}
 	}
 
 	// Epoch boundary: finish the exchange and swap storage.
@@ -1060,7 +1111,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		if err := w.finishExchange(es); err != nil {
 			return err
 		}
-		es.ExchangeTime += time.Since(t0)
+		d := time.Since(t0)
+		es.ExchangeTime += d
+		if w.tm != nil {
+			w.tm.ExchangeNs.Add(int64(d))
+		}
 	}
 
 	// Average the reported loss across workers so every rank logs the

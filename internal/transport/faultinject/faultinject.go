@@ -187,6 +187,13 @@ func (c *Conn) Size() int { return c.inner.Size() }
 // duplicated frames really were sent twice.
 func (c *Conn) Stats() transport.Stats { return c.inner.Stats() }
 
+// Underlying exposes the wrapped connection (transport.Unwrapper), so
+// observability type-assertions (KindStatser, LivenessStatser) reach the
+// real backend through the injector.
+func (c *Conn) Underlying() transport.Conn { return c.inner }
+
+var _ transport.Unwrapper = (*Conn)(nil)
+
 // Injected returns a snapshot of the committed faults.
 func (c *Conn) Injected() Injected {
 	c.mu.Lock()

@@ -172,6 +172,13 @@ type Conn struct {
 	bytesSent  atomic.Int64
 	bytesRecv  atomic.Int64
 
+	// Per-kind frame counters (transport.KindStatser) and per-peer
+	// last-heard stamps in unix nanos (transport.LivenessStatser). All
+	// plain atomics so telemetry scrapes race-free against traffic.
+	sentKind  [transport.NumKinds]atomic.Int64
+	recvKind  [transport.NumKinds]atomic.Int64
+	lastHeard []atomic.Int64 // rank → unix nanos, 0 = never
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	killed    atomic.Bool
@@ -234,6 +241,7 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 		return nil, fmt.Errorf("tcp: nil frame handler")
 	}
 	c := &Conn{cfg: cfg, handler: h, closed: make(chan struct{})}
+	c.lastHeard = make([]atomic.Int64, cfg.Size)
 
 	if cfg.Size == 1 {
 		// Single-rank world: only self-delivery, no sockets.
@@ -472,6 +480,37 @@ func (c *Conn) Stats() transport.Stats {
 	}
 }
 
+// FramesByKind returns the per-wire-kind frame counters. Implements
+// transport.KindStatser; safe to call concurrently with traffic (telemetry
+// scrapes it from the HTTP goroutine).
+func (c *Conn) FramesByKind() transport.KindStats {
+	var ks transport.KindStats
+	for k := 0; k < transport.NumKinds; k++ {
+		ks.Sent[k] = c.sentKind[k].Load()
+		ks.Recv[k] = c.recvKind[k].Load()
+	}
+	return ks
+}
+
+// LastHeard returns the time any frame (data, hello, or heartbeat) was last
+// read from rank, or the zero time if never (and always for the own rank).
+// Implements transport.LivenessStatser.
+func (c *Conn) LastHeard(rank int) time.Time {
+	if rank < 0 || rank >= len(c.lastHeard) {
+		return time.Time{}
+	}
+	ns := c.lastHeard[rank].Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+var (
+	_ transport.KindStatser     = (*Conn)(nil)
+	_ transport.LivenessStatser = (*Conn)(nil)
+)
+
 // Send serializes the payload and enqueues it toward dst. Self-sends loop
 // back through the codec (an encode/decode round trip) so semantics match
 // remote delivery exactly.
@@ -509,6 +548,8 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 		}
 		c.framesSent.Add(1)
 		c.framesRecv.Add(1)
+		c.sentKind[transport.KindData].Add(1)
+		c.recvKind[transport.KindData].Add(1)
 		c.handler(transport.Frame{Src: dst, Dst: dst, Tag: tag, Payload: v})
 		return nil
 	}
@@ -780,6 +821,8 @@ func (c *Conn) acceptLoop() {
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
+			c.recvKind[transport.KindHello].Add(1)
+			c.lastHeard[r].Store(time.Now().UnixNano())
 			c.registerConn(r, conn)
 			c.readLoop(r, conn)
 		}(conn)
@@ -827,6 +870,8 @@ func (c *Conn) readLoop(rank int, conn net.Conn) {
 			return
 		}
 		c.bytesRecv.Add(int64(n))
+		c.recvKind[f.Kind].Add(1)
+		c.lastHeard[rank].Store(time.Now().UnixNano())
 		switch f.Kind {
 		case transport.KindData:
 			if int(f.Dst) != c.cfg.Rank {
@@ -882,6 +927,10 @@ func (c *Conn) writeLoop(p *peer) {
 			if err == nil {
 				c.framesSent.Add(1)
 				c.bytesSent.Add(int64(len(wb.B)))
+				// Byte 4 of the marshalled frame is the wire kind.
+				if len(wb.B) > 4 && int(wb.B[4]) < transport.NumKinds {
+					c.sentKind[wb.B[4]].Add(1)
+				}
 			}
 			transport.PutWireBuf(wb)
 		}
@@ -1003,6 +1052,7 @@ func (c *Conn) peerConn(p *peer) (net.Conn, error) {
 	}
 	conn.SetWriteDeadline(time.Time{})
 	c.bytesSent.Add(int64(len(hello)))
+	c.sentKind[transport.KindHello].Add(1)
 
 	p.mu.Lock()
 	if p.conn != nil {

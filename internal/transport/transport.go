@@ -23,6 +23,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Frame is one addressed message as delivered to a rank's handler. Payload
@@ -54,6 +55,73 @@ type Stats struct {
 	BytesSent  int64
 	BytesRecv  int64
 	Wire       bool
+}
+
+// NumKinds is the number of wire frame kinds (KindData..KindPing), sizing
+// the per-kind counter arrays of KindStats.
+const NumKinds = int(KindPing) + 1
+
+// KindStats is a snapshot of a wire backend's per-frame-kind traffic
+// counters: how many frames of each wire kind (data, hello, table, bye,
+// ping) crossed the connection in each direction. Indexed by the Kind*
+// constants. The totals decompose Stats' frame counts by purpose, so an
+// observer can tell data volume from bootstrap and liveness overhead.
+type KindStats struct {
+	Sent [NumKinds]int64
+	Recv [NumKinds]int64
+}
+
+// KindStatser is implemented by backends that count frames per wire kind.
+// FramesByKind must be safe to call concurrently with traffic (telemetry
+// scrapes it from an HTTP goroutine).
+type KindStatser interface {
+	FramesByKind() KindStats
+}
+
+// LivenessStatser is implemented by backends that track when each peer was
+// last heard from (any successfully read frame, heartbeats included).
+// LastHeard returns the zero time for the own rank and for peers never
+// heard from. It must be safe to call concurrently with traffic.
+type LivenessStatser interface {
+	LastHeard(rank int) time.Time
+}
+
+// Unwrapper is implemented by interposing transports (fault injectors,
+// chaos wrappers) that delegate to an inner Conn. AsKindStatser and
+// AsLivenessStatser walk the chain so observability reaches the real
+// backend through any stack of wrappers.
+type Unwrapper interface {
+	Underlying() Conn
+}
+
+// AsKindStatser finds the first KindStatser in c's wrapper chain.
+func AsKindStatser(c Conn) (KindStatser, bool) {
+	for c != nil {
+		if ks, ok := c.(KindStatser); ok {
+			return ks, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			break
+		}
+		c = u.Underlying()
+	}
+	return nil, false
+}
+
+// AsLivenessStatser finds the first LivenessStatser in c's wrapper chain.
+func AsLivenessStatser(c Conn) (LivenessStatser, bool) {
+	for c != nil {
+		if ls, ok := c.(LivenessStatser); ok {
+			return ls, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			break
+		}
+		c = u.Underlying()
+	}
+	return nil, false
 }
 
 // Conn is one rank's endpoint into a transport backend.

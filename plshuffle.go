@@ -49,6 +49,7 @@ import (
 	"plshuffle/internal/perfmodel"
 	"plshuffle/internal/shuffle"
 	"plshuffle/internal/store"
+	"plshuffle/internal/telemetry"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/train"
 )
@@ -164,6 +165,34 @@ type TraceEvent = trace.Event
 
 // NewTraceRecorder returns an empty trace recorder.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// WriteChromeTrace renders recorded events as Chrome trace-event JSON
+// (load the output in chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, rec *TraceRecorder) error {
+	return trace.WriteChromeTrace(w, rec.Events())
+}
+
+// --- Live telemetry (DESIGN.md §11) ---
+
+// TelemetryRegistry is a set of live Prometheus-style metrics. Pass one as
+// TrainConfig.Telemetry to have the trainer register and update its
+// progress, phase-time, and wire counters; serve it with NewTelemetryServer.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// TelemetryServerConfig configures a telemetry HTTP server.
+type TelemetryServerConfig = telemetry.ServerConfig
+
+// TelemetryServer serves /metrics (Prometheus text), /trace (Chrome JSON +
+// JSONL), /healthz, and /debug/pprof for a live run.
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryServer starts a telemetry HTTP server; Close stops it.
+func NewTelemetryServer(cfg TelemetryServerConfig) (*TelemetryServer, error) {
+	return telemetry.NewServer(cfg)
+}
 
 // --- Performance model (Figures 7b, 9, 10) ---
 
