@@ -29,7 +29,7 @@ import (
 
 // hotPackages are the packages whose benchmarks cover the zero-allocation
 // hot paths: compute kernels, the collective runtime, the wire codec, the
-// transports, and the end-to-end training epoch.
+// transports, the storage hierarchy, and the end-to-end training epoch.
 var hotPackages = []string{
 	"./internal/tensor",
 	"./internal/data",
@@ -38,6 +38,8 @@ var hotPackages = []string{
 	"./internal/mpi",
 	"./internal/nn",
 	"./internal/shuffle",
+	"./internal/store/shard",
+	"./internal/store/cache",
 	"./internal/train",
 }
 

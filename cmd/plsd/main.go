@@ -28,8 +28,11 @@ func main() {
 	rendezvous := flag.String("rendezvous", "127.0.0.1:7077", "host:port rank 0 listens on for bootstrap")
 	dataset := flag.String("dataset", "imagenet-50", "paper dataset key")
 	model := flag.String("model", "resnet50", "proxy model name")
-	strategy := flag.String("strategy", "partial", "global | local | partial")
+	strategy := flag.String("strategy", "partial", "global | local | partial | corgi2")
 	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	dataDir := flag.String("data-dir", "", "ingested on-disk dataset directory (cmd/plsingest) for -strategy corgi2; replaces -dataset and must name the same data on every rank")
+	cacheBytes := flag.Int64("cache-bytes", 0, "this rank's node-local cache budget in bytes for -strategy corgi2 (0 = unlimited; must match on every rank)")
+	groupEpochs := flag.Int("group-epochs", 1, "corgi2 epoch-group length: shard assignments reshuffle across ranks every this many epochs (must match on every rank)")
 	epochs := flag.Int("epochs", 5, "training epochs")
 	batch := flag.Int("batch", 16, "local mini-batch size")
 	lr := flag.Float64("lr", 0.05, "base learning rate")
@@ -50,6 +53,9 @@ func main() {
 		Model:         *model,
 		Strategy:      *strategy,
 		Q:             *q,
+		DataDir:       *dataDir,
+		CacheBytes:    *cacheBytes,
+		GroupEpochs:   *groupEpochs,
 		Epochs:        *epochs,
 		Batch:         *batch,
 		LR:            *lr,

@@ -12,6 +12,7 @@
 //	plsrun -dataset imagenet-50 -model resnet50 -workers 32 -strategy partial -q 0.3
 //	plsrun -dataset cifar-100 -model inceptionv4 -workers 16 -strategy local -locality 0.9
 //	plsrun -launch 4 -dataset imagenet-50 -strategy partial -q 0.25 -epochs 3 -timeout 2m
+//	plsrun -launch 4 -strategy corgi2 -data-dir /data/in50 -cache-bytes 16777216 -group-epochs 5
 package main
 
 import (
@@ -32,8 +33,11 @@ func main() {
 	dataset := flag.String("dataset", "imagenet-50", "paper dataset key (see -list-datasets)")
 	model := flag.String("model", "resnet50", "proxy model name")
 	workers := flag.Int("workers", 8, "number of data-parallel workers")
-	strategy := flag.String("strategy", "partial", "global | local | partial")
+	strategy := flag.String("strategy", "partial", "global | local | partial | corgi2")
 	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	dataDir := flag.String("data-dir", "", "ingested on-disk dataset directory (cmd/plsingest) for -strategy corgi2; replaces -dataset")
+	cacheBytes := flag.Int64("cache-bytes", 0, "per-rank node-local cache budget in bytes for -strategy corgi2 (0 = unlimited)")
+	groupEpochs := flag.Int("group-epochs", 1, "corgi2 epoch-group length: shard assignments reshuffle across ranks every this many epochs")
 	epochs := flag.Int("epochs", 15, "training epochs")
 	batch := flag.Int("batch", 16, "local mini-batch size")
 	lr := flag.Float64("lr", 0.05, "base learning rate")
@@ -64,6 +68,9 @@ func main() {
 		Model:         *model,
 		Strategy:      *strategy,
 		Q:             *q,
+		DataDir:       *dataDir,
+		CacheBytes:    *cacheBytes,
+		GroupEpochs:   *groupEpochs,
 		Epochs:        *epochs,
 		Batch:         *batch,
 		LR:            *lr,
@@ -96,8 +103,9 @@ func main() {
 		return
 	}
 
-	runInproc(*workers, *strategy, *q, *dataset, *model, *epochs, *batch, *lr,
-		*locality, *lars, *overlapGrads, *seed, *timeout, *saveWeights, *telemetryAddr)
+	runInproc(*workers, *strategy, *q, *dataset, *model, *dataDir, *cacheBytes,
+		*groupEpochs, *epochs, *batch, *lr, *locality, *lars, *overlapGrads,
+		*seed, *timeout, *saveWeights, *telemetryAddr)
 }
 
 // runLaunched forks world-1 copies of this binary as worker ranks and plays
@@ -131,6 +139,9 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-epochs", strconv.Itoa(opts.Epochs),
 		"-batch", strconv.Itoa(opts.Batch),
 		"-lr", fmt.Sprint(opts.LR),
+		"-data-dir", opts.DataDir,
+		"-cache-bytes", strconv.FormatInt(opts.CacheBytes, 10),
+		"-group-epochs", strconv.Itoa(opts.GroupEpochs),
 		"-locality", fmt.Sprint(opts.Locality),
 		"-seed", strconv.FormatUint(opts.Seed, 10),
 		"-timeout", opts.Timeout.String(),
@@ -211,8 +222,9 @@ func runLaunched(world int, opts distrun.Options) error {
 }
 
 // runInproc is the original single-process path (goroutine workers).
-func runInproc(workers int, strategy string, q float64, dataset, model string,
-	epochs, batch int, lr, locality float64, lars, overlapGrads bool, seed uint64,
+func runInproc(workers int, strategy string, q float64, dataset, model, dataDir string,
+	cacheBytes int64, groupEpochs, epochs, batch int, lr, locality float64,
+	lars, overlapGrads bool, seed uint64,
 	timeout time.Duration, saveWeights, telemetryAddr string) {
 	var strat plshuffle.Strategy
 	switch strategy {
@@ -222,13 +234,33 @@ func runInproc(workers int, strategy string, q float64, dataset, model string,
 		strat = plshuffle.Local()
 	case "partial":
 		strat = plshuffle.Partial(q)
+	case "corgi2":
+		strat = plshuffle.Corgi2(groupEpochs)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", strategy)
 		os.Exit(2)
 	}
 
-	ds, err := plshuffle.ProxyDataset(dataset)
-	if err != nil {
+	var ds *plshuffle.Dataset
+	var err error
+	if strategy == "corgi2" {
+		// The samples live in the ingested on-disk store; the proxy carries
+		// the metadata and validation split the workers need up front.
+		if dataDir == "" {
+			fmt.Fprintln(os.Stderr, "plsrun: -strategy corgi2 requires -data-dir (an ingested dataset; see cmd/plsingest)")
+			os.Exit(2)
+		}
+		sd, derr := plshuffle.OpenShardDataset(dataDir)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(1)
+		}
+		if ds, err = sd.Proxy(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dataset = ds.Name + " (ingested " + dataDir + ")"
+	} else if ds, err = plshuffle.ProxyDataset(dataset); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -277,6 +309,8 @@ func runInproc(workers int, strategy string, q float64, dataset, model string,
 			WeightDecay:       1e-4,
 			UseLARS:           lars,
 			Seed:              seed,
+			DataDir:           dataDir,
+			CacheBytes:        cacheBytes,
 			PartitionLocality: locality,
 			OverlapGrads:      overlapGrads,
 			Trace:             rec,

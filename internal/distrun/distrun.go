@@ -9,8 +9,11 @@
 package distrun
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"net"
 	"time"
 
@@ -18,6 +21,7 @@ import (
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
+	"plshuffle/internal/store/shard"
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/train"
@@ -37,8 +41,17 @@ type Options struct {
 
 	Dataset  string // paper dataset key (data.LoadProxy)
 	Model    string // proxy model name (nn.ProxySpec)
-	Strategy string // global | local | partial
+	Strategy string // global | local | partial | corgi2
 	Q        float64
+	// DataDir is the ingested on-disk dataset (cmd/plsingest) the corgi2
+	// strategy streams from; it replaces Dataset for that strategy.
+	DataDir string
+	// CacheBytes bounds each rank's node-local cache tier under corgi2
+	// (0 = unlimited).
+	CacheBytes int64
+	// GroupEpochs is corgi2's epoch-group length: shard assignments
+	// reshuffle across ranks every GroupEpochs epochs (0 = 1).
+	GroupEpochs int
 	Epochs   int
 	Batch    int
 	LR       float64
@@ -81,8 +94,14 @@ func (o Options) strategy() (shuffle.Strategy, error) {
 		return shuffle.LocalShuffling(), nil
 	case "partial":
 		return shuffle.Partial(o.Q), nil
+	case "corgi2":
+		g := o.GroupEpochs
+		if g <= 0 {
+			g = 1
+		}
+		return shuffle.Corgi2Shuffling(g), nil
 	default:
-		return shuffle.Strategy{}, fmt.Errorf("distrun: unknown strategy %q (want global, local, or partial)", o.Strategy)
+		return shuffle.Strategy{}, fmt.Errorf("distrun: unknown strategy %q (want global, local, partial, or corgi2)", o.Strategy)
 	}
 }
 
@@ -94,8 +113,22 @@ func Run(o Options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ds, err := data.LoadProxy(o.Dataset)
-	if err != nil {
+	var ds *data.Dataset
+	if strat.Kind == shuffle.Corgi2 {
+		// The dataset lives on disk (cmd/plsingest); the proxy carries its
+		// metadata and validation split, training samples stream through the
+		// cache tier inside train.RunRank.
+		if o.DataDir == "" {
+			return fmt.Errorf("distrun: -strategy corgi2 requires -data-dir (an ingested dataset; see cmd/plsingest)")
+		}
+		sd, derr := shard.OpenDataset(o.DataDir)
+		if derr != nil {
+			return derr
+		}
+		if ds, err = sd.Proxy(); err != nil {
+			return err
+		}
+	} else if ds, err = data.LoadProxy(o.Dataset); err != nil {
 		return err
 	}
 	spec, err := nn.ProxySpec(o.Model)
@@ -277,6 +310,8 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		WeightDecay:       1e-4,
 		UseLARS:           o.LARS,
 		Seed:              o.Seed,
+		DataDir:           o.DataDir,
+		CacheBytes:        o.CacheBytes,
 		PartitionLocality: o.Locality,
 		OverlapGrads:      o.OverlapGrads,
 		OnPeerFail:        o.OnPeerFail,
@@ -301,12 +336,23 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 	counts := mpi.Gather(c, []int64{int64(rr.FinalLocalSamples)}, root)
 	peaks := mpi.Gather(c, []int64{rr.PeakStorageBytes}, root)
 	wire := mpi.Gather(c, []int64{st.BytesSent, st.BytesRecv}, root)
+	var cstat []int64
+	if cs := rr.Cache; cs != nil {
+		cstat = []int64{cs.Hits, cs.Misses, cs.Evictions, cs.PrefetchBytes, cs.PFSReadBytes}
+	} else {
+		cstat = make([]int64, 5)
+	}
+	cgather := mpi.Gather(c, cstat, root)
 	if c.Rank() != root {
 		return nil
 	}
 
+	dsLabel := o.Dataset
+	if strat.Kind == shuffle.Corgi2 {
+		dsLabel = ds.Name + " (ingested " + o.DataDir + ")"
+	}
 	fmt.Fprintf(out, "%s on %s proxy, %d ranks over tcp, strategy %s (locality %.2f)\n",
-		o.Model, o.Dataset, c.Size(), strat, o.Locality)
+		o.Model, dsLabel, c.Size(), strat, o.Locality)
 	fmt.Fprintf(out, "%-6s  %-8s  %-8s  %-14s\n", "epoch", "loss", "val-acc", "exchange-wire")
 	for _, e := range rr.Epochs {
 		fmt.Fprintf(out, "%-6d  %-8.4f  %-8.4f  %-14d\n", e.Epoch+1, e.TrainLoss, e.ValAcc, e.ExchangeWireBytes)
@@ -324,6 +370,31 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 	fmt.Fprintf(out, "final=%.4f peak-storage/rank=%d bytes  wire sent=%d recv=%d bytes\n",
 		final.ValAcc, peak, sent, recv)
 
+	if strat.Kind == shuffle.Corgi2 {
+		var hits, misses, ev, pf, pfsb int64
+		for g := range live {
+			hits += cgather[5*g]
+			misses += cgather[5*g+1]
+			ev += cgather[5*g+2]
+			pf += cgather[5*g+3]
+			pfsb += cgather[5*g+4]
+		}
+		fmt.Fprintf(out, "cache: hits=%d misses=%d evictions=%d prefetch=%d bytes pfs-read=%d bytes\n",
+			hits, misses, ev, pf, pfsb)
+		// Checksum of the trained weights (CRC32C over the float bits, LE):
+		// two same-seed worlds must print the same value — the cheap handle
+		// on the bitwise-determinism guarantee across real processes.
+		h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+		var wb [4]byte
+		for _, p := range rr.FinalParams {
+			for _, v := range p.W {
+				binary.LittleEndian.PutUint32(wb[:], math.Float32bits(v))
+				h.Write(wb[:])
+			}
+		}
+		fmt.Fprintf(out, "weights crc32c=%08x\n", h.Sum32())
+	}
+
 	if len(live) < c.Size() || degraded > 0 {
 		// The run lost ranks and completed among the survivors: the fair-share
 		// invariant intentionally no longer holds (retained samples stay with
@@ -336,8 +407,9 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 
 	// Balance check: for the local-family strategies every rank must end the
 	// run holding its fair share, N/M rounded either way (Algorithm 1's
-	// slot-balanced exchange guarantees it; GS holds no local samples).
-	if strat.Kind != shuffle.Global {
+	// slot-balanced exchange guarantees it; GS holds no local samples, and
+	// corgi2 balances shards rather than samples).
+	if strat.Kind == shuffle.Local || strat.Kind == shuffle.PartialLocal {
 		n, m := len(ds.Train), c.Size()
 		lo, hi := int64(n/m), int64((n+m-1)/m)
 		for r := 0; r < m; r++ {

@@ -143,7 +143,10 @@ func EpochTime(mc cluster.Machine, w Workload, workers int, strat shuffle.Strate
 		// Workers wait for each other in the gradient collectives; the
 		// slowest reader delays everyone (Section V-F's 70 s GE average).
 		b.GEWU += b.IOSlowest - b.IO
-	case shuffle.Local, shuffle.PartialLocal:
+	case shuffle.Local, shuffle.PartialLocal, shuffle.Corgi2:
+		// Corgi2's steady-state read path is the node-local tier (its PFS
+		// miss traffic depends on the cache budget — model that dimension
+		// with CachedEpochReadTime).
 		localBW := mc.LocalReadBW
 		if w.Sequential {
 			localBW = mc.LocalSeqBW
@@ -171,6 +174,37 @@ func EpochTime(mc cluster.Machine, w Workload, workers int, strat shuffle.Strate
 		}
 	}
 	return b, nil
+}
+
+// CacheWorkload describes one rank's epoch read through the storage
+// hierarchy (the Corgi2 path): EpochBytes of shard files read per epoch,
+// in shards of ShardBytes, with CacheBytes of node-local capacity.
+type CacheWorkload struct {
+	EpochBytes int64
+	ShardBytes int64
+	CacheBytes int64 // 0 = unlimited (everything hits after the first epoch)
+}
+
+// CachedEpochReadTime models one steady-state epoch's read time through
+// the two-tier hierarchy: the cached fraction streams at the node-local
+// sequential rate, the rest re-fetches whole shards from the PFS at the
+// per-client rate plus a metadata operation per shard. With LRU over a
+// uniformly re-shuffled shard order, the expected hit fraction is the
+// cache's share of the epoch's bytes.
+func CachedEpochReadTime(mc cluster.Machine, w CacheWorkload) (float64, error) {
+	if w.EpochBytes <= 0 || w.ShardBytes <= 0 || w.CacheBytes < 0 {
+		return 0, fmt.Errorf("perfmodel: CachedEpochReadTime: bad workload %+v", w)
+	}
+	hitFrac := 1.0
+	if w.CacheBytes > 0 && w.CacheBytes < w.EpochBytes {
+		hitFrac = float64(w.CacheBytes) / float64(w.EpochBytes)
+	}
+	hitBytes := hitFrac * float64(w.EpochBytes)
+	missBytes := float64(w.EpochBytes) - hitBytes
+	missShards := missBytes / float64(w.ShardBytes)
+	t := hitBytes / mc.LocalSeqBW
+	t += missBytes/mc.PFSPerClientBW + missShards*mc.PFSMetadataCost
+	return t, nil
 }
 
 // PFSLowerBound returns the paper's Figure 7b red line: the minimum epoch

@@ -1,0 +1,96 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"plshuffle/internal/rng"
+	"plshuffle/internal/store/shard"
+)
+
+// Corgi² stream salts (disjoint from the partition/exchange salts above):
+// the offline chunk-level reassignment, the per-epoch shard order, and the
+// within-window sample shuffle each draw from their own stream.
+const (
+	saltCorgiAssign uint64 = 0xc047
+	saltCorgiShards uint64 = 0xc042
+	saltCorgiOrder  uint64 = 0xc04d
+)
+
+// Corgi2Assign computes the offline chunk-level reshuffle for an epoch
+// group: a seeded permutation of all shard IDs cut into m contiguous
+// chunks, exactly Partition's shape one level up the hierarchy. Between
+// groups the permutation changes, so shards migrate across workers — the
+// "offline shuffle" half of Corgi², whose cost is the PFS refetch of newly
+// assigned shards rather than a peer exchange.
+//
+// Every rank calling Corgi2Assign with the same arguments computes the same
+// assignment, so the reshuffle needs no communication.
+func Corgi2Assign(numShards, m int, seed uint64, group int) ([][]int, error) {
+	if numShards <= 0 || m <= 0 {
+		return nil, fmt.Errorf("shuffle: Corgi2Assign(shards=%d, m=%d): arguments must be positive", numShards, m)
+	}
+	if m > numShards {
+		return nil, fmt.Errorf("shuffle: Corgi2Assign(shards=%d, m=%d): more workers than shards", numShards, m)
+	}
+	perm := rng.NewStream(seed, saltCorgiAssign, uint64(group)).Perm(numShards)
+	out := make([][]int, m)
+	base := numShards / m
+	extra := numShards % m
+	off := 0
+	for r := 0; r < m; r++ {
+		size := base
+		if r < extra {
+			size++
+		}
+		out[r] = append([]int(nil), perm[off:off+size]...)
+		off += size
+	}
+	return out, nil
+}
+
+// Corgi2Plan is one rank's epoch read plan: the shard windows to pin in
+// sequence, the boundaries of each window in the sample order, and the
+// fully resolved sample order itself. It is a pure function of
+// (seed, epoch, rank, assignment, window size) — cache state never feeds
+// back into it, which is what keeps Corgi² training bitwise deterministic.
+type Corgi2Plan struct {
+	Windows [][]int
+	Bounds  []int // len(Windows)+1; Bounds[w] = index in Order where window w starts
+	Order   []shard.Ref
+}
+
+// Corgi2EpochPlan builds the online-shuffle plan for one rank and epoch:
+// the rank's assigned shards are visited in a fresh per-epoch order, cut
+// into windows of at most window shards, and within each window every
+// sample is shuffled — Corgi²'s in-memory shuffle, whose mixing radius is
+// the window (the cache budget) rather than a single shard.
+func Corgi2EpochPlan(assigned []int, counts func(shardID int) int, window int, seed uint64, epoch, rank int) Corgi2Plan {
+	shards := append([]int(nil), assigned...)
+	r := rng.NewStream(seed, saltCorgiShards, uint64(epoch), uint64(rank))
+	r.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+	if window <= 0 || window > len(shards) {
+		window = len(shards)
+	}
+	var plan Corgi2Plan
+	plan.Bounds = append(plan.Bounds, 0)
+	for w := 0; w*window < len(shards); w++ {
+		lo := w * window
+		hi := lo + window
+		if hi > len(shards) {
+			hi = len(shards)
+		}
+		win := shards[lo:hi]
+		start := len(plan.Order)
+		for _, sh := range win {
+			for i := 0; i < counts(sh); i++ {
+				plan.Order = append(plan.Order, shard.Ref{Shard: sh, Index: i})
+			}
+		}
+		seg := plan.Order[start:]
+		wr := rng.NewStream(seed, saltCorgiOrder, uint64(epoch), uint64(rank), uint64(w))
+		wr.Shuffle(len(seg), func(i, j int) { seg[i], seg[j] = seg[j], seg[i] })
+		plan.Windows = append(plan.Windows, append([]int(nil), win...))
+		plan.Bounds = append(plan.Bounds, len(plan.Order))
+	}
+	return plan
+}

@@ -13,6 +13,12 @@
 //     of its local samples with randomly chosen peers; the exchange is
 //     balanced by construction (Q = 1 degenerates to a full redistribution,
 //     Q = 0 to pure local shuffling).
+//   - Corgi2: the hybrid offline/online scheme of Corgi² over the sharded
+//     on-disk store (internal/store/shard): shards are reassigned across
+//     workers every GroupEpochs epochs (offline chunk-level reshuffle, paid
+//     as PFS refetches), and within each epoch samples are shuffled inside
+//     cache-sized shard windows (online in-memory shuffle). No peer
+//     exchange at all — the storage hierarchy is the shuffle medium.
 package shuffle
 
 import "fmt"
@@ -25,13 +31,18 @@ const (
 	Global Kind = iota
 	Local
 	PartialLocal
+	Corgi2
 )
 
 // Strategy selects a shuffling scheme; Q is only meaningful for
-// PartialLocal.
+// PartialLocal, GroupEpochs only for Corgi2.
 type Strategy struct {
 	Kind Kind
 	Q    float64
+	// GroupEpochs is the Corgi2 epoch-group length: the offline chunk-level
+	// reshuffle runs between groups, i.e. shard assignments change every
+	// GroupEpochs epochs.
+	GroupEpochs int
 }
 
 // GlobalShuffling returns the paper's baseline GS strategy.
@@ -43,6 +54,21 @@ func LocalShuffling() Strategy { return Strategy{Kind: Local} }
 // Partial returns the partial-local strategy with exchange fraction q.
 func Partial(q float64) Strategy { return Strategy{Kind: PartialLocal, Q: q} }
 
+// Corgi2Shuffling returns the hybrid offline/online strategy with shard
+// reassignment every groupEpochs epochs.
+func Corgi2Shuffling(groupEpochs int) Strategy {
+	return Strategy{Kind: Corgi2, GroupEpochs: groupEpochs}
+}
+
+// EpochGroup returns the Corgi2 epoch group an epoch belongs to (0 for the
+// other strategies, which never regroup).
+func (s Strategy) EpochGroup(epoch int) int {
+	if s.Kind != Corgi2 || s.GroupEpochs <= 0 {
+		return 0
+	}
+	return epoch / s.GroupEpochs
+}
+
 // Validate reports configuration errors.
 func (s Strategy) Validate() error {
 	switch s.Kind {
@@ -51,6 +77,11 @@ func (s Strategy) Validate() error {
 	case PartialLocal:
 		if s.Q < 0 || s.Q > 1 {
 			return fmt.Errorf("shuffle: partial exchange fraction %v out of [0,1]", s.Q)
+		}
+		return nil
+	case Corgi2:
+		if s.GroupEpochs < 1 {
+			return fmt.Errorf("shuffle: corgi2 group length %d must be at least 1 epoch", s.GroupEpochs)
 		}
 		return nil
 	default:
@@ -66,7 +97,7 @@ func (s Strategy) ExchangeFraction() float64 {
 	switch s.Kind {
 	case Global:
 		return 1
-	case Local:
+	case Local, Corgi2:
 		return 0
 	default:
 		return s.Q
@@ -83,6 +114,8 @@ func (s Strategy) String() string {
 		return "local"
 	case PartialLocal:
 		return fmt.Sprintf("partial-%g", s.Q)
+	case Corgi2:
+		return fmt.Sprintf("corgi2-g%d", s.GroupEpochs)
 	default:
 		return fmt.Sprintf("unknown(%d)", int(s.Kind))
 	}
@@ -95,7 +128,7 @@ func (s Strategy) StorageFactor(workers int) float64 {
 	switch s.Kind {
 	case Global:
 		return float64(workers)
-	case Local:
+	case Local, Corgi2:
 		return 1
 	default:
 		return 1 + s.Q

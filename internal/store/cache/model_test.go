@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"plshuffle/internal/cluster"
+	"plshuffle/internal/perfmodel"
+	"plshuffle/internal/store/shard"
+)
+
+// TestMeasuredReadTimeMatchesModelOrdering cross-validates the analytic
+// storage model against the real tier: one epoch's read time is measured
+// at three cache sizes over a throttled PFS whose rates mirror the
+// machine profile handed to perfmodel.CachedEpochReadTime, and the
+// measured ordering must match the predicted ordering (bigger cache →
+// faster epoch). Absolute times are laptop noise; the ORDERING is the
+// model's testable claim.
+func TestMeasuredReadTimeMatchesModelOrdering(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-ordering assertion; race-detector instrumentation skews wall-clock severalfold")
+	}
+	pfs := ingestTemp(t, 768, 16) // 48 shards
+	pfs.SetPFSOptions(shard.PFSOptions{BytesPerSec: 8e6, PerShardLatency: 2 * time.Millisecond})
+	man := pfs.Manifest()
+	var epochBytes int64
+	for _, b := range man.ShardFileBytes {
+		epochBytes += b
+	}
+	mc := cluster.Machine{LocalSeqBW: 1e9, PFSPerClientBW: 8e6, PFSMetadataCost: 0.002}
+
+	// measure reads two epochs through a fresh tier — the first warms the
+	// cache, the second is timed — visiting shards in a fresh random order
+	// each epoch (the corgi plan's behaviour), which is what makes the
+	// expected hit fraction the cache's share of the epoch.
+	measure := func(budget int64) time.Duration {
+		tier, err := New(pfs, budget, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tier.Close()
+		r := rand.New(rand.NewSource(42))
+		epoch := func() {
+			ids := r.Perm(man.NumShards)
+			var windows [][]int
+			var order []shard.Ref
+			bounds := []int{0}
+			for lo := 0; lo < len(ids); lo += 2 {
+				hi := lo + 2
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				windows = append(windows, ids[lo:hi])
+				for _, sh := range ids[lo:hi] {
+					for i := 0; i < man.ShardSamples(sh); i++ {
+						order = append(order, shard.Ref{Shard: sh, Index: i})
+					}
+				}
+				bounds = append(bounds, len(order))
+			}
+			es, err := tier.OpenEpoch(windows, bounds, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer es.Close()
+			feat := make([]float32, man.FeatureDim)
+			for range order {
+				if _, _, _, err := es.ReadInto(feat); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		epoch() // warm
+		start := time.Now()
+		epoch()
+		return time.Since(start)
+	}
+
+	budgets := []int64{epochBytes / 4, epochBytes / 2, 0} // 25%, 50%, unlimited
+	var measured []time.Duration
+	var predicted []float64
+	for _, budget := range budgets {
+		measured = append(measured, measure(budget))
+		modelBudget := budget
+		if modelBudget == 0 {
+			modelBudget = epochBytes
+		}
+		p, err := perfmodel.CachedEpochReadTime(mc, perfmodel.CacheWorkload{
+			EpochBytes: epochBytes, ShardBytes: man.MaxShardBytes(), CacheBytes: modelBudget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted = append(predicted, p)
+	}
+	t.Logf("measured: 25%%=%v 50%%=%v unlimited=%v", measured[0], measured[1], measured[2])
+	t.Logf("predicted: 25%%=%.4fs 50%%=%.4fs unlimited=%.4fs", predicted[0], predicted[1], predicted[2])
+
+	if !(predicted[0] > predicted[1] && predicted[1] > predicted[2]) {
+		t.Fatalf("model ordering broken: %v", predicted)
+	}
+	if !(measured[0] > measured[1] && measured[1] > measured[2]) {
+		t.Fatalf("measured ordering contradicts the model: %v", measured)
+	}
+}

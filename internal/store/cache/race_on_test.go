@@ -1,0 +1,8 @@
+//go:build race
+
+package cache
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation skews wall-clock timing severalfold — tests that
+// assert timing orderings (not correctness) skip themselves under it.
+const raceEnabled = true

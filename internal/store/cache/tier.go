@@ -1,0 +1,347 @@
+// Package cache is the node-local storage tier between the trainer and the
+// shard store's "PFS": a byte-budgeted cache of whole shard files on local
+// disk (mmap'd once admitted), with LRU eviction of unpinned shards and an
+// asynchronous prefetcher that overlaps the next window's PFS fetches with
+// compute — the Figure 4 overlap discipline applied to the storage
+// hierarchy instead of the sample exchange.
+//
+// Admission is shard-granular: a miss fetches the whole shard from the PFS
+// tier (internal/store/shard.Dataset.FetchShard), lands it as a local file,
+// and maps it. The byte budget plays the (1+Q)·N/M role of Section III-A:
+// the sum of cached shard file bytes never exceeds it, pinned (in-use)
+// shards are never evicted, and an admission that cannot fit even after
+// evicting every unpinned shard fails loudly instead of silently
+// overflowing.
+//
+// The tier affects timing only, never values: which shards are cached,
+// prefetched, or re-fetched cannot change the bytes a read returns, so
+// trained weights stay bitwise identical across cache configurations.
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plshuffle/internal/store/shard"
+)
+
+// nowNano is time.Now().UnixNano behind a name the accounting code shares.
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// Stats is a snapshot of the tier's counters. Hits are acquisitions served
+// from cache (including shards an earlier prefetch already admitted);
+// misses paid a synchronous PFS fetch. PFSReadBytes/PFSReadNs cover every
+// PFS fetch, prefetched or not.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	PrefetchBytes int64
+	PFSReadBytes  int64
+	PFSReadNs     int64
+	UsedBytes     int64
+	PeakBytes     int64
+}
+
+// entry is one cached shard.
+type entry struct {
+	sh      *shard.Shard
+	bytes   int64
+	pins    int
+	lastUse int64
+	ready   chan struct{} // closed once the fetch completes (ok or not)
+	err     error         // set before ready closes on a failed fetch
+}
+
+// Tier is one rank's node-local cache. Acquire/Release are safe for
+// concurrent use (the prefetcher runs on its own goroutine).
+type Tier struct {
+	pfs    *shard.Dataset
+	budget int64 // bytes; 0 = unlimited
+	dir    string
+	ownDir bool
+
+	mu      sync.Mutex
+	entries map[int]*entry
+	clock   int64
+	used    int64
+	peak    int64
+
+	hits, misses, evictions       atomic.Int64
+	prefetchBytes                 atomic.Int64
+	pfsReadBytes, pfsReadNs       atomic.Int64
+	prefetchCh                    chan int
+	quit                          chan struct{}
+	wg                            sync.WaitGroup
+}
+
+// New creates a cache tier over the PFS dataset with the given byte budget
+// (0 = unlimited). dir roots the cached shard files; empty creates (and
+// owns) a temporary directory removed on Close. A non-zero budget must at
+// least hold the dataset's largest shard, or no window could ever be
+// pinned.
+func New(pfs *shard.Dataset, budgetBytes int64, dir string) (*Tier, error) {
+	if budgetBytes < 0 {
+		return nil, fmt.Errorf("cache: negative budget %d", budgetBytes)
+	}
+	if max := pfs.Manifest().MaxShardBytes(); budgetBytes > 0 && budgetBytes < max {
+		return nil, fmt.Errorf("cache: budget %d bytes cannot hold the largest shard (%d bytes)", budgetBytes, max)
+	}
+	own := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "plscache-")
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		dir, own = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	t := &Tier{
+		pfs:        pfs,
+		budget:     budgetBytes,
+		dir:        dir,
+		ownDir:     own,
+		entries:    make(map[int]*entry),
+		prefetchCh: make(chan int, 256),
+		quit:       make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.prefetchLoop()
+	return t, nil
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (t *Tier) Budget() int64 { return t.budget }
+
+// Stats returns a consistent snapshot of the tier's counters.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	used, peak := t.used, t.peak
+	t.mu.Unlock()
+	return Stats{
+		Hits:          t.hits.Load(),
+		Misses:        t.misses.Load(),
+		Evictions:     t.evictions.Load(),
+		PrefetchBytes: t.prefetchBytes.Load(),
+		PFSReadBytes:  t.pfsReadBytes.Load(),
+		PFSReadNs:     t.pfsReadNs.Load(),
+		UsedBytes:     used,
+		PeakBytes:     peak,
+	}
+}
+
+// localPath is where shard id's cached copy lives.
+func (t *Tier) localPath(id int) string {
+	return filepath.Join(t.dir, shard.FileName(id))
+}
+
+// admit reserves budget for one incoming shard of the given size, evicting
+// unpinned shards in LRU order as needed. Caller holds t.mu. When the
+// budget is blocked by an unpinned fetch still in flight (it cannot be
+// evicted mid-fetch), admit returns that fetch's ready channel so the
+// caller can wait and retry; it fails outright only when even a
+// fully-drained cache cannot fit the shard next to the pinned set — the
+// loud version of the Section III-A feasibility constraint.
+func (t *Tier) admit(size int64) (wait chan struct{}, err error) {
+	if t.budget > 0 {
+		for t.used+size > t.budget {
+			victim := -1
+			var oldest int64
+			var inflight *entry
+			for id, e := range t.entries {
+				if e.pins > 0 {
+					continue
+				}
+				if e.sh == nil { // still in flight: blocks, but will settle
+					inflight = e
+					continue
+				}
+				if victim < 0 || e.lastUse < oldest {
+					victim, oldest = id, e.lastUse
+				}
+			}
+			if victim < 0 {
+				if inflight != nil {
+					return inflight.ready, nil
+				}
+				return nil, fmt.Errorf("cache: budget %d bytes exhausted by pinned shards (used %d, need %d more)",
+					t.budget, t.used, size)
+			}
+			e := t.entries[victim]
+			delete(t.entries, victim)
+			t.used -= e.bytes
+			e.sh.Close()
+			os.Remove(t.localPath(victim))
+			t.evictions.Add(1)
+		}
+	}
+	t.used += size
+	if t.used > t.peak {
+		t.peak = t.used
+	}
+	return nil, nil
+}
+
+// fetch pulls shard id from the PFS tier, lands it locally, and maps it.
+// Runs without the lock; completion is published through e.ready.
+func (t *Tier) fetch(id int, e *entry) {
+	defer close(e.ready)
+	img, ferr := t.timedFetch(id)
+	if ferr == nil {
+		path := t.localPath(id)
+		if werr := os.WriteFile(path, img, 0o644); werr != nil {
+			ferr = fmt.Errorf("cache: landing shard %d: %w", id, werr)
+		} else if sh, oerr := shard.Open(path); oerr != nil {
+			ferr = oerr
+		} else {
+			t.mu.Lock()
+			e.sh = sh
+			t.mu.Unlock()
+			return
+		}
+	}
+	// Failed: release the reservation so the budget does not leak.
+	t.mu.Lock()
+	e.err = ferr
+	t.used -= e.bytes
+	delete(t.entries, id)
+	t.mu.Unlock()
+}
+
+// timedFetch is FetchShard plus the PFS read accounting.
+func (t *Tier) timedFetch(id int) ([]byte, error) {
+	start := nowNano()
+	img, err := t.pfs.FetchShard(id)
+	t.pfsReadNs.Add(nowNano() - start)
+	if err == nil {
+		t.pfsReadBytes.Add(int64(len(img)))
+	}
+	return img, err
+}
+
+// Acquire returns shard id mapped and pinned: it will not be evicted until
+// the matching Release. A cached or in-flight-prefetched shard is a hit; a
+// cold shard pays a synchronous PFS fetch (a miss).
+func (t *Tier) Acquire(id int) (*shard.Shard, error) {
+	for {
+		t.mu.Lock()
+		t.clock++
+		if e, ok := t.entries[id]; ok {
+			e.pins++
+			e.lastUse = t.clock
+			t.mu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				return nil, e.err
+			}
+			t.hits.Add(1)
+			return e.sh, nil
+		}
+		size := t.pfs.Manifest().ShardFileBytes[id]
+		wait, err := t.admit(size)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		if wait != nil {
+			// An unpinned prefetch in flight holds the budget; once it
+			// settles it becomes evictable (or vanishes on error) — retry.
+			t.mu.Unlock()
+			<-wait
+			continue
+		}
+		e := &entry{bytes: size, pins: 1, lastUse: t.clock, ready: make(chan struct{})}
+		t.entries[id] = e
+		t.mu.Unlock()
+
+		t.misses.Add(1)
+		t.fetch(id, e)
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.sh, nil
+	}
+}
+
+// Release unpins a shard acquired with Acquire. The shard stays cached
+// (and becomes evictable) until the budget needs its bytes.
+func (t *Tier) Release(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok || e.pins <= 0 {
+		panic(fmt.Sprintf("cache: Release(%d) without matching Acquire", id))
+	}
+	e.pins--
+}
+
+// Prefetch queues shards for asynchronous admission. Already-cached or
+// queued-over-capacity shards are skipped; prefetch never evicts a pinned
+// shard and never blocks the caller.
+func (t *Tier) Prefetch(ids []int) {
+	for _, id := range ids {
+		select {
+		case t.prefetchCh <- id:
+		default:
+			return // queue full: drop the tail, correctness is unaffected
+		}
+	}
+}
+
+// prefetchLoop serializes background fetches — one PFS stream per rank,
+// matching the per-client bandwidth model.
+func (t *Tier) prefetchLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.quit:
+			return
+		case id := <-t.prefetchCh:
+			t.mu.Lock()
+			if _, ok := t.entries[id]; ok {
+				t.mu.Unlock()
+				continue
+			}
+			size := t.pfs.Manifest().ShardFileBytes[id]
+			if wait, err := t.admit(size); err != nil || wait != nil {
+				// No room next to the pinned/in-flight set: skip rather than
+				// block — the foreground Acquire fetches it when needed.
+				t.mu.Unlock()
+				continue
+			}
+			t.clock++
+			e := &entry{bytes: size, lastUse: t.clock, ready: make(chan struct{})}
+			t.entries[id] = e
+			t.mu.Unlock()
+			t.fetch(id, e)
+			if e.err == nil {
+				t.prefetchBytes.Add(size)
+			}
+		}
+	}
+}
+
+// Close stops the prefetcher, unmaps every cached shard, and removes the
+// cache directory if the tier created it.
+func (t *Tier) Close() error {
+	close(t.quit)
+	t.wg.Wait()
+	t.mu.Lock()
+	for id, e := range t.entries {
+		if e.sh != nil {
+			e.sh.Close()
+		}
+		delete(t.entries, id)
+	}
+	t.used = 0
+	t.mu.Unlock()
+	if t.ownDir {
+		return os.RemoveAll(t.dir)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/store/shard"
+)
+
+// ingestTemp generates and ingests a dataset, returning its PFS view.
+func ingestTemp(t testing.TB, n, perShard int) *shard.Dataset {
+	t.Helper()
+	ds, err := data.Generate(data.SyntheticSpec{
+		Name: "cache-test", NumSamples: n, NumVal: 8, Classes: 4,
+		FeatureDim: 16, ClassSep: 3, NoiseStd: 1, Bytes: 1000, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := shard.Ingest(dir, ds, perShard); err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := shard.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pfs
+}
+
+func TestTierHitMissEviction(t *testing.T) {
+	pfs := ingestTemp(t, 128, 16) // 8 shards
+	budget := 3 * pfs.Manifest().MaxShardBytes()
+	tier, err := New(pfs, budget, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	for id := 0; id < 3; id++ {
+		sh, err := tier.Acquire(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.ID() != id {
+			t.Fatalf("acquired shard %d, got ID %d", id, sh.ID())
+		}
+		tier.Release(id)
+	}
+	st := tier.Stats()
+	if st.Misses != 3 || st.Hits != 0 || st.Evictions != 0 {
+		t.Fatalf("after 3 cold acquires: %+v", st)
+	}
+	if _, err := tier.Acquire(1); err != nil { // resident
+		t.Fatal(err)
+	}
+	tier.Release(1)
+	if st = tier.Stats(); st.Hits != 1 {
+		t.Fatalf("resident acquire not a hit: %+v", st)
+	}
+	if _, err := tier.Acquire(7); err != nil { // forces one eviction
+		t.Fatal(err)
+	}
+	tier.Release(7)
+	st = tier.Stats()
+	if st.Evictions != 1 || st.Misses != 4 {
+		t.Fatalf("over-budget acquire: %+v", st)
+	}
+	if st.UsedBytes > budget || st.PeakBytes > budget {
+		t.Fatalf("budget exceeded: used=%d peak=%d budget=%d", st.UsedBytes, st.PeakBytes, budget)
+	}
+}
+
+func TestTierRejectsImpossibleBudget(t *testing.T) {
+	pfs := ingestTemp(t, 64, 16)
+	if _, err := New(pfs, 10, ""); err == nil {
+		t.Fatal("budget smaller than one shard accepted")
+	}
+	tier, err := New(pfs, 2*pfs.Manifest().MaxShardBytes(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	// Pin two shards, then demand a third: nothing evictable.
+	for id := 0; id < 2; id++ {
+		if _, err := tier.Acquire(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tier.Acquire(2); err == nil {
+		t.Fatal("admission beyond an all-pinned budget succeeded")
+	}
+	tier.Release(0)
+	tier.Release(1)
+}
+
+// TestTierBudgetInvariantProperty drives the tier with randomized
+// concurrent acquire/release/prefetch traffic and asserts the core
+// invariant after every operation: resident bytes never exceed the budget.
+func TestTierBudgetInvariantProperty(t *testing.T) {
+	pfs := ingestTemp(t, 256, 16) // 16 shards
+	man := pfs.Manifest()
+	for trial, budgetShards := range []int64{1, 2, 5} {
+		budget := budgetShards * man.MaxShardBytes()
+		tier, err := New(pfs, budget, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for op := 0; op < 200; op++ {
+					id := r.Intn(man.NumShards)
+					switch r.Intn(3) {
+					case 0, 1:
+						sh, err := tier.Acquire(id)
+						if err != nil {
+							continue // all-pinned budget: legitimate refusal
+						}
+						if sh.Count() != man.ShardSamples(id) {
+							t.Errorf("shard %d count %d, want %d", id, sh.Count(), man.ShardSamples(id))
+						}
+						tier.Release(id)
+					case 2:
+						tier.Prefetch([]int{id})
+					}
+					if st := tier.Stats(); st.UsedBytes > budget {
+						t.Errorf("trial %d: used %d exceeds budget %d", trial, st.UsedBytes, budget)
+						return
+					}
+				}
+			}(int64(trial*100 + g))
+		}
+		wg.Wait()
+		st := tier.Stats()
+		if st.UsedBytes > budget || st.PeakBytes > budget {
+			t.Fatalf("trial %d: final used=%d peak=%d budget=%d", trial, st.UsedBytes, st.PeakBytes, budget)
+		}
+		tier.Close()
+	}
+}
+
+func TestEpochStreamReadsPlan(t *testing.T) {
+	pfs := ingestTemp(t, 96, 16) // 6 shards
+	man := pfs.Manifest()
+	tier, err := New(pfs, 2*man.MaxShardBytes(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+
+	// Three windows of two shards; samples in shard order within windows.
+	windows := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	var order []shard.Ref
+	bounds := []int{0}
+	for _, win := range windows {
+		for _, sh := range win {
+			for i := 0; i < man.ShardSamples(sh); i++ {
+				order = append(order, shard.Ref{Shard: sh, Index: i})
+			}
+		}
+		bounds = append(bounds, len(order))
+	}
+	es, err := tier.OpenEpoch(windows, bounds, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]float32, man.FeatureDim)
+	seen := make(map[int]bool)
+	for {
+		id, label, sim, err := es.ReadInto(feat)
+		if err != nil {
+			if es.Remaining() != 0 {
+				t.Fatalf("read error with %d samples left: %v", es.Remaining(), err)
+			}
+			break
+		}
+		if seen[id] {
+			t.Fatalf("sample %d delivered twice", id)
+		}
+		seen[id] = true
+		if label < 0 || sim <= 0 {
+			t.Fatalf("sample %d: bad metadata label=%d sim=%d", id, label, sim)
+		}
+	}
+	if len(seen) != man.NumSamples {
+		t.Fatalf("stream delivered %d samples, want %d", len(seen), man.NumSamples)
+	}
+	es.Close()
+	st := tier.Stats()
+	if st.UsedBytes > tier.Budget() {
+		t.Fatalf("budget exceeded during stream: %d > %d", st.UsedBytes, tier.Budget())
+	}
+}
+
+func TestOpenEpochRejectsMalformedPlans(t *testing.T) {
+	pfs := ingestTemp(t, 32, 16)
+	tier, err := New(pfs, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	order := []shard.Ref{{Shard: 0, Index: 0}}
+	cases := []struct {
+		windows [][]int
+		bounds  []int
+	}{
+		{[][]int{{0}}, []int{0}},       // too few bounds
+		{[][]int{{0}}, []int{1, 1}},    // does not start at 0
+		{[][]int{{0}}, []int{0, 0}},    // does not end at len(order)
+		{[][]int{{0}, {1}}, []int{0, 1, 0}}, // decreasing
+	}
+	for i, c := range cases {
+		if _, err := tier.OpenEpoch(c.windows, c.bounds, order); err == nil {
+			t.Errorf("case %d: malformed plan accepted", i)
+		}
+	}
+	// A ref outside the pinned window must fail at read time.
+	es, err := tier.OpenEpoch([][]int{{1}}, []int{0, 1}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	if _, _, _, err := es.ReadInto(make([]float32, 64)); err == nil {
+		t.Error("read of a shard outside the window succeeded")
+	}
+}
+
+func TestTierPrefetchWarmsCache(t *testing.T) {
+	pfs := ingestTemp(t, 64, 16) // 4 shards
+	tier, err := New(pfs, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	tier.Prefetch([]int{0, 1, 2, 3})
+	var total int64
+	for _, b := range pfs.Manifest().ShardFileBytes {
+		total += b
+	}
+	// Wait for the background worker to land all four shards.
+	deadline := time.Now().Add(5 * time.Second)
+	for tier.Stats().UsedBytes < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetcher stalled: %+v", tier.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for id := 0; id < 4; id++ {
+		if _, err := tier.Acquire(id); err != nil {
+			t.Fatal(err)
+		}
+		tier.Release(id)
+	}
+	st := tier.Stats()
+	if st.Hits != 4 || st.Misses != 0 {
+		t.Fatalf("prefetched shards not served as hits: %+v", st)
+	}
+	if st.PrefetchBytes != total || st.PFSReadBytes != total {
+		t.Fatalf("prefetch accounting: %+v, want %d bytes", st, total)
+	}
+}

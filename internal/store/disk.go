@@ -13,10 +13,12 @@ import (
 // Disk is a file-backed worker storage area: each sample lives in its own
 // file, the layout the paper's tool assumes ("datasets that manage each
 // data sample in a single distinct physical file", Section III-E). It
-// implements the same operations as Local with real filesystem I/O, so
-// integration tests can exercise an actual storage path; capacity
-// accounting still uses the samples' simulated byte sizes (the proxy
-// features on disk are much smaller than the real images they stand for).
+// implements the same operations as Local with real filesystem I/O, and
+// its capacity accounting uses the real encoded on-disk size of each
+// sample file, so Used/Peak agree with what the filesystem holds. For the
+// sharded many-samples-per-file layout with mmap'd zero-copy reads and a
+// bounded cache tier in front, see internal/store/shard and
+// internal/store/cache — the preferred real-storage path.
 type Disk struct {
 	dir      string
 	capacity int64
@@ -41,19 +43,21 @@ func (d *Disk) path(id int) string {
 	return filepath.Join(d.dir, strconv.Itoa(id)+".sample")
 }
 
-// Put writes the sample to its file.
+// Put writes the sample to its file, accounting its real encoded size.
 func (d *Disk) Put(s data.Sample) error {
 	if _, ok := d.sizes[s.ID]; ok {
 		return fmt.Errorf("store: Disk.Put: sample %d already stored", s.ID)
 	}
-	if d.capacity > 0 && d.used+s.Bytes > d.capacity {
-		return fmt.Errorf("%w: used %d + sample %d bytes > capacity %d", ErrCapacity, d.used, s.Bytes, d.capacity)
+	raw := s.Encode()
+	size := int64(len(raw))
+	if d.capacity > 0 && d.used+size > d.capacity {
+		return fmt.Errorf("%w: used %d + sample %d bytes > capacity %d", ErrCapacity, d.used, size, d.capacity)
 	}
-	if err := os.WriteFile(d.path(s.ID), s.Encode(), 0o644); err != nil {
+	if err := os.WriteFile(d.path(s.ID), raw, 0o644); err != nil {
 		return fmt.Errorf("store: Disk.Put: %w", err)
 	}
-	d.sizes[s.ID] = s.Bytes
-	d.used += s.Bytes
+	d.sizes[s.ID] = size
+	d.used += size
 	if d.used > d.peak {
 		d.peak = d.used
 	}
@@ -99,10 +103,10 @@ func (d *Disk) Delete(id int) error {
 // Len returns the number of stored samples.
 func (d *Disk) Len() int { return len(d.sizes) }
 
-// Used returns the simulated bytes currently occupied.
+// Used returns the real on-disk bytes currently occupied.
 func (d *Disk) Used() int64 { return d.used }
 
-// Peak returns the high-water mark of simulated occupancy.
+// Peak returns the high-water mark of on-disk occupancy.
 func (d *Disk) Peak() int64 { return d.peak }
 
 // Capacity returns the configured capacity (0 = unlimited).

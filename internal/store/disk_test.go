@@ -22,6 +22,10 @@ func diskSample(id int, bytes int64) data.Sample {
 	return data.Sample{ID: id, Label: id % 3, Features: []float32{1, 2, float32(id)}, Bytes: bytes}
 }
 
+// diskSampleBytes is diskSample's real encoded on-disk size — what Used and
+// the capacity check account, regardless of the simulated Bytes field.
+var diskSampleBytes = int64(len(diskSample(0, 10).Encode()))
+
 func TestDiskPutGetDelete(t *testing.T) {
 	d := newDisk(t, 0)
 	s := diskSample(7, 100)
@@ -38,8 +42,17 @@ func TestDiskPutGetDelete(t *testing.T) {
 	if !d.Has(7) || d.Has(8) {
 		t.Fatal("Has wrong")
 	}
-	if d.Len() != 1 || d.Used() != 100 {
-		t.Fatalf("Len=%d Used=%d", d.Len(), d.Used())
+	if d.Len() != 1 || d.Used() != diskSampleBytes {
+		t.Fatalf("Len=%d Used=%d, want Used=%d (the real encoded size, not the simulated %d)",
+			d.Len(), d.Used(), diskSampleBytes, s.Bytes)
+	}
+	// Used must agree with what the filesystem actually holds.
+	fi, err := os.Stat(filepath.Join(d.dir, "7.sample"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != d.Used() {
+		t.Fatalf("file holds %d bytes but Used reports %d", fi.Size(), d.Used())
 	}
 	if err := d.Delete(7); err != nil {
 		t.Fatal(err)
@@ -78,7 +91,9 @@ func TestDiskFilesActuallyOnDisk(t *testing.T) {
 }
 
 func TestDiskCapacityAndDuplicates(t *testing.T) {
-	d := newDisk(t, 15)
+	// Capacity is enforced against real encoded sizes: room for one sample
+	// file but not two, even though the simulated Bytes would fit many.
+	d := newDisk(t, diskSampleBytes+diskSampleBytes/2)
 	if err := d.Put(diskSample(1, 10)); err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +115,8 @@ func TestDiskPeakAndIDs(t *testing.T) {
 	if err := d.Delete(5); err != nil {
 		t.Fatal(err)
 	}
-	if d.Peak() != 30 || d.Used() != 20 {
-		t.Fatalf("peak=%d used=%d", d.Peak(), d.Used())
+	if d.Peak() != 3*diskSampleBytes || d.Used() != 2*diskSampleBytes {
+		t.Fatalf("peak=%d used=%d, want %d/%d", d.Peak(), d.Used(), 3*diskSampleBytes, 2*diskSampleBytes)
 	}
 	ids := d.IDs()
 	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {

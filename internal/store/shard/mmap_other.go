@@ -1,0 +1,16 @@
+//go:build !unix
+
+package shard
+
+import "os"
+
+// mapping is the platform handle behind an open shard's bytes. Without
+// mmap the whole file is read into memory; Close just drops the reference.
+type mapping struct{}
+
+func mapFile(path string) ([]byte, mapping, error) {
+	b, err := os.ReadFile(path)
+	return b, mapping{}, err
+}
+
+func (m mapping) close() error { return nil }

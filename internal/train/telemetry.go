@@ -23,6 +23,10 @@ import (
 //	pls_exchange_effective_q           realized shuffling fraction (gauge)
 //	pls_exchange_degraded_slots        forfeited slots this epoch {direction}
 //	pls_exchange_epoch                 most recently scheduled exchange epoch
+//	pls_store_cache_*                  Corgi2 cache tier hits/misses/evictions,
+//	                                   prefetch volume, used bytes
+//	pls_store_pfs_read_bytes_total     bytes fetched from the PFS tier
+//	pls_store_pfs_read_seconds         cumulative PFS fetch wall-clock
 //	pls_mpi_collectives_total          collective sequence number
 //	pls_mpi_inflight_collectives       non-blocking collectives in flight
 //	pls_mpi_failed_peers               peers the failure registry knows dead
@@ -80,6 +84,31 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 		reg.GaugeFunc("pls_exchange_epoch",
 			"Most recently scheduled exchange epoch.", l,
 			func() float64 { return float64(ex.ObservedEpoch()) })
+	}
+
+	// --- storage hierarchy (Corgi2 only) ---
+	if tr := w.tier; tr != nil {
+		reg.CounterFunc("pls_store_cache_hits_total",
+			"Shard acquisitions served from the node-local cache tier.", l,
+			func() float64 { return float64(tr.Stats().Hits) })
+		reg.CounterFunc("pls_store_cache_misses_total",
+			"Shard acquisitions that paid a synchronous PFS fetch.", l,
+			func() float64 { return float64(tr.Stats().Misses) })
+		reg.CounterFunc("pls_store_cache_evictions_total",
+			"Shards evicted from the cache tier to make room under the byte budget.", l,
+			func() float64 { return float64(tr.Stats().Evictions) })
+		reg.CounterFunc("pls_store_prefetch_bytes_total",
+			"Bytes the background prefetcher pulled from the PFS tier ahead of use.", l,
+			func() float64 { return float64(tr.Stats().PrefetchBytes) })
+		reg.CounterFunc("pls_store_pfs_read_bytes_total",
+			"Bytes fetched from the PFS tier (misses plus prefetches; real file bytes).", l,
+			func() float64 { return float64(tr.Stats().PFSReadBytes) })
+		reg.GaugeFunc("pls_store_pfs_read_seconds",
+			"Cumulative wall-clock spent fetching shards from the PFS tier.", l,
+			func() float64 { return float64(tr.Stats().PFSReadNs) / 1e9 })
+		reg.GaugeFunc("pls_store_cache_used_bytes",
+			"Bytes of shard files currently resident in the cache tier.", l,
+			func() float64 { return float64(tr.Stats().UsedBytes) })
 	}
 
 	// --- transport ---

@@ -26,6 +26,8 @@ import (
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
 	"plshuffle/internal/store"
+	"plshuffle/internal/store/cache"
+	"plshuffle/internal/store/shard"
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/tensor"
 	"plshuffle/internal/trace"
@@ -52,6 +54,20 @@ type Config struct {
 	// as UseLARS), or "lamb". The large-batch optimizers are what the
 	// paper's biggest configurations require (LARS per Mikami et al.).
 	Optimizer string
+
+	// DataDir points at an ingested on-disk dataset (cmd/plsingest) for the
+	// Corgi2 strategy, which streams training samples through the storage
+	// hierarchy instead of holding them in memory. With Corgi2, Dataset may
+	// be nil — it is derived from the dataset's manifest and validation
+	// shard.
+	DataDir string
+	// CacheBytes bounds the Corgi2 node-local cache tier per rank
+	// (0 = unlimited). It must hold at least the dataset's largest shard.
+	CacheBytes int64
+	// ShardStore, if non-nil, is the already-open ingested dataset to use
+	// instead of opening DataDir — how tests and benchmarks inject PFS
+	// throttling (shard.Dataset.SetPFSOptions).
+	ShardStore *shard.Dataset
 
 	Seed uint64
 	// PartitionLocality biases the initial partition toward class-contiguous
@@ -138,11 +154,28 @@ func (c Config) Validate() error {
 	if c.Workers <= 0 {
 		return fmt.Errorf("train: Workers must be positive, got %d", c.Workers)
 	}
-	if c.Dataset == nil || len(c.Dataset.Train) == 0 {
-		return fmt.Errorf("train: empty dataset")
-	}
-	if len(c.Dataset.Train) < c.Workers {
-		return fmt.Errorf("train: %d samples over %d workers", len(c.Dataset.Train), c.Workers)
+	if c.Strategy.Kind == shuffle.Corgi2 {
+		// Corgi2 streams training samples from the on-disk shard store; the
+		// in-memory training split stays empty.
+		if c.DataDir == "" && c.ShardStore == nil {
+			return fmt.Errorf("train: corgi2 needs DataDir (an ingested dataset; see cmd/plsingest) or ShardStore")
+		}
+		if c.ImportanceSampling {
+			return fmt.Errorf("train: ImportanceSampling is not supported with corgi2 (the epoch order is fixed by the shard plan)")
+		}
+		if c.OnPeerFail == "degrade" {
+			return fmt.Errorf("train: OnPeerFail=degrade is not supported with corgi2 (shard assignments are static within an epoch group)")
+		}
+		if c.PartitionLocality != 0 {
+			return fmt.Errorf("train: PartitionLocality does not apply to corgi2 (ingest fixes the shard layout)")
+		}
+	} else {
+		if c.Dataset == nil || len(c.Dataset.Train) == 0 {
+			return fmt.Errorf("train: empty dataset")
+		}
+		if len(c.Dataset.Train) < c.Workers {
+			return fmt.Errorf("train: %d samples over %d workers", len(c.Dataset.Train), c.Workers)
+		}
 	}
 	if c.Epochs <= 0 || c.BatchSize <= 0 {
 		return fmt.Errorf("train: Epochs and BatchSize must be positive (%d, %d)", c.Epochs, c.BatchSize)
@@ -293,6 +326,9 @@ type RankResult struct {
 	// prove sample conservation across survivors after a peer death: no ID
 	// held twice, every surviving ID in range.
 	FinalLocalIDs []int
+	// Cache is the Corgi2 cache tier's final counters (nil for the other
+	// strategies).
+	Cache *cache.Stats
 }
 
 // RunRank executes one rank's share of the configured training on an
@@ -312,16 +348,33 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Strategy.Kind == shuffle.Corgi2 {
+		if cfg.ShardStore == nil {
+			sd, err := shard.OpenDataset(cfg.DataDir)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ShardStore = sd
+		}
+		if cfg.Dataset == nil {
+			ds, err := cfg.ShardStore.Proxy()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Dataset = ds
+		}
+	}
 	sched := cfg.Schedule
 	if sched == nil {
 		sched = nn.Constant{Base: cfg.BaseLR}
 	}
-	n := len(cfg.Dataset.Train)
 
 	// Initial partition for the local-family strategies — deterministic in
-	// (n, Workers, Seed), hence identical across processes.
+	// (n, Workers, Seed), hence identical across processes. Corgi2 assigns
+	// shards, not samples, and re-derives the assignment per epoch group.
 	var parts [][]int
-	if cfg.Strategy.Kind != shuffle.Global {
+	if cfg.Strategy.Kind != shuffle.Global && cfg.Strategy.Kind != shuffle.Corgi2 {
+		n := len(cfg.Dataset.Train)
 		var err error
 		if cfg.PartitionLocality > 0 {
 			labels := make([]int, n)
@@ -342,6 +395,9 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if w.tier != nil {
+		defer w.tier.Close()
+	}
 	stats, err := w.train()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: %w", c.Rank(), err)
@@ -351,6 +407,11 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 		rr.PeakStorageBytes = w.local.Peak()
 		rr.FinalLocalIDs = w.local.IDs()
 		rr.FinalLocalSamples = len(rr.FinalLocalIDs)
+	}
+	if w.tier != nil {
+		st := w.tier.Stats()
+		rr.PeakStorageBytes = st.PeakBytes
+		rr.Cache = &st
 	}
 	return rr, nil
 }
@@ -368,6 +429,20 @@ type worker struct {
 	local     *store.Local       // LS/PLS storage area
 	exchanger *shuffle.Scheduler // PLS only
 	pfs       *store.PFS
+
+	// Corgi2 state: the node-local cache tier over the shard store, the
+	// epoch's open sample stream, and the current epoch group's shard
+	// assignment. corgiWindow is the online-shuffle mixing radius in shards
+	// (sized so two windows fit the cache budget: one pinned, one
+	// prefetching); pfsAccounted snapshots the tier's cumulative PFS bytes
+	// so each epoch records only its own delta.
+	tier          *cache.Tier
+	stream        *cache.EpochStream
+	assigned      []int
+	assignedGroup int
+	corgiWindow   int
+	corgiMinLocal int
+	pfsAccounted  int64
 
 	gradBuf []float32
 	xBuf    *tensor.Matrix
@@ -418,13 +493,14 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		nn.CopyWeights(model.Params(), cfg.WarmStart)
 	}
 	w := &worker{
-		cfg:       cfg,
-		sched:     sched,
-		comm:      c,
-		model:     model,
-		params:    model.Params(),
-		pfs:       pfs,
-		exchEpoch: -1,
+		cfg:           cfg,
+		sched:         sched,
+		comm:          c,
+		model:         model,
+		params:        model.Params(),
+		pfs:           pfs,
+		exchEpoch:     -1,
+		assignedGroup: -1,
 	}
 	if cfg.ImportanceSampling {
 		w.lossByID = make(map[int]float64)
@@ -442,7 +518,21 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		w.setupOverlap()
 	}
 	w.opt = newOptimizer(cfg)
-	if cfg.Strategy.Kind != shuffle.Global {
+	if cfg.Strategy.Kind == shuffle.Corgi2 {
+		w.tier, err = cache.New(cfg.ShardStore, cfg.CacheBytes, "")
+		if err != nil {
+			return nil, err
+		}
+		// Window size: half the budget in shards, so the next window can
+		// prefetch while the current one is pinned; 0 = whole assignment in
+		// one window (unlimited cache).
+		if cfg.CacheBytes > 0 {
+			w.corgiWindow = int(cfg.CacheBytes / (2 * cfg.ShardStore.Manifest().MaxShardBytes()))
+			if w.corgiWindow < 1 {
+				w.corgiWindow = 1
+			}
+		}
+	} else if cfg.Strategy.Kind != shuffle.Global {
 		w.local = store.NewLocal(cfg.LocalCapacityBytes)
 		for _, id := range parts[c.Rank()] {
 			s, err := pfs.Read(id)
@@ -966,16 +1056,31 @@ func (w *worker) readSample(id int, es *EpochStats) (data.Sample, error) {
 }
 
 func (w *worker) runEpoch(epoch int, es *EpochStats) error {
-	ids, err := w.epochIDs(epoch)
-	if err != nil {
-		return err
-	}
 	// Iteration count and effective batch are derived from the GLOBAL
 	// shape (drop-last semantics): every rank must execute the same number
 	// of collectives per epoch, even when N is not divisible by M and
 	// local counts differ by one.
 	b := w.cfg.BatchSize
-	minLocal := len(w.cfg.Dataset.Train) / w.comm.Size()
+	var ids []int
+	var minLocal int
+	if w.cfg.Strategy.Kind == shuffle.Corgi2 {
+		var err error
+		if minLocal, err = w.beginCorgiEpoch(epoch); err != nil {
+			return err
+		}
+		defer func() {
+			if w.stream != nil {
+				w.stream.Close()
+				w.stream = nil
+			}
+		}()
+	} else {
+		var err error
+		if ids, err = w.epochIDs(epoch); err != nil {
+			return err
+		}
+		minLocal = len(w.cfg.Dataset.Train) / w.comm.Size()
+	}
 	if w.comm.GroupSize() < w.comm.Size() {
 		// Degraded world: the dead ranks' unexchanged samples are gone, so
 		// survivor stores can dip below N/M (retention and forfeiture also
@@ -1024,11 +1129,19 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		if w.tm != nil {
 			w.tm.Iteration.SetInt(int64(it))
 		}
-		// Phase: I/O — assemble the mini-batch from storage.
+		// Phase: I/O — assemble the mini-batch from storage (the in-memory
+		// stores, or the cache-tier stream under Corgi2).
 		t0 := time.Now()
-		batch := ids[it*b : (it+1)*b]
-		if err := w.loadBatch(batch, es); err != nil {
-			return fmt.Errorf("epoch %d iteration %d: %w", epoch, it, err)
+		var batch []int
+		if w.stream != nil {
+			if err := w.loadBatchStream(b, es); err != nil {
+				return fmt.Errorf("epoch %d iteration %d: %w", epoch, it, err)
+			}
+		} else {
+			batch = ids[it*b : (it+1)*b]
+			if err := w.loadBatch(batch, es); err != nil {
+				return fmt.Errorf("epoch %d iteration %d: %w", epoch, it, err)
+			}
 		}
 		d := time.Since(t0)
 		es.IOTime += d
@@ -1117,12 +1230,86 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 			w.tm.ExchangeNs.Add(int64(d))
 		}
 	}
+	if w.stream != nil {
+		w.stream.Close()
+		w.stream = nil
+		// The epoch's PFS traffic is the tier's cumulative delta (real file
+		// bytes — the misses plus prefetches this epoch actually paid for).
+		st := w.tier.Stats()
+		es.PFSReadBytes += st.PFSReadBytes - w.pfsAccounted
+		w.pfsAccounted = st.PFSReadBytes
+		// Warm the next epoch's first window behind validation — the
+		// storage-tier analogue of the Figure 4 overlap. Only within the
+		// same epoch group: a group boundary reassigns shards anyway.
+		if next := epoch + 1; next < w.cfg.Epochs && w.cfg.Strategy.EpochGroup(next) == w.assignedGroup {
+			plan := shuffle.Corgi2EpochPlan(w.assigned, w.cfg.ShardStore.Manifest().ShardSamples,
+				w.corgiWindow, w.cfg.Seed, next, w.comm.Rank())
+			if len(plan.Windows) > 0 {
+				w.tier.Prefetch(plan.Windows[0])
+			}
+		}
+	}
 
 	// Average the reported loss across workers so every rank logs the
 	// same curve.
 	buf := []float64{lossSum / float64(iters)}
 	mpi.Allreduce(w.comm, buf, mpi.OpSum)
 	es.TrainLoss = buf[0] / float64(w.comm.GroupSize())
+	return nil
+}
+
+// beginCorgiEpoch derives the epoch's shard assignment and read plan and
+// opens the cache-tier stream. It returns the iteration floor: the minimum
+// over ranks of assigned-sample totals, which every rank computes locally
+// from the shared-seed assignment (no communication) so all ranks agree on
+// the epoch's collective count.
+func (w *worker) beginCorgiEpoch(epoch int) (int, error) {
+	man := w.cfg.ShardStore.Manifest()
+	group := w.cfg.Strategy.EpochGroup(epoch)
+	if group != w.assignedGroup {
+		assign, err := shuffle.Corgi2Assign(man.NumShards, w.comm.Size(), w.cfg.Seed, group)
+		if err != nil {
+			return 0, err
+		}
+		w.assigned = assign[w.comm.Rank()]
+		w.assignedGroup = group
+		w.corgiMinLocal = 0
+		for r, shards := range assign {
+			total := 0
+			for _, sh := range shards {
+				total += man.ShardSamples(sh)
+			}
+			if r == 0 || total < w.corgiMinLocal {
+				w.corgiMinLocal = total
+			}
+		}
+	}
+	plan := shuffle.Corgi2EpochPlan(w.assigned, man.ShardSamples, w.corgiWindow, w.cfg.Seed, epoch, w.comm.Rank())
+	stream, err := w.tier.OpenEpoch(plan.Windows, plan.Bounds, plan.Order)
+	if err != nil {
+		return 0, err
+	}
+	w.stream = stream
+	return w.corgiMinLocal, nil
+}
+
+// loadBatchStream fills the reusable batch tensors from the cache-tier
+// stream: features land directly in the batch tensor's rows (ReadInto, one
+// copy, zero allocations in steady state).
+func (w *worker) loadBatchStream(n int, es *EpochStats) error {
+	dim := w.cfg.Dataset.FeatureDim
+	if w.xBuf == nil || w.xBuf.Rows != n {
+		w.xBuf = tensor.New(n, dim)
+		w.yBuf = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		_, label, sim, err := w.stream.ReadInto(w.xBuf.Row(i))
+		if err != nil {
+			return err
+		}
+		w.yBuf[i] = label
+		es.LocalReadBytes += sim
+	}
 	return nil
 }
 

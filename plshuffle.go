@@ -18,6 +18,12 @@
 //     of its local samples with randomly chosen peers; the shared-seed
 //     per-slot rank permutations make the exchange perfectly balanced,
 //     and peak local storage is bounded by (1+q)·N/M.
+//   - Corgi2(g): the hybrid offline/online follow-up — samples live in an
+//     immutable sharded on-disk store (IngestDataset), shard-to-rank
+//     assignments reshuffle every g epochs (offline, paid in PFS refetches
+//     instead of peer traffic), and each epoch shuffles samples online
+//     within cache-sized shard windows streamed through a bounded
+//     node-local cache tier.
 //
 // Quick start:
 //
@@ -49,6 +55,7 @@ import (
 	"plshuffle/internal/perfmodel"
 	"plshuffle/internal/shuffle"
 	"plshuffle/internal/store"
+	"plshuffle/internal/store/shard"
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/train"
@@ -67,6 +74,13 @@ func Local() Strategy { return shuffle.LocalShuffling() }
 // Partial returns the paper's partial local shuffling with exchange
 // fraction q in [0, 1].
 func Partial(q float64) Strategy { return shuffle.Partial(q) }
+
+// Corgi2 returns the hybrid offline/online shuffling strategy: shard
+// assignments reshuffle across ranks every groupEpochs epochs, and samples
+// shuffle online within cache-sized shard windows. It trains from an
+// ingested on-disk dataset (set TrainConfig.DataDir) through a bounded
+// node-local cache tier (TrainConfig.CacheBytes).
+func Corgi2(groupEpochs int) Strategy { return shuffle.Corgi2Shuffling(groupEpochs) }
 
 // Sample is one training example with a simulated on-disk byte size.
 type Sample = data.Sample
@@ -225,6 +239,18 @@ func EpochTime(mc Machine, w Workload, workers int, s Strategy) (EpochBreakdown,
 	return perfmodel.EpochTime(mc, w, workers, s)
 }
 
+// CacheWorkload describes one epoch's storage traffic for the cache-tier
+// read model.
+type CacheWorkload = perfmodel.CacheWorkload
+
+// CachedEpochReadTime models one epoch's sample-read time through a
+// node-local cache of the given size over the machine's PFS: the cached
+// fraction streams at local sequential bandwidth, the rest pays the
+// per-client PFS rate plus a metadata cost per missed shard.
+func CachedEpochReadTime(mc Machine, w CacheWorkload) (float64, error) {
+	return perfmodel.CachedEpochReadTime(mc, w)
+}
+
 // SimConfig configures a discrete-event epoch simulation.
 type SimConfig = eventsim.Config
 
@@ -313,6 +339,23 @@ type DiskStore = store.Disk
 func NewDiskStore(dir string, capacity int64) (*DiskStore, error) {
 	return store.NewDisk(dir, capacity)
 }
+
+// ShardManifest describes an ingested on-disk sharded dataset: shard
+// layout, per-shard file sizes, and the sample→shard arithmetic.
+type ShardManifest = shard.Manifest
+
+// ShardDataset is an opened ingested dataset directory — the slow "PFS"
+// tier the Corgi2 cache streams shards from.
+type ShardDataset = shard.Dataset
+
+// IngestDataset writes ds into dir as an immutable sharded on-disk dataset
+// (checksummed shard files plus a manifest; cmd/plsingest's engine).
+func IngestDataset(dir string, ds *Dataset, samplesPerShard int) (*ShardManifest, error) {
+	return shard.Ingest(dir, ds, samplesPerShard)
+}
+
+// OpenShardDataset opens a dataset directory written by IngestDataset.
+func OpenShardDataset(dir string) (*ShardDataset, error) { return shard.OpenDataset(dir) }
 
 // Scheduler drives the per-epoch sample exchange for one worker
 // (Scheduling → Communicate → Synchronize → CleanLocalStorage).
