@@ -34,6 +34,7 @@ var hotPackages = []string{
 	"./internal/tensor",
 	"./internal/data",
 	"./internal/transport",
+	"./internal/transport/wirecomp",
 	"./internal/transport/transporttest",
 	"./internal/mpi",
 	"./internal/nn",

@@ -39,6 +39,9 @@ func main() {
 	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
 	lars := flag.Bool("lars", false, "use the LARS optimizer")
 	overlapGrads := flag.Bool("overlap-grads", true, "overlap the bucketed gradient all-reduce with backward (false = serial flat ring, the A/B baseline; weights are bitwise identical either way)")
+	wireCompress := flag.Bool("wire-compress", false, "compress large data frames on the TCP transport (negotiated per connection; ranks with it off interoperate)")
+	wireDedup := flag.Bool("wire-dedup", false, "deduplicate exchange sample payloads: repeat samples travel as compact ID references (bitwise-identical training, fewer wire bytes; must match on every rank)")
+	sampleEncoding := flag.String("sample-encoding", "", "exchange sample wire format: fp32 (default, bit-exact), fp16exact (compact where bitwise lossless), fp16 (lossy half-precision); must match on every rank")
 	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
 	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
 	onPeerFail := flag.String("on-peer-fail", "abort", "policy when a peer rank dies mid-run: abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q); must match on every rank")
@@ -61,11 +64,14 @@ func main() {
 		LR:            *lr,
 		Locality:      *locality,
 		LARS:          *lars,
-		OverlapGrads:  *overlapGrads,
-		Seed:          *seed,
-		Timeout:       *timeout,
-		OnPeerFail:    *onPeerFail,
-		TelemetryAddr: *telemetryAddr,
+		OverlapGrads:   *overlapGrads,
+		WireCompress:   *wireCompress,
+		WireDedup:      *wireDedup,
+		SampleEncoding: *sampleEncoding,
+		Seed:           *seed,
+		Timeout:        *timeout,
+		OnPeerFail:     *onPeerFail,
+		TelemetryAddr:  *telemetryAddr,
 	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -44,6 +44,9 @@ func main() {
 	locality := flag.Float64("locality", 0.0, "partition class-locality in [0,1]")
 	lars := flag.Bool("lars", false, "use the LARS optimizer")
 	overlapGrads := flag.Bool("overlap-grads", true, "overlap the bucketed gradient all-reduce with backward (false = serial flat ring, the A/B baseline; weights are bitwise identical either way)")
+	wireCompress := flag.Bool("wire-compress", false, "with -launch: compress large data frames on the TCP transport (negotiated per connection; mixed worlds interoperate)")
+	wireDedup := flag.Bool("wire-dedup", false, "deduplicate exchange sample payloads: repeat samples travel as compact ID references (bitwise-identical training, fewer wire bytes)")
+	sampleEncoding := flag.String("sample-encoding", "", "exchange sample wire format: fp32 (default, bit-exact), fp16exact (compact where bitwise lossless), fp16 (lossy half-precision)")
 	seed := flag.Uint64("seed", 42, "run seed")
 	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
 	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
@@ -76,8 +79,11 @@ func main() {
 		LR:            *lr,
 		Locality:      *locality,
 		LARS:          *lars,
-		OverlapGrads:  *overlapGrads,
-		Seed:          *seed,
+		OverlapGrads:   *overlapGrads,
+		WireCompress:   *wireCompress,
+		WireDedup:      *wireDedup,
+		SampleEncoding: *sampleEncoding,
+		Seed:           *seed,
 		Timeout:       *timeout,
 		OnPeerFail:    *onPeerFail,
 		TelemetryAddr: *telemetryAddr,
@@ -105,7 +111,7 @@ func main() {
 
 	runInproc(*workers, *strategy, *q, *dataset, *model, *dataDir, *cacheBytes,
 		*groupEpochs, *epochs, *batch, *lr, *locality, *lars, *overlapGrads,
-		*seed, *timeout, *saveWeights, *telemetryAddr)
+		*wireDedup, *sampleEncoding, *seed, *timeout, *saveWeights, *telemetryAddr)
 }
 
 // runLaunched forks world-1 copies of this binary as worker ranks and plays
@@ -148,6 +154,9 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-on-peer-fail", opts.OnPeerFail,
 		// Explicit because the flag defaults to true: every rank must agree.
 		"-overlap-grads=" + strconv.FormatBool(opts.OverlapGrads),
+		"-wire-compress=" + strconv.FormatBool(opts.WireCompress),
+		"-wire-dedup=" + strconv.FormatBool(opts.WireDedup),
+		"-sample-encoding", opts.SampleEncoding,
 	}
 	if opts.TelemetryAddr != "" {
 		// Forward the BASE address; each worker offsets the port by its rank.
@@ -224,7 +233,7 @@ func runLaunched(world int, opts distrun.Options) error {
 // runInproc is the original single-process path (goroutine workers).
 func runInproc(workers int, strategy string, q float64, dataset, model, dataDir string,
 	cacheBytes int64, groupEpochs, epochs, batch int, lr, locality float64,
-	lars, overlapGrads bool, seed uint64,
+	lars, overlapGrads, wireDedup bool, sampleEncoding string, seed uint64,
 	timeout time.Duration, saveWeights, telemetryAddr string) {
 	var strat plshuffle.Strategy
 	switch strategy {
@@ -313,6 +322,8 @@ func runInproc(workers int, strategy string, q float64, dataset, model, dataDir 
 			CacheBytes:        cacheBytes,
 			PartitionLocality: locality,
 			OverlapGrads:      overlapGrads,
+			WireDedup:         wireDedup,
+			SampleEncoding:    sampleEncoding,
 			Trace:             rec,
 			Telemetry:         reg,
 		})

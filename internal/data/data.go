@@ -156,6 +156,11 @@ func DecodeSampleBatchInto(dst []Sample, buf []byte) ([]Sample, error) {
 		return dst, fmt.Errorf("data: DecodeSampleBatch: buffer too short (%d bytes)", len(buf))
 	}
 	count := binary.LittleEndian.Uint32(buf)
+	if count&batchV2Flag != 0 {
+		// Compact (v2) batch — see encoding.go. The legacy encoder bounds
+		// counts at maxBatchCount, so bit 31 unambiguously marks v2.
+		return decodeSampleBatchV2(dst, buf)
+	}
 	if count > maxBatchCount {
 		return dst, fmt.Errorf("data: DecodeSampleBatch: count %d out of range", count)
 	}

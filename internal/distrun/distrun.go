@@ -64,6 +64,19 @@ type Options struct {
 	// either way, so the flag is purely a performance choice.
 	OverlapGrads bool
 
+	// WireCompress enables per-connection negotiated compression of large
+	// data frames on the TCP transport (tcp.Config.Compress). Mixed worlds
+	// interoperate: each directed link compresses only if both ends opted in.
+	WireCompress bool
+	// WireDedup enables the exchange deduplication protocol
+	// (train.Config.WireDedup): repeat samples travel as ID references.
+	// Training results are bitwise identical; only wire volume changes.
+	WireDedup bool
+	// SampleEncoding selects the exchange sample wire format
+	// (train.Config.SampleEncoding): "" or "fp32", "fp16exact", "fp16".
+	// Every rank must agree.
+	SampleEncoding string
+
 	// Timeout bounds the whole run. When it expires — typically because a
 	// peer died before reaching a collective — the rank unwinds with a clear
 	// error instead of blocking forever. Zero means no watchdog.
@@ -155,6 +168,7 @@ func Run(o Options, out io.Writer) error {
 			PeerTimeout:       2 * time.Second,
 			RetryTimeout:      10 * time.Second,
 			DrainTimeout:      5 * time.Second,
+			Compress:          o.WireCompress,
 		}, h)
 	})
 	if err != nil {
@@ -314,6 +328,8 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		CacheBytes:        o.CacheBytes,
 		PartitionLocality: o.Locality,
 		OverlapGrads:      o.OverlapGrads,
+		WireDedup:         o.WireDedup,
+		SampleEncoding:    o.SampleEncoding,
 		OnPeerFail:        o.OnPeerFail,
 		Trace:             rec,
 		Telemetry:         reg,
@@ -343,6 +359,13 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		cstat = make([]int64, 5)
 	}
 	cgather := mpi.Gather(c, cstat, root)
+	var xw, dh, dsv int64
+	for _, e := range rr.Epochs {
+		xw += e.ExchangeWireBytes
+		dh += int64(e.DedupHits)
+		dsv += e.DedupBytesSaved
+	}
+	lean := mpi.Gather(c, []int64{xw, dh, dsv}, root)
 	if c.Rank() != root {
 		return nil
 	}
@@ -369,6 +392,29 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 	final := rr.Epochs[len(rr.Epochs)-1]
 	fmt.Fprintf(out, "final=%.4f peak-storage/rank=%d bytes  wire sent=%d recv=%d bytes\n",
 		final.ValAcc, peak, sent, recv)
+	var exchWire, dedupHits, dedupSaved int64
+	for g := range live {
+		exchWire += lean[3*g]
+		dedupHits += lean[3*g+1]
+		dedupSaved += lean[3*g+2]
+	}
+	if strat.Kind == shuffle.PartialLocal {
+		fmt.Fprintf(out, "exchange wire=%d bytes  dedup hits=%d saved=%d bytes\n",
+			exchWire, dedupHits, dedupSaved)
+	}
+	// Checksum of the trained weights (CRC32C over the float bits, LE): two
+	// same-seed worlds must print the same value regardless of -wire-compress
+	// / -wire-dedup / -sample-encoding=fp16exact — the cheap handle on the
+	// bitwise-determinism guarantee across real processes.
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	var wb [4]byte
+	for _, p := range rr.FinalParams {
+		for _, v := range p.W {
+			binary.LittleEndian.PutUint32(wb[:], math.Float32bits(v))
+			h.Write(wb[:])
+		}
+	}
+	fmt.Fprintf(out, "weights crc32c=%08x\n", h.Sum32())
 
 	if strat.Kind == shuffle.Corgi2 {
 		var hits, misses, ev, pf, pfsb int64
@@ -381,18 +427,6 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		}
 		fmt.Fprintf(out, "cache: hits=%d misses=%d evictions=%d prefetch=%d bytes pfs-read=%d bytes\n",
 			hits, misses, ev, pf, pfsb)
-		// Checksum of the trained weights (CRC32C over the float bits, LE):
-		// two same-seed worlds must print the same value — the cheap handle
-		// on the bitwise-determinism guarantee across real processes.
-		h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
-		var wb [4]byte
-		for _, p := range rr.FinalParams {
-			for _, v := range p.W {
-				binary.LittleEndian.PutUint32(wb[:], math.Float32bits(v))
-				h.Write(wb[:])
-			}
-		}
-		fmt.Fprintf(out, "weights crc32c=%08x\n", h.Sum32())
 	}
 
 	if len(live) < c.Size() || degraded > 0 {

@@ -122,6 +122,7 @@ func runAccuracy(spec accuracySpec, opts Options) (*Result, error) {
 					Milestones: []float64{float64(epochs) * 0.5, float64(epochs) * 0.75},
 				},
 			}
+			opts.applyWire(&cfg)
 			if sc.UseLARS {
 				cfg.Schedule = nn.Warmup{Inner: cfg.Schedule, Epochs: float64(epochs) / 8, StartFactor: 0.25}
 			}

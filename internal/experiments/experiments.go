@@ -17,6 +17,7 @@ import (
 	"plshuffle/internal/metrics"
 	"plshuffle/internal/perfmodel"
 	"plshuffle/internal/shuffle"
+	"plshuffle/internal/train"
 )
 
 // Options tunes an experiment run.
@@ -25,6 +26,19 @@ type Options struct {
 	Short bool
 	// Seed overrides the default experiment seed when non-zero.
 	Seed uint64
+	// WireDedup and SampleEncoding thread the wire-lean exchange options
+	// (DESIGN.md §13) into every training run an experiment performs. With
+	// dedup or the fp16exact encoding the curves must be IDENTICAL to a
+	// plain run — regenerating a figure with these on is a cheap end-to-end
+	// equivalence check on the whole wire-lean stack.
+	WireDedup      bool
+	SampleEncoding string
+}
+
+// applyWire copies the wire-lean exchange options into a training config.
+func (o Options) applyWire(cfg *train.Config) {
+	cfg.WireDedup = o.WireDedup
+	cfg.SampleEncoding = o.SampleEncoding
 }
 
 func (o Options) seed() uint64 {

@@ -35,12 +35,14 @@ func ImportanceSamplingTable(opts Options) (*Result, error) {
 	for _, q := range []float64{0.1, 0.3} {
 		acc := map[bool]float64{}
 		for _, imp := range []bool{false, true} {
-			res, err := train.Run(train.Config{
+			cfg := train.Config{
 				Workers: 16, Strategy: shuffle.Partial(q), Dataset: ds, Model: model,
 				Epochs: epochs, BatchSize: 8, BaseLR: 0.1, Momentum: 0.9,
 				WeightDecay: 1e-4, Seed: opts.seed(), PartitionLocality: 1.0,
 				ImportanceSampling: imp,
-			})
+			}
+			opts.applyWire(&cfg)
+			res, err := train.Run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("importance q=%v imp=%v: %w", q, imp, err)
 			}

@@ -48,6 +48,11 @@ const AnyTag = -1
 type Status struct {
 	Source int
 	Tag    int
+	// Wire is the exact number of bytes the message's frame occupied on the
+	// wire (compressed size if it traveled compressed; see transport.Frame).
+	// Zero for self-delivered messages and on backends that don't meter
+	// frames — callers fall back to transport.FrameWireSize then.
+	Wire int64
 }
 
 // message is a queued in-flight message.
@@ -55,6 +60,7 @@ type message struct {
 	src     int
 	tag     int
 	payload any
+	wire    int64
 }
 
 // pendingRecv is a posted, not-yet-matched receive.
@@ -168,7 +174,7 @@ func (mb *mailbox) deliver(m message) {
 			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
 			mb.mu.Unlock()
 			pr.req.payload = m.payload
-			pr.req.status = Status{Source: m.src, Tag: m.tag}
+			pr.req.status = Status{Source: m.src, Tag: m.tag, Wire: m.wire}
 			close(pr.req.done)
 			return
 		}
@@ -186,7 +192,7 @@ func (mb *mailbox) post(src, tag int, req *Request) {
 			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
 			mb.mu.Unlock()
 			req.payload = m.payload
-			req.status = Status{Source: m.src, Tag: m.tag}
+			req.status = Status{Source: m.src, Tag: m.tag, Wire: m.wire}
 			close(req.done)
 			return
 		}
@@ -339,7 +345,7 @@ func Connect(dial func(transport.Handler) (transport.Conn, error)) (*Comm, error
 // handleFrame is the transport delivery callback: it feeds inbound frames
 // into the rank's matching engine.
 func (c *Comm) handleFrame(f transport.Frame) {
-	c.mbox.deliver(message{src: f.Src, tag: f.Tag, payload: f.Payload})
+	c.mbox.deliver(message{src: f.Src, tag: f.Tag, payload: f.Payload, wire: f.Wire})
 }
 
 // Transport exposes the underlying connection (for byte accounting and
@@ -399,17 +405,45 @@ func (c *Comm) send(dest, tag int, payload any) {
 // unwind. The exchange scheduler uses it so a send racing a peer's death
 // becomes a value it can degrade around.
 func (c *Comm) SendPeerAware(dest, tag int, payload any) *transport.PeerError {
+	_, pe := c.SendPeerAwareMetered(dest, tag, payload)
+	return pe
+}
+
+// SendPeerAwareMetered is SendPeerAware returning the exact number of wire
+// bytes the frame occupies (post-compression) when the transport meters
+// sends, or the deterministic FrameWireSize estimate otherwise; 0 for
+// self-sends. The exchange scheduler uses it so its byte accounting stays
+// exact even when the transport compresses frames underneath.
+func (c *Comm) SendPeerAwareMetered(dest, tag int, payload any) (int64, *transport.PeerError) {
 	c.checkRank(dest, "SendPeerAware")
 	c.checkUserTag(tag, "SendPeerAware")
-	if err := c.conn.Send(dest, tag, payload); err != nil {
+	n, err := c.sendMetered(dest, tag, payload)
+	if err != nil {
 		if pe, ok := transport.AsPeerError(err); ok {
 			c.failures.note(*pe)
-			return pe
+			return 0, pe
 		}
 		c.abort()
 		panic(transportFailure{err})
 	}
-	return nil
+	return n, nil
+}
+
+// sendMetered pushes one frame and reports its exact wire size when the
+// outermost transport meters sends (transport.MeteredSender); otherwise it
+// falls back to Send plus the deterministic FrameWireSize estimate (exact
+// on uncompressed backends). Self-sends report 0 — they never touch a wire.
+func (c *Comm) sendMetered(dest, tag int, payload any) (int64, error) {
+	if ms, ok := transport.AsMeteredSender(c.conn); ok {
+		return ms.SendMetered(dest, tag, payload)
+	}
+	if err := c.conn.Send(dest, tag, payload); err != nil {
+		return 0, err
+	}
+	if dest == c.rank {
+		return 0, nil
+	}
+	return transport.FrameWireSize(payload), nil
 }
 
 // Isend starts a non-blocking send of payload to rank dest with the given
@@ -422,6 +456,24 @@ func (c *Comm) Isend(dest, tag int, payload any) *Request {
 	c.checkUserTag(tag, "Isend")
 	c.send(dest, tag, payload)
 	return completedRequest()
+}
+
+// IsendMetered is Isend returning the exact number of wire bytes the frame
+// occupies (post-compression) when the transport meters sends, or the
+// deterministic FrameWireSize estimate otherwise; 0 for self-sends.
+func (c *Comm) IsendMetered(dest, tag int, payload any) (*Request, int64) {
+	c.checkRank(dest, "IsendMetered")
+	c.checkUserTag(tag, "IsendMetered")
+	n, err := c.sendMetered(dest, tag, payload)
+	if err != nil {
+		if pe, ok := transport.AsPeerError(err); ok {
+			c.failures.note(*pe)
+			panic(transportFailure{err})
+		}
+		c.abort()
+		panic(transportFailure{err})
+	}
+	return completedRequest(), n
 }
 
 // Irecv posts a non-blocking receive matching the given source (or

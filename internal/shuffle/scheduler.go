@@ -9,6 +9,7 @@ import (
 	"plshuffle/internal/data"
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/store"
+	"plshuffle/internal/store/cache"
 	"plshuffle/internal/transport"
 )
 
@@ -45,12 +46,31 @@ type Scheduler struct {
 	// Reusable scratch, retained across epochs so the steady-state exchange
 	// allocates nothing on the send side: destSlots groups a chunk's slot
 	// indices by destination, batchShip stages the samples of one outgoing
-	// batch, batchBuf holds its encoding, and sentScratch is the
+	// batch, batchBuf holds its encoding, shipScratch/refShip split a batch
+	// into shipped samples and dedup references, and sentScratch is the
 	// CleanLocalStorage sent-ID set.
 	destSlots   [][]int
 	batchShip   []data.Sample
+	shipScratch []data.Sample
 	batchBuf    []byte
+	refShip     transport.SampleRefs
 	sentScratch map[int]bool
+
+	// Wire-lean exchange (DESIGN.md §13). encoding selects the sample batch
+	// wire format; dedupBudget > 0 enables the pairwise dedup protocol:
+	// sendMirror[r] mirrors (IDs and sizes only) the segment rank r keeps of
+	// samples this rank sent it, and recvSegment[r] is this rank's segment
+	// (IDs and payloads) of samples received from r. Both sides of a pair
+	// apply identical Note/Touch sequences derived from the pairwise FIFO
+	// frame stream, so a mirror hit proves the receiver can materialize the
+	// sample locally and a compact reference frame replaces the payload.
+	encoding    data.Encoding
+	dedupBudget int64
+	sendMirror  map[int]*cache.SampleLRU
+	recvSegment map[int]*cache.SampleLRU
+
+	epochDedupHits  int
+	epochDedupSaved int64
 
 	// wireSent/wireRecv are the exact wire sizes (frame overhead included)
 	// of this epoch's exchanged sample frames, excluding self-sends, which
@@ -93,6 +113,8 @@ type Scheduler struct {
 	telDegradedSend atomic.Int64
 	telDegradedRecv atomic.Int64
 	telEpoch        atomic.Int64
+	telDedupHits    atomic.Int64
+	telDedupSaved   atomic.Int64
 }
 
 type schedState int
@@ -131,6 +153,88 @@ func (s *Scheduler) UseHierarchical(groupSize int) error {
 	}
 	s.groupSize = groupSize
 	return nil
+}
+
+// SetSampleEncoding selects the wire encoding of exchanged sample batches
+// (data.EncodingFP32, the default, is the legacy format). Call it before
+// the first Scheduling; every rank must configure the same encoding.
+func (s *Scheduler) SetSampleEncoding(enc data.Encoding) error {
+	if s.state != stateIdle {
+		return fmt.Errorf("shuffle: SetSampleEncoding: cannot reconfigure mid-epoch")
+	}
+	s.encoding = enc
+	return nil
+}
+
+// SetWireDedup enables exchange deduplication with the given per-directed-
+// pair byte budget (≤ 0 disables). Every rank must configure the same
+// budget — the protocol's correctness rests on sender mirror and receiver
+// segment evicting in lockstep. Call it before the first Scheduling.
+func (s *Scheduler) SetWireDedup(budgetBytes int64) error {
+	if s.state != stateIdle {
+		return fmt.Errorf("shuffle: SetWireDedup: cannot reconfigure mid-epoch")
+	}
+	if budgetBytes <= 0 {
+		s.dedupBudget = 0
+		s.sendMirror, s.recvSegment = nil, nil
+		return nil
+	}
+	s.dedupBudget = budgetBytes
+	s.sendMirror = make(map[int]*cache.SampleLRU)
+	s.recvSegment = make(map[int]*cache.SampleLRU)
+	return nil
+}
+
+// InvalidateDedup drops every pairwise dedup cache (both roles). It must
+// run on EVERY surviving rank whenever any event could desynchronize a
+// pair's mirror and segment — an abandoned epoch (Reset calls it), a peer
+// failure recovery — after which both sides rebuild from live traffic. An
+// unnecessary invalidation costs only warm-up hits, never correctness.
+func (s *Scheduler) InvalidateDedup() {
+	for _, c := range s.sendMirror {
+		c.Clear()
+	}
+	for _, c := range s.recvSegment {
+		c.Clear()
+	}
+}
+
+// dedupMirror returns (lazily creating) the sender-side mirror of dest's
+// segment for this directed pair.
+func (s *Scheduler) dedupMirror(dest int) *cache.SampleLRU {
+	c := s.sendMirror[dest]
+	if c == nil {
+		c = cache.NewSampleLRU(s.dedupBudget, false)
+		s.sendMirror[dest] = c
+	}
+	return c
+}
+
+// dedupSegment returns (lazily creating) the receiver-side segment of
+// samples src has sent this rank.
+func (s *Scheduler) dedupSegment(src int) *cache.SampleLRU {
+	c := s.recvSegment[src]
+	if c == nil {
+		c = cache.NewSampleLRU(s.dedupBudget, true)
+		s.recvSegment[src] = c
+	}
+	return c
+}
+
+// DedupStats reports the current epoch's deduplication outcome: exchange
+// slots satisfied by reference frames instead of payloads, and the wire
+// bytes that avoided — the plain full-batch frame size minus what actually
+// shipped (references plus residual batch, post-compression when the
+// transport compresses). Reset by Scheduling.
+func (s *Scheduler) DedupStats() (hits int, savedBytes int64) {
+	return s.epochDedupHits, s.epochDedupSaved
+}
+
+// CumulativeDedup returns the dedup totals across ALL epochs (same
+// accounting as DedupStats, never reset). Safe from any goroutine — it
+// backs the pls_exchange_dedup_* telemetry counters.
+func (s *Scheduler) CumulativeDedup() (hits, savedBytes int64) {
+	return s.telDedupHits.Load(), s.telDedupSaved.Load()
 }
 
 // SetSendPriority installs per-sample importance weights (typically the
@@ -178,6 +282,7 @@ func (s *Scheduler) Scheduling(epoch int) error {
 	s.pending = nil
 	s.received = s.received[:0] // capacity reused across epochs
 	s.wireSent, s.wireRecv = 0, 0
+	s.epochDedupHits, s.epochDedupSaved = 0, 0
 	s.senders = nil // per-epoch permutations; rebuilt lazily on demand
 	s.degradedSend, s.degradedRecv = 0, 0
 	clear(s.recvFrom)
@@ -378,28 +483,8 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 				}
 				s.batchShip = append(s.batchShip, sample)
 			}
-			s.batchBuf = data.AppendSampleBatch(s.batchBuf[:0], s.batchShip)
-			// Safe to reuse batchBuf across destinations: the inproc backend
-			// clones []byte payloads synchronously and the TCP backend
-			// serializes before Send returns (the transport contract).
-			if s.degrade {
-				if pe := s.comm.SendPeerAware(dest, exchangeTag(s.epoch), s.batchBuf); pe != nil {
-					// The destination died under the send: absorb and retain
-					// this batch's samples (the receiver is gone, so the local
-					// copies are the only ones among survivors).
-					if err := s.absorbFailure(pe.Rank); err != nil {
-						return 0, err
-					}
-					s.destSlots[dest] = slots[:0]
-					continue
-				}
-			} else {
-				s.comm.Isend(dest, exchangeTag(s.epoch), s.batchBuf)
-			}
-			if dest != s.comm.Rank() {
-				n := transport.FrameWireSize(s.batchBuf)
-				s.wireSent += n
-				s.telWireSent.Add(n)
+			if err := s.shipBatch(dest); err != nil {
+				return 0, err
 			}
 			s.destSlots[dest] = slots[:0]
 		}
@@ -409,6 +494,119 @@ func (s *Scheduler) Communicate(n int) (int, error) {
 		return 0, err
 	}
 	return s.expected - len(s.received), nil
+}
+
+// shipBatch encodes and sends the staged s.batchShip toward dest, applying
+// the pairwise dedup protocol (DESIGN.md §13) when enabled: samples the
+// sender's mirror proves resident in the receiver's segment travel as a
+// compact ID-reference frame, and only the remainder ships as a payload
+// batch. The reference frame always precedes the payload frame for the same
+// destination, so both sides replay the identical Touch-then-Note sequence
+// against their pair caches. Self-sends bypass dedup entirely (they never
+// touch a wire) but still round-trip the negotiated encoding, keeping lossy
+// modes uniform across all delivered samples.
+func (s *Scheduler) shipBatch(dest int) error {
+	ship := s.batchShip
+	self := dest == s.comm.Rank()
+	var refs transport.SampleRefs
+	var hypo int64
+	if s.dedupBudget > 0 && !self {
+		mirror := s.dedupMirror(dest)
+		s.refShip = s.refShip[:0]
+		s.shipScratch = s.shipScratch[:0]
+		for _, sample := range s.batchShip {
+			if mirror.Has(int64(sample.ID)) {
+				s.refShip = append(s.refShip, int64(sample.ID))
+			} else {
+				s.shipScratch = append(s.shipScratch, sample)
+			}
+		}
+		if len(s.refShip) > 0 {
+			// What the whole batch would cost as one payload frame under the
+			// same encoding — the baseline for the bytes-saved counter — vs
+			// the ref frame plus the residual batch. With few hits on small
+			// samples the ref frame's fixed overhead can exceed the payload
+			// it elides; the sender then simply ships the full batch (a
+			// sender-local choice: no ref frame means the receiver replays
+			// plain Notes, so the caches stay in lockstep either way).
+			hypo = transport.FrameWireSize([]byte(nil)) +
+				int64(data.SampleBatchWireSizeEnc(s.batchShip, s.encoding))
+			sort.Slice(s.refShip, func(i, j int) bool { return s.refShip[i] < s.refShip[j] })
+			refCost := transport.FrameWireSize(s.refShip)
+			if len(s.shipScratch) > 0 {
+				refCost += transport.FrameWireSize([]byte(nil)) +
+					int64(data.SampleBatchWireSizeEnc(s.shipScratch, s.encoding))
+			}
+			if refCost < hypo {
+				ship, refs = s.shipScratch, s.refShip
+				for _, id := range refs {
+					mirror.Touch(id)
+				}
+			}
+		}
+	}
+	var wire int64
+	if len(refs) > 0 {
+		n, dead, err := s.sendExchangeFrame(dest, refs)
+		if err != nil || dead {
+			return err
+		}
+		wire += n
+	}
+	if len(ship) > 0 {
+		s.batchBuf = data.AppendSampleBatchEnc(s.batchBuf[:0], ship, s.encoding)
+		// Safe to reuse batchBuf across destinations: the inproc backend
+		// clones []byte payloads synchronously and the TCP backend
+		// serializes before Send returns (the transport contract).
+		n, dead, err := s.sendExchangeFrame(dest, s.batchBuf)
+		if err != nil || dead {
+			return err
+		}
+		wire += n
+	}
+	if self {
+		return nil
+	}
+	s.wireSent += wire
+	s.telWireSent.Add(wire)
+	if s.dedupBudget > 0 {
+		mirror := s.dedupMirror(dest)
+		for _, sample := range ship {
+			mirror.Note(sample)
+		}
+		if len(refs) > 0 {
+			s.epochDedupHits += len(refs)
+			s.telDedupHits.Add(int64(len(refs)))
+			if saved := hypo - wire; saved > 0 {
+				s.epochDedupSaved += saved
+				s.telDedupSaved.Add(saved)
+			}
+		}
+	}
+	return nil
+}
+
+// sendExchangeFrame posts one frame of the current epoch's exchange toward
+// dest and returns its metered wire size. Under degraded operation a peer
+// death is absorbed in place and reported via dead=true so the caller skips
+// the rest of this destination's work — the pair's dedup state is moot once
+// the peer is gone (InvalidateDedup clears it during recovery anyway).
+func (s *Scheduler) sendExchangeFrame(dest int, payload any) (wire int64, dead bool, err error) {
+	if s.degrade {
+		n, pe := s.comm.SendPeerAwareMetered(dest, exchangeTag(s.epoch), payload)
+		if pe != nil {
+			// The destination died under the send: absorb and retain this
+			// batch's samples (the receiver is gone, so the local copies are
+			// the only ones among survivors).
+			if aerr := s.absorbFailure(pe.Rank); aerr != nil {
+				return 0, true, aerr
+			}
+			return 0, true, nil
+		}
+		return n, false, nil
+	}
+	_, n := s.comm.IsendMetered(dest, exchangeTag(s.epoch), payload)
+	return n, false, nil
 }
 
 // drainReceives consumes inbound exchange frames until the epoch's expected
@@ -461,17 +659,44 @@ func (s *Scheduler) drainReceives(block bool) error {
 }
 
 // ingestFrame decodes one exchange frame into the received set and updates
-// the per-source accounting the degradation path depends on.
+// the per-source accounting the degradation path depends on. Two frame
+// shapes exist: a sample batch ([]byte) carrying payloads, and a dedup
+// reference frame (transport.SampleRefs) whose samples this rank
+// materializes from the per-source segment it has been maintaining — a ref
+// naming a sample absent from the segment is a protocol error, never a
+// silent drop, because both sides compute the segment deterministically.
 func (s *Scheduler) ingestFrame(payload any, st mpi.Status) error {
-	buf, ok := payload.([]byte)
-	if !ok {
-		return fmt.Errorf("shuffle: exchange frame carries %T, want []byte", payload)
-	}
 	before := len(s.received)
-	var err error
-	s.received, err = data.DecodeSampleBatchInto(s.received, buf)
-	if err != nil {
-		return fmt.Errorf("shuffle: decoding received sample batch: %w", err)
+	switch buf := payload.(type) {
+	case []byte:
+		var err error
+		s.received, err = data.DecodeSampleBatchInto(s.received, buf)
+		if err != nil {
+			return fmt.Errorf("shuffle: decoding received sample batch: %w", err)
+		}
+		if s.dedupBudget > 0 && st.Source != s.comm.Rank() {
+			seg := s.dedupSegment(st.Source)
+			for _, sample := range s.received[before:] {
+				seg.Note(sample)
+			}
+		}
+	case transport.SampleRefs:
+		if s.dedupBudget <= 0 {
+			return fmt.Errorf("shuffle: rank %d sent a dedup reference frame but dedup is disabled here", st.Source)
+		}
+		if st.Source == s.comm.Rank() {
+			return fmt.Errorf("shuffle: self-send carried a dedup reference frame")
+		}
+		seg := s.dedupSegment(st.Source)
+		for _, id := range buf {
+			if !seg.Touch(id) {
+				return fmt.Errorf("shuffle: rank %d referenced sample %d absent from its segment (dedup state diverged)", st.Source, id)
+			}
+			sample, _ := seg.Get(id)
+			s.received = append(s.received, sample.Clone())
+		}
+	default:
+		return fmt.Errorf("shuffle: exchange frame carries %T, want []byte or transport.SampleRefs", payload)
 	}
 	n := len(s.received) - before
 	if n == 0 {
@@ -482,9 +707,12 @@ func (s *Scheduler) ingestFrame(payload any, st mpi.Status) error {
 	}
 	s.recvFrom[st.Source] += n
 	if st.Source != s.comm.Rank() {
-		n := transport.FrameWireSize(buf)
-		s.wireRecv += n
-		s.telWireRecv.Add(n)
+		w := st.Wire
+		if w <= 0 {
+			w = transport.FrameWireSize(payload)
+		}
+		s.wireRecv += w
+		s.telWireRecv.Add(w)
 	}
 	if s.dead[st.Source] {
 		// A dead sender's straggler landed after its slots were forfeited:
@@ -546,6 +774,10 @@ func (s *Scheduler) Reset() {
 	s.expected = 0
 	s.degradedSend, s.degradedRecv = 0, 0
 	s.mirrorDegradation()
+	// An abandoned epoch may have updated some pair caches but not others;
+	// drop all dedup state on both sides' next contact rather than risk a
+	// silent mirror/segment divergence.
+	s.InvalidateDedup()
 	s.state = stateIdle
 }
 

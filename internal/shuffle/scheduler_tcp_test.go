@@ -2,6 +2,7 @@ package shuffle_test
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"testing"
 
@@ -9,8 +10,270 @@ import (
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/shuffle"
 	"plshuffle/internal/store"
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/tcp"
 	"plshuffle/internal/transport/transporttest"
 )
+
+// TestExchangeWireLeanAcceptanceTCP is the PR's acceptance gate for the
+// wire-lean exchange: a 4-rank Q=0.25 exchange over real TCP sockets, run
+// once with the stock wire (fp32, no dedup, no compression) and once with
+// the full lean stack (fp16exact encoding, pairwise dedup, wirecomp
+// compression). Three properties are machine-checked:
+//
+//  1. Exactness — per rank, the scheduler's metered wire accounting equals
+//     the transport's per-kind socket byte counters (data+dataz+dataref)
+//     bit for bit, in both directions, in both runs.
+//  2. Equivalence — every rank's final store is bitwise identical between
+//     the two runs: the lean wire changes not a single sample bit.
+//  3. The win — the lean run moves at most half the exchange bytes of the
+//     baseline (the ISSUE's ≥2× bar).
+func TestExchangeWireLeanAcceptanceTCP(t *testing.T) {
+	const (
+		m       = 4
+		perRank = 32
+		n       = m * perRank
+		q       = 0.25
+		epochs  = 8
+		featDim = 128
+		seed    = uint64(23)
+	)
+	type rankOut struct {
+		wire        int64 // exchange bytes sent+recv per the scheduler
+		dedupHits   int64
+		fingerprint string // canonical dump of the final store, bits included
+	}
+
+	// Feature values are small integers: exactly representable in fp16, so
+	// the fp16exact encoder quantizes every sample and the decode is still
+	// bit-identical to the fp32 original.
+	mkSample := func(id int) data.Sample {
+		feats := make([]float32, featDim)
+		for j := range feats {
+			feats[j] = float32((id*7 + j) % 23)
+		}
+		return data.Sample{ID: id, Label: id % 10, Features: feats, Bytes: 1000}
+	}
+	fingerprint := func(st *store.Local) string {
+		ids := st.IDs()
+		var b []byte
+		for _, id := range ids {
+			s, err := st.Get(id)
+			if err != nil {
+				return fmt.Sprintf("get %d: %v", id, err)
+			}
+			b = append(b, fmt.Sprintf("%d/%d/%d:", s.ID, s.Label, s.Bytes)...)
+			for _, f := range s.Features {
+				b = append(b, fmt.Sprintf("%08x,", math.Float32bits(f))...)
+			}
+			b = append(b, '\n')
+		}
+		return string(b)
+	}
+
+	run := func(lean bool) [m]rankOut {
+		backend := transporttest.TCP()
+		if lean {
+			backend = transporttest.TCPWrapped("tcp-lean", nil,
+				func(rank int, cfg *tcp.Config) { cfg.Compress = true })
+		}
+		var out [m]rankOut
+		err := backend.Run(m, func(c *mpi.Comm) error {
+			parts, err := shuffle.Partition(n, m, seed)
+			if err != nil {
+				return err
+			}
+			st := store.NewLocal(0)
+			for _, id := range parts[c.Rank()] {
+				if err := st.Put(mkSample(id)); err != nil {
+					return err
+				}
+			}
+			sched, err := shuffle.NewScheduler(c, st, q, n, seed)
+			if err != nil {
+				return err
+			}
+			if lean {
+				enc, err := data.ParseEncoding("fp16exact")
+				if err != nil {
+					return err
+				}
+				if err := sched.SetSampleEncoding(enc); err != nil {
+					return err
+				}
+				if err := sched.SetWireDedup(8 << 20); err != nil {
+					return err
+				}
+			}
+			for epoch := 0; epoch < epochs; epoch++ {
+				if err := sched.RunEpochExchange(epoch); err != nil {
+					return fmt.Errorf("rank %d epoch %d: %w", c.Rank(), epoch, err)
+				}
+			}
+			sent, recv := sched.CumulativeWireTraffic()
+
+			// Exactness needs a quiesced window (see coalesce_test.go for the
+			// full argument): until the staged handshake below, the only
+			// data-plane frames this rank has sent or received are exchange
+			// frames, so the scheduler's totals must equal the transport's
+			// data-kind socket counters exactly. The handshake go-token is one
+			// KindData frame, accounted for explicitly.
+			const (
+				tagGo      = 9001
+				tagAck     = 9002
+				tagRelease = 9003
+			)
+			token := []byte{1}
+			var verdict error
+			snapshot := func(extraRecv int64) {
+				ks, ok := transport.AsKindStatser(c.Transport())
+				if !ok {
+					verdict = fmt.Errorf("rank %d: tcp transport lost KindStatser", c.Rank())
+					return
+				}
+				s := ks.FramesByKind()
+				dataSent := s.SentBytes[transport.KindData] + s.SentBytes[transport.KindDataZ] + s.SentBytes[transport.KindDataRef]
+				dataRecv := s.RecvBytes[transport.KindData] + s.RecvBytes[transport.KindDataZ] + s.RecvBytes[transport.KindDataRef]
+				if dataSent != sent {
+					verdict = fmt.Errorf("rank %d: transport sent %d data-kind bytes, scheduler accounts for %d", c.Rank(), dataSent, sent)
+				} else if dataRecv != recv+extraRecv {
+					verdict = fmt.Errorf("rank %d: transport received %d data-kind bytes, scheduler accounts for %d", c.Rank(), dataRecv, recv+extraRecv)
+				} else if recv == 0 {
+					verdict = fmt.Errorf("rank %d: no exchange wire traffic across %d epochs", c.Rank(), epochs)
+				}
+			}
+			if c.Rank() == 0 {
+				snapshot(0)
+				for r := 1; r < m; r++ {
+					c.Send(r, tagGo, token)
+				}
+				for r := 1; r < m; r++ {
+					c.Recv(r, tagAck)
+				}
+				for r := 1; r < m; r++ {
+					c.Send(r, tagRelease, token)
+				}
+			} else {
+				c.Recv(0, tagGo)
+				snapshot(transport.FrameWireSize(token))
+				c.Send(0, tagAck, token)
+				c.Recv(0, tagRelease)
+			}
+			if verdict != nil {
+				return verdict
+			}
+			hits, _ := sched.CumulativeDedup()
+			out[c.Rank()] = rankOut{wire: sent + recv, dedupHits: hits, fingerprint: fingerprint(st)}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base := run(false)
+	lean := run(true)
+
+	var baseWire, leanWire, hits int64
+	for r := 0; r < m; r++ {
+		if base[r].fingerprint != lean[r].fingerprint {
+			t.Fatalf("rank %d: final store differs between baseline and lean wire:\nbaseline:\n%s\nlean:\n%s",
+				r, base[r].fingerprint, lean[r].fingerprint)
+		}
+		baseWire += base[r].wire
+		leanWire += lean[r].wire
+		hits += lean[r].dedupHits
+	}
+	if hits == 0 {
+		t.Errorf("lean run scored zero dedup hits over %d epochs; the reference-frame path went unexercised", epochs)
+	}
+	ratio := float64(baseWire) / float64(leanWire)
+	t.Logf("exchange wire bytes: baseline %d, lean %d (%.2fx, %d dedup hits)", baseWire, leanWire, ratio, hits)
+	if ratio < 2 {
+		t.Fatalf("lean exchange moved %d bytes vs baseline %d: %.2fx, want >= 2x", leanWire, baseWire, ratio)
+	}
+}
+
+// BenchmarkExchangeWireTCPQ25 measures one full Q=0.25 epoch exchange over
+// real TCP sockets for the stock wire and the lean wire (fp16exact + dedup
+// + compression), reporting the exchange volume as wire-bytes/op so the
+// before/after benchhot ledger records the byte win alongside the time.
+func BenchmarkExchangeWireTCPQ25(b *testing.B) {
+	const (
+		m       = 4
+		perRank = 32
+		n       = m * perRank
+		q       = 0.25
+		featDim = 128
+		seed    = uint64(23)
+	)
+	mkSample := func(id int) data.Sample {
+		feats := make([]float32, featDim)
+		for j := range feats {
+			feats[j] = float32((id*7 + j) % 23)
+		}
+		return data.Sample{ID: id, Label: id % 10, Features: feats, Bytes: 1000}
+	}
+	for _, lean := range []bool{false, true} {
+		name := "baseline"
+		backend := transporttest.TCP()
+		if lean {
+			name = "lean"
+			backend = transporttest.TCPWrapped("tcp-lean", nil,
+				func(rank int, cfg *tcp.Config) { cfg.Compress = true })
+		}
+		b.Run(name, func(b *testing.B) {
+			var wireBytes int64
+			for i := 0; i < b.N; i++ {
+				var iterBytes [m]int64
+				err := backend.Run(m, func(c *mpi.Comm) error {
+					parts, err := shuffle.Partition(n, m, seed)
+					if err != nil {
+						return err
+					}
+					st := store.NewLocal(0)
+					for _, id := range parts[c.Rank()] {
+						if err := st.Put(mkSample(id)); err != nil {
+							return err
+						}
+					}
+					sched, err := shuffle.NewScheduler(c, st, q, n, seed)
+					if err != nil {
+						return err
+					}
+					if lean {
+						enc, err := data.ParseEncoding("fp16exact")
+						if err != nil {
+							return err
+						}
+						if err := sched.SetSampleEncoding(enc); err != nil {
+							return err
+						}
+						if err := sched.SetWireDedup(8 << 20); err != nil {
+							return err
+						}
+					}
+					for epoch := 0; epoch < 2; epoch++ {
+						if err := sched.RunEpochExchange(epoch); err != nil {
+							return err
+						}
+					}
+					sent, _ := sched.CumulativeWireTraffic()
+					iterBytes[c.Rank()] = sent
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range iterBytes {
+					wireBytes += v
+				}
+			}
+			b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-bytes/op")
+		})
+	}
+}
 
 // TestRunEpochExchangeOverTCP drives the full Algorithm 1 epoch exchange
 // across a 4-rank world whose every frame crosses real localhost TCP

@@ -2,6 +2,7 @@ package shuffle
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -659,6 +660,7 @@ func BenchmarkPlanExchange(b *testing.B) {
 
 func BenchmarkFullExchange8Workers(b *testing.B) {
 	const n, m = 2048, 8
+	var wireBytes atomic.Int64 // sent bytes across all ranks and iterations
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		stores, _ := mkStores(b, n, m, 1, 0)
@@ -668,10 +670,16 @@ func BenchmarkFullExchange8Workers(b *testing.B) {
 			if err != nil {
 				return err
 			}
-			return sched.RunEpochExchange(0)
+			if err := sched.RunEpochExchange(0); err != nil {
+				return err
+			}
+			sent, _ := sched.CumulativeWireTraffic()
+			wireBytes.Add(sent)
+			return nil
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(wireBytes.Load())/float64(b.N), "wire-bytes/op")
 }

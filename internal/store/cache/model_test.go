@@ -1,4 +1,11 @@
-package cache
+// Timing-ordering assertion; race-detector instrumentation skews wall-clock
+// severalfold, so the whole file is compiled out under -race. The external
+// test package breaks the cache → perfmodel → shuffle → cache cycle that an
+// in-package test would create (the exchange scheduler uses cache.SampleLRU
+// for wire dedup).
+//go:build !race
+
+package cache_test
 
 import (
 	"math/rand"
@@ -6,9 +13,31 @@ import (
 	"time"
 
 	"plshuffle/internal/cluster"
+	"plshuffle/internal/data"
 	"plshuffle/internal/perfmodel"
+	"plshuffle/internal/store/cache"
 	"plshuffle/internal/store/shard"
 )
+
+func ingestTempExt(t testing.TB, n, perShard int) *shard.Dataset {
+	t.Helper()
+	ds, err := data.Generate(data.SyntheticSpec{
+		Name: "cache-test", NumSamples: n, NumVal: 8, Classes: 4,
+		FeatureDim: 16, ClassSep: 3, NoiseStd: 1, Bytes: 1000, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := shard.Ingest(dir, ds, perShard); err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := shard.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pfs
+}
 
 // TestMeasuredReadTimeMatchesModelOrdering cross-validates the analytic
 // storage model against the real tier: one epoch's read time is measured
@@ -18,10 +47,7 @@ import (
 // faster epoch). Absolute times are laptop noise; the ORDERING is the
 // model's testable claim.
 func TestMeasuredReadTimeMatchesModelOrdering(t *testing.T) {
-	if raceEnabled {
-		t.Skip("timing-ordering assertion; race-detector instrumentation skews wall-clock severalfold")
-	}
-	pfs := ingestTemp(t, 768, 16) // 48 shards
+	pfs := ingestTempExt(t, 768, 16) // 48 shards
 	pfs.SetPFSOptions(shard.PFSOptions{BytesPerSec: 8e6, PerShardLatency: 2 * time.Millisecond})
 	man := pfs.Manifest()
 	var epochBytes int64
@@ -35,7 +61,7 @@ func TestMeasuredReadTimeMatchesModelOrdering(t *testing.T) {
 	// each epoch (the corgi plan's behaviour), which is what makes the
 	// expected hit fraction the cache's share of the epoch.
 	measure := func(budget int64) time.Duration {
-		tier, err := New(pfs, budget, "")
+		tier, err := cache.New(pfs, budget, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -287,6 +287,65 @@ func TestChaosSoakDegradeTCP(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestChaosSoakDegradeTCPCompressedDedup repeats the TCP degrade soak with
+// the full wire-lean stack live: wirecomp-compressed batch frames, pairwise
+// dedup reference frames, and fp16exact sample encoding. The victim dies
+// mid-Communicate of epoch 1 — after the dedup caches warmed up in epoch 0,
+// so KindDataZ and KindDataRef frames are in flight when the failure hits.
+// Recovery must invalidate every survivor's pair state (a survivor that
+// kept its mirror would emit refs its peer can no longer resolve) and the
+// survivors must still agree bitwise and conserve samples.
+func TestChaosSoakDegradeTCPCompressedDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak over real sockets in -short mode")
+	}
+	const (
+		workers   = 4
+		victim    = 2
+		q         = 0.5
+		epochs    = 4
+		killEpoch = 1
+		samples   = 384
+	)
+	base := runtime.NumGoroutine()
+	ds := testDataset(t, samples, 4)
+	cfg := baseConfig(t, ds, workers, shuffle.Partial(q))
+	cfg.Epochs = epochs
+	cfg.OnPeerFail = "degrade"
+	cfg.WireDedup = true
+	cfg.SampleEncoding = "fp16exact"
+
+	scripts := chaosScripts(workers, victim, killEpoch, true)
+	conns := make([]*faultinject.Conn, workers)
+	b := transporttest.TCPWrapped("chaos-tcp-z-dedup", chaosWrap(scripts, conns),
+		func(rank int, cfg *tcp.Config) {
+			chaosTCPConfig(rank, cfg)
+			cfg.Compress = true
+		})
+
+	rrs, errs := runChaosWorld(t, b, workers, cfg)
+	assertChaosSurvivors(t, rrs, errs, workers, victim, killEpoch, epochs, samples, q)
+	if !conns[victim].Injected().Crashed {
+		t.Error("victim's injector reports no crash")
+	}
+	// The soak is only meaningful if the lean wire paths actually carried
+	// traffic before and around the failure: at least one survivor must have
+	// scored dedup hits across the run.
+	hits := 0
+	for r, rr := range rrs {
+		if r == victim || rr == nil {
+			continue
+		}
+		for _, es := range rr.Epochs {
+			hits += es.DedupHits
+		}
+	}
+	if hits == 0 {
+		t.Error("no survivor recorded a single dedup hit; the soak never exercised reference frames")
+	}
+	waitGoroutines(t, base)
+}
+
 func TestChaosAbortTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos abort over real sockets in -short mode")

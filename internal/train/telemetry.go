@@ -84,6 +84,12 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 		reg.GaugeFunc("pls_exchange_epoch",
 			"Most recently scheduled exchange epoch.", l,
 			func() float64 { return float64(ex.ObservedEpoch()) })
+		reg.CounterFunc("pls_exchange_dedup_hits",
+			"Exchange samples shipped as dedup ID references instead of payloads (cumulative).", l,
+			func() float64 { h, _ := ex.CumulativeDedup(); return float64(h) })
+		reg.CounterFunc("pls_exchange_bytes_saved",
+			"Exchange wire bytes the dedup references elided (cumulative; hypothetical full frames minus metered frames).", l,
+			func() float64 { _, s := ex.CumulativeDedup(); return float64(s) })
 	}
 
 	// --- storage hierarchy (Corgi2 only) ---
@@ -136,14 +142,14 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 			})
 	}
 	if ks, ok := transport.AsKindStatser(conn); ok {
-		kindNames := [transport.NumKinds]string{"data", "hello", "table", "bye", "ping"}
+		kindNames := [transport.NumKinds]string{"data", "hello", "table", "bye", "ping", "dataz", "dataref"}
 		for k := 0; k < transport.NumKinds; k++ {
 			k := k
 			for _, dir := range []string{"sent", "recv"} {
 				dir := dir
 				lk := telemetry.Labels{"rank": l["rank"], "direction": dir, "kind": kindNames[k]}
 				reg.CounterFunc("pls_transport_frames_by_kind_total",
-					"Frames moved by the transport, by wire kind (data, hello, table, bye, ping).", lk,
+					"Frames moved by the transport, by wire kind (data, hello, table, bye, ping, dataz, dataref).", lk,
 					func() float64 {
 						st := ks.FramesByKind()
 						if dir == "sent" {
@@ -151,8 +157,34 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 						}
 						return float64(st.Recv[k])
 					})
+				reg.CounterFunc("pls_transport_frame_bytes_by_kind_total",
+					"Wire bytes moved by the transport, by wire kind (post-compression frame sizes; zero on inproc).", lk,
+					func() float64 {
+						st := ks.FramesByKind()
+						if dir == "sent" {
+							return float64(st.SentBytes[k])
+						}
+						return float64(st.RecvBytes[k])
+					})
 			}
 		}
+	}
+	if cs, ok := transport.AsCompressionStatser(conn); ok {
+		reg.CounterFunc("pls_transport_compress_raw_bytes_total",
+			"Payload-section bytes that entered the wire compressor (pre-compression).", l,
+			func() float64 { raw, _ := cs.CompressionStats(); return float64(raw) })
+		reg.CounterFunc("pls_transport_compress_wire_bytes_total",
+			"Payload-section bytes the wire compressor actually shipped (post-compression).", l,
+			func() float64 { _, wire := cs.CompressionStats(); return float64(wire) })
+		reg.GaugeFunc("pls_transport_compression_ratio",
+			"Raw/wire ratio over all frames the compressor shrank (1 = nothing compressed yet).", l,
+			func() float64 {
+				raw, wire := cs.CompressionStats()
+				if wire == 0 {
+					return 1
+				}
+				return float64(raw) / float64(wire)
+			})
 	}
 	if ls, ok := transport.AsLivenessStatser(conn); ok {
 		for peer := 0; peer < w.comm.Size(); peer++ {

@@ -23,6 +23,7 @@ import (
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/transport"
 	"plshuffle/internal/transport/faultinject"
+	"plshuffle/internal/transport/tcp"
 	"plshuffle/internal/transport/transporttest"
 )
 
@@ -249,6 +250,113 @@ func TestTelemetryConformanceTCP(t *testing.T) {
 		if got := m[`pls_mpi_failed_peers{`+rl+`}`]; got != 0 {
 			t.Errorf("rank %d: failed peers %v, want 0", r, got)
 		}
+	}
+}
+
+// TestTelemetryWireLeanConformanceTCP extends the conformance gate to the
+// wire-lean exchange plane: a live 4-rank TCP world with compression,
+// dedup, and fp16exact encoding all on, scraped over real HTTP after the
+// run. Every scraped dedup and compression counter must equal the run's
+// internal accounting bitwise — the same int64s the scheduler and the TCP
+// transport report, no estimates.
+func TestTelemetryWireLeanConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank TCP conformance in -short mode")
+	}
+	const (
+		n      = 4
+		epochs = 6
+		q      = 0.25
+	)
+	ds := fp16GridDataset(t, 384)
+	cfg := baseConfig(t, ds, n, shuffle.Partial(q))
+	cfg.Epochs = epochs
+	cfg.WireDedup = true
+	cfg.SampleEncoding = "fp16exact"
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	srv, err := telemetry.NewServer(telemetry.ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	backend := transporttest.TCPWrapped("tcp-lean", nil,
+		func(rank int, c *tcp.Config) { c.Compress = true })
+	rrs, comms, cleanup := runTelemetryWorld(t, backend, n, cfg)
+	defer cleanup()
+
+	m := parseMetrics(t, scrapeURL(t, srv.URL()+"/metrics"))
+	var worldHits, worldRefFrames, worldZFrames int64
+	for r := 0; r < n; r++ {
+		rl := fmt.Sprintf(`rank="%d"`, r)
+
+		// Dedup counters: the per-epoch sums the run reported and the scraped
+		// cumulative series are fed by the same scheduler atomics.
+		var wantHits, wantSaved int64
+		for _, e := range rrs[r].Epochs {
+			wantHits += int64(e.DedupHits)
+			wantSaved += e.DedupBytesSaved
+		}
+		if got := int64(m[`pls_exchange_dedup_hits{`+rl+`}`]); got != wantHits {
+			t.Errorf("rank %d: scraped dedup hits %d != accounted %d", r, got, wantHits)
+		}
+		if got := int64(m[`pls_exchange_bytes_saved{`+rl+`}`]); got != wantSaved {
+			t.Errorf("rank %d: scraped bytes saved %d != accounted %d", r, got, wantSaved)
+		}
+		if wantHits > 0 && wantSaved <= 0 {
+			t.Errorf("rank %d: %d dedup hits saved %d bytes; accounting broken", r, wantHits, wantSaved)
+		}
+		worldHits += wantHits
+
+		// Compression counters: scraped == CompressionStats() right now (the
+		// world barriered, so the counters are quiescent).
+		cs, ok := transport.AsCompressionStatser(comms[r].Transport())
+		if !ok {
+			t.Fatalf("rank %d: tcp transport lost CompressionStatser", r)
+		}
+		raw, wire := cs.CompressionStats()
+		if got := int64(m[`pls_transport_compress_raw_bytes_total{`+rl+`}`]); got != raw {
+			t.Errorf("rank %d: scraped compress raw %d != Stats %d", r, got, raw)
+		}
+		if got := int64(m[`pls_transport_compress_wire_bytes_total{`+rl+`}`]); got != wire {
+			t.Errorf("rank %d: scraped compress wire %d != Stats %d", r, got, wire)
+		}
+		if raw <= wire || wire <= 0 {
+			t.Errorf("rank %d: compression never engaged (raw %d, wire %d)", r, raw, wire)
+		}
+		if got := m[`pls_transport_compression_ratio{`+rl+`}`]; got < 1 {
+			t.Errorf("rank %d: compression ratio gauge %v < 1 with raw %d wire %d", r, got, raw, wire)
+		}
+
+		// Per-kind byte counters for the new kinds: scraped == FramesByKind
+		// bitwise, and the lean kinds actually carried traffic somewhere.
+		ks, ok := transport.AsKindStatser(comms[r].Transport())
+		if !ok {
+			t.Fatalf("rank %d: tcp transport lost KindStatser", r)
+		}
+		s := ks.FramesByKind()
+		for kind, name := range map[uint8]string{
+			transport.KindDataZ:   "dataz",
+			transport.KindDataRef: "dataref",
+		} {
+			sentKey := fmt.Sprintf(`pls_transport_frame_bytes_by_kind_total{direction="sent",kind=%q,%s}`, name, rl)
+			if got := int64(m[sentKey]); got != s.SentBytes[kind] {
+				t.Errorf("rank %d: scraped %s %d != counter %d", r, sentKey, got, s.SentBytes[kind])
+			}
+		}
+		worldZFrames += s.Sent[transport.KindDataZ]
+		worldRefFrames += s.Sent[transport.KindDataRef]
+	}
+	if worldHits == 0 {
+		t.Error("no rank scored a dedup hit; the conformance check never saw the dedup plane live")
+	}
+	if worldZFrames == 0 {
+		t.Error("no compressed frame crossed the world; the conformance check never saw KindDataZ live")
+	}
+	if worldRefFrames == 0 {
+		t.Error("no reference frame crossed the world; the conformance check never saw KindDataRef live")
 	}
 }
 

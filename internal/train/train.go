@@ -34,6 +34,12 @@ import (
 	"plshuffle/internal/transport"
 )
 
+// DefaultWireDedupBudget is the per-directed-pair byte budget the exchange
+// dedup caches use when Config.WireDedup is on and no explicit budget is
+// given. 8 MiB per pair keeps a 32-rank world under ~0.5 GiB of cache per
+// rank while holding several epochs' worth of typical exchange traffic.
+const DefaultWireDedupBudget = 8 << 20
+
 // Config describes one training run.
 type Config struct {
 	Workers  int
@@ -83,6 +89,24 @@ type Config struct {
 	// exchange (Section V-F) with groups of that many workers; it must
 	// divide Workers.
 	ExchangeGroupSize int
+	// WireDedup enables the exchange deduplication protocol (DESIGN.md §13):
+	// each directed rank pair maintains mirrored bounded caches of the
+	// samples that crossed it, and a sample the sender can prove the
+	// receiver still holds travels as a compact ID reference instead of a
+	// payload. Training input is bitwise identical either way; only the
+	// wire volume changes. Applies to the partial-local exchange only.
+	WireDedup bool
+	// WireDedupBudget bounds each directed pair's dedup cache in bytes
+	// (0 = DefaultWireDedupBudget). Memory cost per rank is at most
+	// 2·(Workers−1)·budget: one payload-retaining segment per source and
+	// one ID-only mirror per destination.
+	WireDedupBudget int64
+	// SampleEncoding selects the exchange sample wire format: "" or "fp32"
+	// (the legacy bit-exact encoding), "fp16exact" (compact half-precision
+	// entries only for samples whose features are bitwise-losslessly
+	// representable — exact by construction), or "fp16" (lossy round-to-
+	// nearest-even half-precision quantization of every feature).
+	SampleEncoding string
 	// SyncBatchNormStats averages batch-norm running statistics across
 	// workers after every epoch. Standard data-parallel training does NOT
 	// do this — which is exactly why local shuffling degrades (Section
@@ -199,6 +223,12 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("train: unknown OnPeerFail policy %q (want abort or degrade)", c.OnPeerFail)
 	}
+	if _, err := data.ParseEncoding(c.SampleEncoding); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	if c.WireDedupBudget < 0 {
+		return fmt.Errorf("train: WireDedupBudget must be non-negative, got %d", c.WireDedupBudget)
+	}
 	return c.Model.Validate()
 }
 
@@ -225,6 +255,13 @@ type EpochStats struct {
 	// with backward compute; the collective engine accounts it at the frame
 	// level instead.
 	GradWireBytes int64
+
+	// DedupHits counts exchange samples this epoch that traveled as compact
+	// ID references instead of payloads (WireDedup), and DedupBytesSaved is
+	// the exact wire volume those references elided (hypothetical full-batch
+	// frame size minus the metered ref + residual frames).
+	DedupHits       int
+	DedupBytesSaved int64
 
 	// Wall-clock phase times on this process (for the testing.B benches;
 	// the paper-scale times come from internal/perfmodel).
@@ -556,6 +593,22 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 			if cfg.OnPeerFail == "degrade" {
 				w.exchanger.SetDegradeOnPeerFailure(true)
 			}
+			enc, err := data.ParseEncoding(cfg.SampleEncoding)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.exchanger.SetSampleEncoding(enc); err != nil {
+				return nil, err
+			}
+			if cfg.WireDedup {
+				budget := cfg.WireDedupBudget
+				if budget == 0 {
+					budget = DefaultWireDedupBudget
+				}
+				if err := w.exchanger.SetWireDedup(budget); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	if cfg.Telemetry != nil {
@@ -778,6 +831,9 @@ func (w *worker) finishExchange(es *EpochStats) error {
 	for _, s := range w.exchanger.Received() {
 		es.ExchangeBytes += s.Bytes
 	}
+	hits, saved := w.exchanger.DedupStats()
+	es.DedupHits += hits
+	es.DedupBytesSaved += saved
 	ds, dr := w.exchanger.DegradedSlots()
 	es.DegradedSlots = ds + dr
 	es.EffectiveQ = w.exchanger.EffectiveQ()
@@ -922,6 +978,15 @@ func (w *worker) recoverPeerFailure(epoch int, first *transport.PeerError, es *E
 		ds, dr := w.exchanger.DegradedSlots()
 		es.DegradedSlots = ds + dr
 		es.EffectiveQ = w.exchanger.EffectiveQ()
+	}
+	if w.exchanger != nil {
+		// The pair dedup caches are pure functions of each pair's delivered
+		// frame stream, and a recovery leaves different survivors at
+		// different points in that stream (some completed the disrupted
+		// epoch's exchange, some abandoned it). Every survivor drops its
+		// dedup state to the shared empty state; the caches rebuild from
+		// live traffic in the next epoch.
+		w.exchanger.InvalidateDedup()
 	}
 
 	// Step 5: re-synchronize replica state across the survivors. They are

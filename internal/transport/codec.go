@@ -30,7 +30,80 @@ const (
 	codeBool    = uint8(11)
 	codeSample  = uint8(12) // data.Sample via its own deterministic encoding
 	codeMatrix  = uint8(13) // *tensor.Matrix: rows, cols, row-major float32s
+	// codeSampleRefs: a SampleRefs list as delta uvarints — the compact
+	// dedup reference payload (DESIGN.md §13).
+	codeSampleRefs = uint8(14)
 )
+
+// SampleRefs is the payload of a dedup reference frame: the IDs of samples
+// the sender knows the receiver already holds in its exchange side-cache,
+// shipped instead of the sample payloads themselves. The IDs must be
+// strictly ascending (in uint64 order), which the delta encoding exploits:
+// first ID as a uvarint, then each successor as uvarint(id[i]-id[i-1]),
+// never zero. The decoder enforces minimal varints and non-zero deltas, so
+// every accepted buffer re-encodes byte-identically — the canonical-codec
+// property FuzzPayloadRoundTrip pins for all payload types.
+type SampleRefs []int64
+
+// appendSampleRefs encodes r after the code byte already placed in dst.
+func appendSampleRefs(dst []byte, r SampleRefs) ([]byte, error) {
+	prev := uint64(0)
+	for i, id := range r {
+		v := uint64(id)
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, v)
+		} else {
+			if v == prev {
+				return dst, fmt.Errorf("transport: SampleRefs not strictly ascending at index %d (id %d)", i, id)
+			}
+			dst = binary.AppendUvarint(dst, v-prev)
+		}
+		prev = v
+	}
+	return dst, nil
+}
+
+// minUvarint decodes a minimally-encoded uvarint: non-minimal encodings
+// (a multi-byte varint whose last group is zero) and overflows are
+// rejected so decode→re-encode is the identity.
+func minUvarint(buf []byte) (uint64, int, bool) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || (n > 1 && buf[n-1] == 0) {
+		return 0, 0, false
+	}
+	return v, n, true
+}
+
+func decodeSampleRefs(body []byte) (SampleRefs, error) {
+	out := SampleRefs{}
+	prev := uint64(0)
+	for i := 0; len(body) > 0; i++ {
+		v, n, ok := minUvarint(body)
+		if !ok {
+			return nil, fmt.Errorf("transport: SampleRefs entry %d: malformed varint", i)
+		}
+		body = body[n:]
+		if i == 0 {
+			prev = v
+		} else {
+			if v == 0 {
+				return nil, fmt.Errorf("transport: SampleRefs entry %d: zero delta", i)
+			}
+			prev += v
+		}
+		out = append(out, int64(prev))
+	}
+	return out, nil
+}
+
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // EncodePayload serializes a payload value for a wire backend. The first
 // byte is a type code; the rest is the value. It returns an error for types
@@ -102,6 +175,9 @@ func AppendPayload(dst []byte, p any) ([]byte, error) {
 			b = 1
 		}
 		return append(dst, codeBool, b), nil
+	case SampleRefs:
+		dst = append(dst, codeSampleRefs)
+		return appendSampleRefs(dst, v)
 	case data.Sample:
 		dst = append(dst, codeSample)
 		return v.AppendEncode(dst), nil
@@ -209,6 +285,8 @@ func DecodePayload(buf []byte) (any, error) {
 			return nil, fmt.Errorf("transport: malformed bool payload")
 		}
 		return body[0] == 1, nil
+	case codeSampleRefs:
+		return decodeSampleRefs(body)
 	case codeSample:
 		s, err := data.DecodeSample(body)
 		if err != nil {
@@ -276,6 +354,18 @@ func PayloadWireSize(p any) int64 {
 		return 9
 	case bool:
 		return 2
+	case SampleRefs:
+		n := int64(1)
+		prev := uint64(0)
+		for i, id := range v {
+			if i == 0 {
+				n += uvarintLen(uint64(id))
+			} else {
+				n += uvarintLen(uint64(id) - prev)
+			}
+			prev = uint64(id)
+		}
+		return n
 	case data.Sample:
 		return int64(1 + 28 + 4*len(v.Features))
 	case *tensor.Matrix:

@@ -7,6 +7,7 @@ import (
 
 	"plshuffle/internal/data"
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/transport/wirecomp"
 )
 
 // FuzzFrameRoundTrip pins the wire framing invariants: any buffer that
@@ -31,6 +32,13 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		{ID: 2, Label: 1, Features: []float32{-3}, Bytes: 8},
 	})); err == nil {
 		seed(WireFrame{Kind: KindData, Src: 1, Dst: 2, Tag: 99, Payload: batch})
+		// A compressed data frame as the TCP backend builds it: the payload
+		// section of the KindData frame, wirecomp-encoded under KindDataZ.
+		seed(WireFrame{Kind: KindDataZ, Src: 1, Dst: 2, Tag: 99,
+			Payload: wirecomp.Encode(nil, batch)})
+	}
+	if refs, err := EncodePayload(SampleRefs{3, 7, 4096}); err == nil {
+		seed(WireFrame{Kind: KindDataRef, Src: 2, Dst: 0, Tag: 41, Payload: refs})
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile length prefix
@@ -94,6 +102,10 @@ func FuzzPayloadRoundTrip(f *testing.F) {
 	seed(3.14159)
 	seed(true)
 	seed(data.Sample{ID: 9, Label: 2, Features: []float32{1, -2.5}, Bytes: 117 << 10})
+	seed(SampleRefs{})
+	seed(SampleRefs{0})
+	seed(SampleRefs{5, 6, 1 << 40})
+	seed(SampleRefs{1 << 62, 1<<62 + 1})
 	m := tensor.New(2, 3)
 	for i := range m.Data {
 		m.Data[i] = float32(i)

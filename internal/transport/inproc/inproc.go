@@ -134,8 +134,27 @@ func (c *conn) Send(dst, tag int, payload any) error {
 	src.bytesSent.Add(sz)
 	dstStats.framesRecv.Add(1)
 	dstStats.bytesRecv.Add(sz)
-	h(transport.Frame{Src: c.rank, Dst: dst, Tag: tag, Payload: transport.ClonePayload(payload)})
+	var wire int64
+	if dst != c.rank {
+		// The deterministic frame size a wire backend would have moved;
+		// self-delivery never touches a wire on any backend.
+		wire = transport.FrameWireSize(payload)
+	}
+	h(transport.Frame{Src: c.rank, Dst: dst, Tag: tag, Payload: transport.ClonePayload(payload), Wire: wire})
 	return nil
+}
+
+// SendMetered implements transport.MeteredSender: inproc frames have a
+// deterministic would-be wire size (FrameWireSize), reported exactly so
+// byte accounting behaves identically across backends.
+func (c *conn) SendMetered(dst, tag int, payload any) (int64, error) {
+	if err := c.Send(dst, tag, payload); err != nil {
+		return 0, err
+	}
+	if dst == c.rank {
+		return 0, nil
+	}
+	return transport.FrameWireSize(payload), nil
 }
 
 func (c *conn) Stats() transport.Stats {
@@ -175,4 +194,5 @@ func (c *conn) Kill() {
 var (
 	_ transport.FailureNotifier = (*conn)(nil)
 	_ transport.Killer          = (*conn)(nil)
+	_ transport.MeteredSender   = (*conn)(nil)
 )

@@ -29,6 +29,7 @@ package tcp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/wirecomp"
 )
 
 // Config describes one rank's endpoint of a TCP world.
@@ -100,10 +102,35 @@ type Config struct {
 	// data connections). Default 4 × HeartbeatInterval.
 	PeerTimeout time.Duration
 
+	// Compress enables wirecomp block compression of large data-frame
+	// payloads (coalesced sample batches). It is negotiated per connection
+	// at bootstrap: this rank advertises the capability in its hello, the
+	// rendezvous table redistributes every rank's flags, and a frame is
+	// compressed toward a peer only when BOTH ends enabled it — a mixed
+	// world degrades to plain frames pairwise. Compressed frames travel as
+	// KindDataZ; byte counters always report the real (compressed) socket
+	// bytes. Default off.
+	Compress bool
+
 	// Dial overrides the dial function (tests inject flaky networks).
 	// Default net.DialTimeout("tcp", addr, timeout).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
+
+// capabilityFlags renders the config's negotiable capabilities as the wire
+// flag byte carried by v2 hellos and tables.
+func (c *Config) capabilityFlags() byte {
+	var f byte
+	if c.Compress {
+		f |= transport.FlagCompress
+	}
+	return f
+}
+
+// minCompressPayload is the smallest encoded payload worth compressing:
+// below it the codec's tag overhead and the extra copy outweigh any win
+// (control frames, single-sample batches, ref frames).
+const minCompressPayload = 512
 
 func (c *Config) fillDefaults() {
 	if c.ListenAddr == "" {
@@ -163,21 +190,30 @@ type Conn struct {
 	cfg     Config
 	handler transport.Handler
 
-	listener net.Listener
-	addrs    []string // rank → data address
-	peers    []*peer  // peers[ownRank] == nil
+	listener  net.Listener
+	addrs     []string // rank → data address
+	peerFlags []byte   // rank → negotiated capability flags (v2 table)
+	peers     []*peer  // peers[ownRank] == nil
 
 	framesSent atomic.Int64
 	framesRecv atomic.Int64
 	bytesSent  atomic.Int64
 	bytesRecv  atomic.Int64
 
-	// Per-kind frame counters (transport.KindStatser) and per-peer
+	// Compression accounting (transport.CompressionStatser): payload bytes
+	// entering the compressor vs leaving it, counted only for frames that
+	// actually shipped compressed.
+	compRaw  atomic.Int64
+	compWire atomic.Int64
+
+	// Per-kind frame and byte counters (transport.KindStatser) and per-peer
 	// last-heard stamps in unix nanos (transport.LivenessStatser). All
 	// plain atomics so telemetry scrapes race-free against traffic.
-	sentKind  [transport.NumKinds]atomic.Int64
-	recvKind  [transport.NumKinds]atomic.Int64
-	lastHeard []atomic.Int64 // rank → unix nanos, 0 = never
+	sentKind      [transport.NumKinds]atomic.Int64
+	recvKind      [transport.NumKinds]atomic.Int64
+	sentKindBytes [transport.NumKinds]atomic.Int64
+	recvKindBytes [transport.NumKinds]atomic.Int64
+	lastHeard     []atomic.Int64 // rank → unix nanos, 0 = never
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -246,6 +282,7 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 	if cfg.Size == 1 {
 		// Single-rank world: only self-delivery, no sockets.
 		c.addrs = []string{""}
+		c.peerFlags = []byte{cfg.capabilityFlags()}
 		c.peers = []*peer{nil}
 		return c, nil
 	}
@@ -480,16 +517,25 @@ func (c *Conn) Stats() transport.Stats {
 	}
 }
 
-// FramesByKind returns the per-wire-kind frame counters. Implements
-// transport.KindStatser; safe to call concurrently with traffic (telemetry
-// scrapes it from the HTTP goroutine).
+// FramesByKind returns the per-wire-kind frame and byte counters.
+// Implements transport.KindStatser; safe to call concurrently with traffic
+// (telemetry scrapes it from the HTTP goroutine).
 func (c *Conn) FramesByKind() transport.KindStats {
 	var ks transport.KindStats
 	for k := 0; k < transport.NumKinds; k++ {
 		ks.Sent[k] = c.sentKind[k].Load()
 		ks.Recv[k] = c.recvKind[k].Load()
+		ks.SentBytes[k] = c.sentKindBytes[k].Load()
+		ks.RecvBytes[k] = c.recvKindBytes[k].Load()
 	}
 	return ks
+}
+
+// CompressionStats returns the cumulative payload bytes that entered the
+// compressor vs what was actually framed, counted only for frames that
+// shipped compressed. Implements transport.CompressionStatser.
+func (c *Conn) CompressionStats() (raw, wire int64) {
+	return c.compRaw.Load(), c.compWire.Load()
 }
 
 // LastHeard returns the time any frame (data, hello, or heartbeat) was last
@@ -507,51 +553,78 @@ func (c *Conn) LastHeard(rank int) time.Time {
 }
 
 var (
-	_ transport.KindStatser     = (*Conn)(nil)
-	_ transport.LivenessStatser = (*Conn)(nil)
+	_ transport.KindStatser        = (*Conn)(nil)
+	_ transport.LivenessStatser    = (*Conn)(nil)
+	_ transport.MeteredSender      = (*Conn)(nil)
+	_ transport.CompressionStatser = (*Conn)(nil)
 )
 
 // Send serializes the payload and enqueues it toward dst. Self-sends loop
 // back through the codec (an encode/decode round trip) so semantics match
 // remote delivery exactly.
 func (c *Conn) Send(dst, tag int, payload any) error {
+	_, err := c.send(dst, tag, payload)
+	return err
+}
+
+// SendMetered behaves exactly like Send and additionally returns the exact
+// number of bytes the frame occupies on the wire — the post-compression
+// serialized size, length prefix and header included; 0 for self-sends.
+// Implements transport.MeteredSender.
+func (c *Conn) SendMetered(dst, tag int, payload any) (int64, error) {
+	return c.send(dst, tag, payload)
+}
+
+// compressTo reports whether data frames toward dst may travel compressed:
+// both this rank and dst advertised FlagCompress at bootstrap.
+func (c *Conn) compressTo(dst int) bool {
+	return c.cfg.Compress && dst < len(c.peerFlags) && c.peerFlags[dst]&transport.FlagCompress != 0
+}
+
+// frameWireOffset is where the payload section starts inside a marshalled
+// frame: the u32 length prefix plus the 17-byte header.
+const frameWireOffset = 4 + 17
+
+func (c *Conn) send(dst, tag int, payload any) (int64, error) {
 	if dst < 0 || dst >= c.cfg.Size {
-		return fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.Size)
+		return 0, fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.Size)
 	}
 	if err := c.Err(); err != nil {
 		// A peer-scoped failure poisons only sends toward that peer (checked
 		// below); whole-transport failures poison everything.
 		if _, isPeer := transport.AsPeerError(err); !isPeer {
-			return fmt.Errorf("tcp: Send to rank %d: transport already failed: %w", dst, err)
+			return 0, fmt.Errorf("tcp: Send to rank %d: transport already failed: %w", dst, err)
 		}
 	}
 	select {
 	case <-c.closed:
-		return fmt.Errorf("tcp: Send to rank %d: transport closed", dst)
+		return 0, fmt.Errorf("tcp: Send to rank %d: transport closed", dst)
 	default:
 	}
 	if dst == c.cfg.Rank {
 		// Self-send: loop back through the codec (an encode/decode round
 		// trip, so semantics match remote delivery exactly) using a pooled
-		// buffer for the transient encoding.
+		// buffer for the transient encoding. Never touches a wire, so the
+		// metered size is 0.
 		wb := transport.GetWireBuf()
 		enc, err := transport.AppendPayload(wb.B[:0], payload)
 		wb.B = enc
 		if err != nil {
 			transport.PutWireBuf(wb)
-			return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
+			return 0, fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
 		}
 		v, derr := transport.DecodePayload(enc)
 		transport.PutWireBuf(wb)
 		if derr != nil {
-			return fmt.Errorf("tcp: self-send round trip: %w", derr)
+			return 0, fmt.Errorf("tcp: self-send round trip: %w", derr)
 		}
+		kind := transport.DataKindFor(payload)
 		c.framesSent.Add(1)
 		c.framesRecv.Add(1)
-		c.sentKind[transport.KindData].Add(1)
-		c.recvKind[transport.KindData].Add(1)
+		c.sentKind[kind].Add(1)
+		c.recvKind[kind].Add(1)
 		c.handler(transport.Frame{Src: dst, Dst: dst, Tag: tag, Payload: v})
-		return nil
+		return 0, nil
 	}
 	// Serialize straight into a pooled buffer — payload encoding and frame
 	// header in one pass, no intermediate payload slice. The buffer travels
@@ -561,8 +634,31 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 	wb.B = buf
 	if err != nil {
 		transport.PutWireBuf(wb)
-		return fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
+		return 0, fmt.Errorf("tcp: Send to rank %d: %w", dst, err)
 	}
+	// Compression happens here, synchronously, rather than in the writer
+	// goroutine: the frame's final wire size must be known when SendMetered
+	// returns, and the scheduler's accounting relies on that exactness.
+	// Eligibility: negotiated with dst, sample-batch payload ([]byte), and
+	// a payload section large enough to beat the codec overhead.
+	if pb, ok := payload.([]byte); ok && len(pb) >= minCompressPayload && c.compressTo(dst) {
+		zb := transport.GetWireBuf()
+		z := append(zb.B[:0], wb.B[:frameWireOffset]...)
+		z[4] = transport.KindDataZ
+		z = wirecomp.Encode(z, wb.B[frameWireOffset:])
+		zb.B = z
+		if len(z) < len(wb.B) {
+			binary.LittleEndian.PutUint32(z, uint32(len(z)-4))
+			c.compRaw.Add(int64(len(wb.B) - frameWireOffset))
+			c.compWire.Add(int64(len(z) - frameWireOffset))
+			transport.PutWireBuf(wb)
+			wb = zb
+		} else {
+			// Incompressible payload: ship the plain frame.
+			transport.PutWireBuf(zb)
+		}
+	}
+	wire := int64(len(wb.B))
 	p := c.peers[dst]
 	p.mu.Lock()
 	if p.dead {
@@ -570,19 +666,19 @@ func (c *Conn) Send(dst, tag int, payload any) error {
 		p.mu.Unlock()
 		transport.PutWireBuf(wb)
 		if pe != nil {
-			return fmt.Errorf("tcp: Send to rank %d: %w", dst, pe)
+			return 0, fmt.Errorf("tcp: Send to rank %d: %w", dst, pe)
 		}
-		return &transport.PeerError{Rank: dst, Phase: transport.PhaseSend}
+		return 0, &transport.PeerError{Rank: dst, Phase: transport.PhaseSend}
 	}
 	if p.closing {
 		p.mu.Unlock()
 		transport.PutWireBuf(wb)
-		return fmt.Errorf("tcp: Send to rank %d: transport closing", dst)
+		return 0, fmt.Errorf("tcp: Send to rank %d: transport closing", dst)
 	}
 	p.queue = append(p.queue, wb)
 	p.cond.Signal()
 	p.mu.Unlock()
-	return nil
+	return wire, nil
 }
 
 // Close drains the outbound queues (bounded by DrainTimeout), tears down
@@ -665,6 +761,8 @@ func (c *Conn) bootstrapRoot(advertise string, deadline time.Time) error {
 
 	addrs := make([]string, c.cfg.Size)
 	addrs[0] = advertise
+	flags := make([]byte, c.cfg.Size)
+	flags[0] = c.cfg.capabilityFlags()
 	conns := make([]net.Conn, c.cfg.Size) // per-rank hello connection
 	defer func() {
 		for _, conn := range conns {
@@ -697,14 +795,14 @@ func (c *Conn) bootstrapRoot(advertise string, deadline time.Time) error {
 		} else {
 			seen++
 		}
-		addrs[r] = string(f.Payload)
+		addrs[r], flags[r] = transport.DecodeHello(f.Payload)
 		conns[r] = conn
 	}
 	table, err := transport.MarshalFrame(transport.WireFrame{
 		Kind:    transport.KindTable,
 		Src:     0,
 		Dst:     -1,
-		Payload: transport.EncodeAddrTable(addrs),
+		Payload: transport.EncodePeerTable(addrs, flags),
 	})
 	if err != nil {
 		return err
@@ -718,6 +816,7 @@ func (c *Conn) bootstrapRoot(advertise string, deadline time.Time) error {
 		}
 	}
 	c.addrs = addrs
+	c.peerFlags = flags
 	return nil
 }
 
@@ -731,7 +830,7 @@ func (c *Conn) bootstrapPeer(advertise string, deadline time.Time) error {
 		Kind:    transport.KindHello,
 		Src:     int32(c.cfg.Rank),
 		Dst:     0,
-		Payload: []byte(advertise),
+		Payload: transport.EncodeHello(advertise, c.cfg.capabilityFlags()),
 	})
 	if err != nil {
 		return err
@@ -749,42 +848,43 @@ func (c *Conn) bootstrapPeer(advertise string, deadline time.Time) error {
 				backoff = time.Second
 			}
 		}
-		addrs, err := c.rendezvousRound(hello, deadline)
+		addrs, flags, err := c.rendezvousRound(hello, deadline)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		c.addrs = addrs
+		c.peerFlags = flags
 		return nil
 	}
 }
 
 // rendezvousRound is one attempt of the peer side of the bootstrap.
-func (c *Conn) rendezvousRound(hello []byte, deadline time.Time) ([]string, error) {
+func (c *Conn) rendezvousRound(hello []byte, deadline time.Time) ([]string, []byte, error) {
 	conn, err := c.cfg.Dial(c.cfg.Rendezvous, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("dialing rendezvous: %w", err)
+		return nil, nil, fmt.Errorf("dialing rendezvous: %w", err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
 	if _, err := conn.Write(hello); err != nil {
-		return nil, fmt.Errorf("sending rendezvous hello: %w", err)
+		return nil, nil, fmt.Errorf("sending rendezvous hello: %w", err)
 	}
 	f, _, err := transport.ReadFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("reading rendezvous table: %w", err)
+		return nil, nil, fmt.Errorf("reading rendezvous table: %w", err)
 	}
 	if f.Kind != transport.KindTable {
-		return nil, fmt.Errorf("rendezvous answered with frame kind %d, want table", f.Kind)
+		return nil, nil, fmt.Errorf("rendezvous answered with frame kind %d, want table", f.Kind)
 	}
-	addrs, err := transport.DecodeAddrTable(f.Payload)
+	addrs, flags, err := transport.DecodePeerTable(f.Payload)
 	if err != nil {
-		return nil, fmt.Errorf("decoding rendezvous table: %w", err)
+		return nil, nil, fmt.Errorf("decoding rendezvous table: %w", err)
 	}
 	if len(addrs) != c.cfg.Size {
-		return nil, fmt.Errorf("rendezvous table has %d entries, want %d", len(addrs), c.cfg.Size)
+		return nil, nil, fmt.Errorf("rendezvous table has %d entries, want %d", len(addrs), c.cfg.Size)
 	}
-	return addrs, nil
+	return addrs, flags, nil
 }
 
 // --- data plane ---
@@ -860,6 +960,7 @@ func (c *Conn) dropConn(rank int, conn net.Conn) {
 func (c *Conn) readLoop(rank int, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var scratch []byte
+	var zscratch []byte // decompression buffer, reused across KindDataZ frames
 	for {
 		if c.cfg.ReadIdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadIdleTimeout))
@@ -871,19 +972,35 @@ func (c *Conn) readLoop(rank int, conn net.Conn) {
 		}
 		c.bytesRecv.Add(int64(n))
 		c.recvKind[f.Kind].Add(1)
+		c.recvKindBytes[f.Kind].Add(int64(n))
 		c.lastHeard[rank].Store(time.Now().UnixNano())
 		switch f.Kind {
-		case transport.KindData:
+		case transport.KindData, transport.KindDataRef, transport.KindDataZ:
 			if int(f.Dst) != c.cfg.Rank {
 				continue // misrouted; drop
 			}
-			v, derr := transport.DecodePayload(f.Payload)
+			enc := f.Payload
+			if f.Kind == transport.KindDataZ {
+				dl, zerr := wirecomp.DecodedLen(f.Payload)
+				if zerr == nil && dl > transport.MaxFramePayload {
+					zerr = fmt.Errorf("decompressed payload %d exceeds frame limit", dl)
+				}
+				if zerr == nil {
+					zscratch, zerr = wirecomp.Decode(zscratch[:0], f.Payload)
+				}
+				if zerr != nil {
+					c.fail(fmt.Errorf("tcp: rank %d: compressed payload from rank %d: %w", c.cfg.Rank, f.Src, zerr))
+					continue
+				}
+				enc = zscratch
+			}
+			v, derr := transport.DecodePayload(enc)
 			if derr != nil {
 				c.fail(fmt.Errorf("tcp: rank %d: payload from rank %d: %w", c.cfg.Rank, f.Src, derr))
 				continue
 			}
 			c.framesRecv.Add(1)
-			c.handler(transport.Frame{Src: int(f.Src), Dst: int(f.Dst), Tag: int(f.Tag), Payload: v})
+			c.handler(transport.Frame{Src: int(f.Src), Dst: int(f.Dst), Tag: int(f.Tag), Payload: v, Wire: int64(n)})
 		case transport.KindBye:
 			c.dropConn(rank, conn)
 			return
@@ -930,6 +1047,7 @@ func (c *Conn) writeLoop(p *peer) {
 				// Byte 4 of the marshalled frame is the wire kind.
 				if len(wb.B) > 4 && int(wb.B[4]) < transport.NumKinds {
 					c.sentKind[wb.B[4]].Add(1)
+					c.sentKindBytes[wb.B[4]].Add(int64(len(wb.B)))
 				}
 			}
 			transport.PutWireBuf(wb)

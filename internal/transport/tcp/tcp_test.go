@@ -500,6 +500,148 @@ func TestStatsCountWireBytes(t *testing.T) {
 	}
 }
 
+// compressibleBuf builds an encoded-payload-sized buffer with enough
+// repetition that wirecomp actually shrinks it — the shape of a coalesced
+// sample batch, where IDs and feature prefixes repeat across entries.
+func compressibleBuf(n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i % 17)
+	}
+	return buf
+}
+
+func TestCompressedSendRoundTrips(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.Compress = true
+	})
+	payload := compressibleBuf(64 << 10)
+	wire, err := conns[0].SendMetered(1, 9, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := recvN(t, inbox[1], 1)[0]
+	got, ok := f.Payload.([]byte)
+	if !ok {
+		t.Fatalf("payload arrived as %T, want []byte", f.Payload)
+	}
+	if len(got) != len(payload) || f.Tag != 9 || f.Src != 0 {
+		t.Fatalf("frame mangled: len=%d tag=%d src=%d", len(got), f.Tag, f.Src)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload byte %d differs after compressed transit", i)
+		}
+	}
+	// The frame must actually have travelled as KindDataZ, smaller than its
+	// plain encoding, and the metered size must match the per-kind counter
+	// bit for bit.
+	plain := transport.FrameWireSize(payload)
+	if wire >= plain {
+		t.Fatalf("compressed wire size %d not below plain %d", wire, plain)
+	}
+	ks0, ks1 := conns[0].FramesByKind(), conns[1].FramesByKind()
+	if ks0.Sent[transport.KindDataZ] != 1 || ks0.Sent[transport.KindData] != 0 {
+		t.Fatalf("sender kind counters: %+v", ks0.Sent)
+	}
+	if ks1.Recv[transport.KindDataZ] != 1 {
+		t.Fatalf("receiver kind counters: %+v", ks1.Recv)
+	}
+	if ks0.SentBytes[transport.KindDataZ] != wire {
+		t.Fatalf("SentBytes[dataz]=%d, SendMetered reported %d", ks0.SentBytes[transport.KindDataZ], wire)
+	}
+	if ks1.RecvBytes[transport.KindDataZ] != wire {
+		t.Fatalf("RecvBytes[dataz]=%d, sender shipped %d", ks1.RecvBytes[transport.KindDataZ], wire)
+	}
+	raw, cwire := conns[0].CompressionStats()
+	if raw <= cwire || cwire <= 0 {
+		t.Fatalf("CompressionStats raw=%d wire=%d, want raw > wire > 0", raw, cwire)
+	}
+}
+
+func TestCompressionBelowThresholdStaysPlain(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.Compress = true
+	})
+	small := compressibleBuf(64) // under minCompressPayload
+	if err := conns[0].Send(1, 0, small); err != nil {
+		t.Fatal(err)
+	}
+	recvN(t, inbox[1], 1)
+	ks := conns[0].FramesByKind()
+	if ks.Sent[transport.KindDataZ] != 0 || ks.Sent[transport.KindData] != 1 {
+		t.Fatalf("small payload should stay KindData: %+v", ks.Sent)
+	}
+}
+
+func TestCompressionNegotiationAsymmetric(t *testing.T) {
+	t.Parallel()
+	// Only rank 0 opts in: neither direction may ship compressed frames,
+	// because rank 1 never advertised FlagCompress (0→1 blocked by the peer
+	// flag, 1→0 blocked by rank 1's own config).
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.Compress = rank == 0
+	})
+	payload := compressibleBuf(32 << 10)
+	if err := conns[0].Send(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[1].Send(0, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	f1 := recvN(t, inbox[1], 1)[0]
+	f0 := recvN(t, inbox[0], 1)[0]
+	for _, f := range []transport.Frame{f0, f1} {
+		got := f.Payload.([]byte)
+		if len(got) != len(payload) || got[100] != payload[100] {
+			t.Fatalf("payload mangled on mixed-capability wire")
+		}
+	}
+	for r, c := range conns {
+		ks := c.FramesByKind()
+		if ks.Sent[transport.KindDataZ] != 0 || ks.Recv[transport.KindDataZ] != 0 {
+			t.Fatalf("rank %d shipped compressed frames without negotiation: %+v", r, ks)
+		}
+	}
+}
+
+func TestSampleRefsFrameOverTCP(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.Compress = true // refs must stay uncompressed regardless
+	})
+	refs := transport.SampleRefs{3, 15, 16, 4096, 1 << 33}
+	wire, err := conns[0].SendMetered(1, 4, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := recvN(t, inbox[1], 1)[0]
+	got, ok := f.Payload.(transport.SampleRefs)
+	if !ok {
+		t.Fatalf("refs arrived as %T", f.Payload)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("refs count %d, want %d", len(got), len(refs))
+	}
+	for i := range got {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %d, want %d", i, got[i], refs[i])
+		}
+	}
+	ks := conns[0].FramesByKind()
+	if ks.Sent[transport.KindDataRef] != 1 {
+		t.Fatalf("refs did not travel as KindDataRef: %+v", ks.Sent)
+	}
+	if ks.SentBytes[transport.KindDataRef] != wire {
+		t.Fatalf("SentBytes[dataref]=%d, metered %d", ks.SentBytes[transport.KindDataRef], wire)
+	}
+	if want := transport.FrameWireSize(refs); wire != want {
+		t.Fatalf("metered %d, FrameWireSize %d", wire, want)
+	}
+}
+
 func TestSelfSendRoundTripsThroughCodec(t *testing.T) {
 	t.Parallel()
 	inbox := make(chan transport.Frame, 1)

@@ -36,6 +36,12 @@ type Frame struct {
 	Dst     int
 	Tag     int
 	Payload any
+	// Wire is the exact number of bytes this frame occupied on the wire
+	// (length prefix and header included): the bytes actually read off the
+	// socket for the TCP backend — compressed size if the frame traveled as
+	// KindDataZ — and the deterministic FrameWireSize for inproc. Zero for
+	// self-delivered frames, which never touch a wire.
+	Wire int64
 }
 
 // Handler receives inbound frames for the local rank. Implementations of
@@ -57,18 +63,24 @@ type Stats struct {
 	Wire       bool
 }
 
-// NumKinds is the number of wire frame kinds (KindData..KindPing), sizing
-// the per-kind counter arrays of KindStats.
-const NumKinds = int(KindPing) + 1
+// NumKinds is the number of wire frame kinds (KindData..KindDataRef),
+// sizing the per-kind counter arrays of KindStats.
+const NumKinds = int(KindDataRef) + 1
 
 // KindStats is a snapshot of a wire backend's per-frame-kind traffic
-// counters: how many frames of each wire kind (data, hello, table, bye,
-// ping) crossed the connection in each direction. Indexed by the Kind*
-// constants. The totals decompose Stats' frame counts by purpose, so an
-// observer can tell data volume from bootstrap and liveness overhead.
+// counters: how many frames — and, on backends that meter real sockets,
+// how many wire bytes — of each kind (data, hello, table, bye, ping,
+// dataz, dataref) crossed the connection in each direction. Indexed by the
+// Kind* constants. The totals decompose Stats' counts by purpose, so an
+// observer can tell data volume from bootstrap and liveness overhead, and
+// compressed/dedup'd exchange traffic from plain sample payloads.
 type KindStats struct {
 	Sent [NumKinds]int64
 	Recv [NumKinds]int64
+	// SentBytes/RecvBytes are the wire bytes per kind (length prefix and
+	// header included). Zero on backends without real sockets.
+	SentBytes [NumKinds]int64
+	RecvBytes [NumKinds]int64
 }
 
 // KindStatser is implemented by backends that count frames per wire kind.
@@ -99,6 +111,52 @@ func AsKindStatser(c Conn) (KindStatser, bool) {
 	for c != nil {
 		if ks, ok := c.(KindStatser); ok {
 			return ks, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			break
+		}
+		c = u.Underlying()
+	}
+	return nil, false
+}
+
+// MeteredSender is implemented by backends whose Send can report the exact
+// number of wire bytes the frame occupies (after compression, if any):
+// SendMetered behaves exactly like Send and additionally returns that size
+// (0 for self-sends, which never touch a wire). The exchange scheduler
+// prefers it so its byte accounting stays exact even when the transport
+// compresses frames underneath.
+type MeteredSender interface {
+	SendMetered(dst, tag int, payload any) (int64, error)
+}
+
+// AsMeteredSender reports whether c itself meters sends. Unlike the stats
+// accessors it deliberately does NOT walk the Unwrapper chain: sends must
+// flow through every interposed wrapper (a fault injector that was skipped
+// would lose its chance to drop or delay the frame), so only the outermost
+// connection's own implementation counts. Wrapped stacks fall back to
+// Send + FrameWireSize estimation.
+func AsMeteredSender(c Conn) (MeteredSender, bool) {
+	ms, ok := c.(MeteredSender)
+	return ms, ok
+}
+
+// CompressionStatser is implemented by backends that compress data frames.
+// CompressionStats returns the cumulative payload bytes that entered the
+// compressor (raw) and the bytes that left it and were framed (wire) —
+// only for frames actually sent compressed, so raw/wire is the achieved
+// compression ratio. Safe to call concurrently with traffic.
+type CompressionStatser interface {
+	CompressionStats() (raw, wire int64)
+}
+
+// AsCompressionStatser finds the first CompressionStatser in c's wrapper
+// chain (read-only observability, so unwrapping is safe).
+func AsCompressionStatser(c Conn) (CompressionStatser, bool) {
+	for c != nil {
+		if cs, ok := c.(CompressionStatser); ok {
+			return cs, true
 		}
 		u, ok := c.(Unwrapper)
 		if !ok {
@@ -256,6 +314,10 @@ func ClonePayload(p any) any {
 		out := make([]byte, len(v))
 		copy(out, v)
 		return out
+	case SampleRefs:
+		out := make(SampleRefs, len(v))
+		copy(out, v)
+		return out
 	default:
 		return p
 	}
@@ -267,7 +329,7 @@ func ClonePayload(p any) any {
 // would deliver an aliased slice.
 func CloneCovers(p any) bool {
 	switch p.(type) {
-	case []float32, []float64, []int, []int32, []int64, []uint64, []byte:
+	case []float32, []float64, []int, []int32, []int64, []uint64, []byte, SampleRefs:
 		return true
 	default:
 		return false

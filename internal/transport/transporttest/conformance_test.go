@@ -6,6 +6,7 @@ import (
 
 	"plshuffle/internal/transport"
 	"plshuffle/internal/transport/faultinject"
+	"plshuffle/internal/transport/tcp"
 	"plshuffle/internal/transport/transporttest"
 )
 
@@ -47,4 +48,24 @@ func TestTCPConformanceUnderInjectedDelays(t *testing.T) {
 
 func TestInprocCloseSemanticsUnderInjectedDelays(t *testing.T) {
 	transporttest.RunCloseSemanticsTests(t, transporttest.InprocWrapped("inproc+delay", delayWrap))
+}
+
+// compressHook opts every rank into wirecomp payload compression — the full
+// conformance suite must pass unchanged when large data frames travel as
+// KindDataZ, because compression is invisible above the transport.
+func compressHook(rank int, cfg *tcp.Config) { cfg.Compress = true }
+
+func TestTCPConformanceCompressed(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.TCPWrapped("tcp+z", nil, compressHook))
+}
+
+// Compression and injected delays stacked: the delay injector sits above the
+// compressed wire, so reordering-free delayed delivery of KindDataZ frames
+// must still satisfy every FIFO and matching guarantee.
+func TestTCPConformanceCompressedUnderInjectedDelays(t *testing.T) {
+	transporttest.RunTransportTests(t, transporttest.TCPWrapped("tcp+z+delay", delayWrap, compressHook))
+}
+
+func TestTCPCloseSemanticsCompressed(t *testing.T) {
+	transporttest.RunCloseSemanticsTests(t, transporttest.TCPWrapped("tcp+z", nil, compressHook))
 }

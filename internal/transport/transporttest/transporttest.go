@@ -503,6 +503,59 @@ func RunTransportTests(t *testing.T, b Backend) {
 		return nil
 	})
 
+	run("SampleRefsRoundTrip", 2, func(c *mpi.Comm) error {
+		// The dedup reference frame: a sorted id list that must survive any
+		// backend byte-identically — the receiver materializes samples from
+		// its cache segment purely from these ids.
+		refs := transport.SampleRefs{2, 3, 40, 1 << 20, 1 << 41}
+		other := 1 - c.Rank()
+		c.Isend(other, 6, refs)
+		p, st := c.Recv(mpi.AnySource, 6)
+		got, ok := p.(transport.SampleRefs)
+		if !ok {
+			return fmt.Errorf("refs arrived as %T with status %+v", p, st)
+		}
+		if len(got) != len(refs) {
+			return fmt.Errorf("refs count %d, want %d", len(got), len(refs))
+		}
+		for i := range got {
+			if got[i] != refs[i] {
+				return fmt.Errorf("ref %d = %d, want %d", i, got[i], refs[i])
+			}
+		}
+		return nil
+	})
+
+	run("LargeBatchPayloadIntegrity", 2, func(c *mpi.Comm) error {
+		// A coalesced sample batch big enough to cross the TCP compression
+		// threshold: whether it travels plain or as KindDataZ is the
+		// backend's business — the decoded samples must be bit-identical.
+		samples := make([]data.Sample, 64)
+		for i := range samples {
+			samples[i] = data.Sample{
+				ID: i + c.Rank()*1000, Label: i % 7,
+				Features: []float32{float32(i), -1.5, float32(c.Rank()), float32(i) * 0.25},
+				Bytes:    100,
+			}
+		}
+		other := 1 - c.Rank()
+		c.Isend(other, 8, data.EncodeSampleBatch(samples))
+		p, _ := c.Recv(other, 8)
+		got, err := data.DecodeSampleBatch(p.([]byte))
+		if err != nil {
+			return err
+		}
+		if len(got) != len(samples) {
+			return fmt.Errorf("batch length %d, want %d", len(got), len(samples))
+		}
+		for i, s := range got {
+			if s.ID != i+other*1000 || s.Features[3] != float32(i)*0.25 {
+				return fmt.Errorf("sample %d mangled: %+v", i, s)
+			}
+		}
+		return nil
+	})
+
 	run("GradientAllreduce", 3, func(c *mpi.Comm) error {
 		buf := make([]float32, 4097) // not divisible by world size
 		for i := range buf {

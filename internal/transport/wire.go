@@ -14,6 +14,17 @@ const (
 	KindTable = uint8(2) // rendezvous rank↔addr table; payload = EncodeAddrTable
 	KindBye   = uint8(3) // graceful shutdown marker
 	KindPing  = uint8(4) // liveness heartbeat; carries no payload
+	// KindDataZ is a compressed data frame: the payload section is a
+	// wirecomp block whose decoded bytes are exactly a KindData payload
+	// (EncodePayload output). Only sent to peers that advertised
+	// compression support during the bootstrap (DESIGN.md §13).
+	KindDataZ = uint8(5)
+	// KindDataRef is a dedup reference frame: the payload is an encoded
+	// SampleRefs value naming samples the receiver already holds in its
+	// exchange side-cache. It is a data-plane frame (delivered like
+	// KindData) with its own kind so per-kind byte counters isolate the
+	// reference traffic the dedup protocol substitutes for payloads.
+	KindDataRef = uint8(6)
 )
 
 // WireFrame is the binary frame exchanged by wire backends:
@@ -65,14 +76,26 @@ func AppendFrame(dst []byte, f WireFrame) ([]byte, error) {
 	return append(dst, f.Payload...), nil
 }
 
-// AppendDataFrame appends a complete KindData frame carrying payload to dst,
+// DataKindFor returns the wire kind a data-plane payload travels under:
+// SampleRefs ride their own KindDataRef so byte counters can tell dedup
+// references from sample payloads; everything else is KindData. Both kinds
+// share the KindData delivery path (DecodePayload → handler).
+func DataKindFor(payload any) uint8 {
+	if _, ok := payload.(SampleRefs); ok {
+		return KindDataRef
+	}
+	return KindData
+}
+
+// AppendDataFrame appends a complete data frame carrying payload to dst,
 // encoding the payload directly into the frame (no intermediate payload
 // buffer — the pooled fast path of the TCP Send). The produced bytes are
-// identical to MarshalFrame over EncodePayload.
+// identical to MarshalFrame over EncodePayload; the kind is DataKindFor
+// of the payload.
 func AppendDataFrame(dst []byte, src, dstRank int32, tag int64, payload any) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
-	dst = append(dst, KindData)
+	dst = append(dst, DataKindFor(payload))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(src))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(dstRank))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(tag))
@@ -108,7 +131,7 @@ func UnmarshalFrame(buf []byte) (WireFrame, error) {
 		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
 		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
 	}
-	if f.Kind > KindPing {
+	if f.Kind > KindDataRef {
 		return WireFrame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
 	}
 	if n := int(body) - wireHeaderLen; n > 0 {
@@ -176,7 +199,7 @@ func ReadFrameInto(r io.Reader, scratch *[]byte) (WireFrame, int, error) {
 		Dst:  int32(binary.LittleEndian.Uint32(buf[9:])),
 		Tag:  int64(binary.LittleEndian.Uint64(buf[13:])),
 	}
-	if f.Kind > KindPing {
+	if f.Kind > KindDataRef {
 		return WireFrame{}, need, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
 	}
 	if int(body) > wireHeaderLen {
@@ -202,6 +225,118 @@ func EncodeAddrTable(addrs []string) []byte {
 		off += len(a)
 	}
 	return buf
+}
+
+// Per-rank capability flags carried by the v2 hello/table exchange. A rank
+// advertises what it is WILLING TO RECEIVE; senders intersect their own
+// config with the peer's advertisement, so a mixed world (some ranks with
+// -wire-compress, some without) degrades to plain frames pairwise instead
+// of failing.
+const (
+	// FlagCompress: the rank accepts KindDataZ (wirecomp-compressed)
+	// frames and would like peers to send them.
+	FlagCompress = byte(1 << 0)
+)
+
+// helloV2Marker begins a v2 hello payload. A v1 hello payload is the
+// dialer's raw listen address, which is never empty and never starts with
+// NUL, so the marker is unambiguous: marker, one flags byte, then the
+// address bytes.
+const helloV2Marker = byte(0x00)
+
+// EncodeHello serializes a dialer's hello payload: v1 (bare address) when
+// flags is zero — byte-identical to the pre-negotiation wire — and the v2
+// marker+flags+addr form otherwise.
+func EncodeHello(addr string, flags byte) []byte {
+	if flags == 0 {
+		return []byte(addr)
+	}
+	out := make([]byte, 0, 2+len(addr))
+	out = append(out, helloV2Marker, flags)
+	return append(out, addr...)
+}
+
+// DecodeHello parses a hello payload of either version.
+func DecodeHello(payload []byte) (addr string, flags byte) {
+	if len(payload) >= 2 && payload[0] == helloV2Marker {
+		return string(payload[2:]), payload[1]
+	}
+	return string(payload), 0
+}
+
+// peerTableV2 flags the count word of a v2 table. v1 tables bound the
+// count at 1<<20, so the high bit is never set by a legacy encoder.
+const peerTableV2 = uint32(1 << 31)
+
+// EncodePeerTable serializes the rendezvous rank↔(addr, capability) table.
+// With all-zero flags it emits the legacy EncodeAddrTable bytes, so worlds
+// that negotiated nothing stay wire-compatible with old peers; otherwise it
+// emits the v2 form (count|peerTableV2, then len-prefixed addr + flag byte
+// per rank).
+func EncodePeerTable(addrs []string, flags []byte) []byte {
+	anyFlags := false
+	for _, f := range flags {
+		if f != 0 {
+			anyFlags = true
+			break
+		}
+	}
+	if !anyFlags {
+		return EncodeAddrTable(addrs)
+	}
+	n := 4
+	for _, a := range addrs {
+		n += 4 + len(a) + 1
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint32(buf, uint32(len(addrs))|peerTableV2)
+	off := 4
+	for i, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(a)))
+		off += 4
+		copy(buf[off:], a)
+		off += len(a)
+		var f byte
+		if i < len(flags) {
+			f = flags[i]
+		}
+		buf[off] = f
+		off++
+	}
+	return buf
+}
+
+// DecodePeerTable parses either table version; v1 input yields all-zero
+// flags.
+func DecodePeerTable(buf []byte) (addrs []string, flags []byte, err error) {
+	if len(buf) >= 4 && binary.LittleEndian.Uint32(buf)&peerTableV2 != 0 {
+		count := binary.LittleEndian.Uint32(buf) &^ peerTableV2
+		if count > 1<<20 {
+			return nil, nil, fmt.Errorf("transport: peer table count %d out of range", count)
+		}
+		off := 4
+		addrs = make([]string, 0, count)
+		flags = make([]byte, 0, count)
+		for i := uint32(0); i < count; i++ {
+			if len(buf)-off < 4 {
+				return nil, nil, fmt.Errorf("transport: peer table entry %d truncated", i)
+			}
+			l := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if l < 0 || len(buf)-off < l+1 {
+				return nil, nil, fmt.Errorf("transport: peer table entry %d length %d out of range", i, l)
+			}
+			addrs = append(addrs, string(buf[off:off+l]))
+			flags = append(flags, buf[off+l])
+			off += l + 1
+		}
+		return addrs, flags, nil
+	}
+	addrs, err = DecodeAddrTable(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return addrs, make([]byte, len(addrs)), nil
 }
 
 // DecodeAddrTable parses an EncodeAddrTable payload.

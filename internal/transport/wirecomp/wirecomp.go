@@ -1,0 +1,186 @@
+// Package wirecomp is the self-contained block codec the TCP transport
+// wraps around coalesced sample-batch frames (DESIGN.md §13). It is an
+// LZ77 byte-oriented format in the spirit of snappy — greedy hash-chain
+// matching, literal runs and back-references, no entropy stage — chosen
+// because sample batches are dominated by repeated header structure and
+// near-duplicate feature blocks, and because the decoder must be cheap
+// enough to sit on the transport's read loop.
+//
+// The format is deliberately tiny:
+//
+//	block      := uvarint(decodedLen) element*
+//	element    := literal | match
+//	literal    := tag(bit0=0, runLen-1 in bits 1..7) byte{runLen}   runLen 1..128
+//	match      := tag(bit0=1, matchLen-minMatch in bits 1..7)
+//	              uvarint(offset)                                   matchLen 4..131
+//
+// Offsets are distances back into the already-decoded output (1 ≤ offset ≤
+// pos) and may overlap forward, so runs compress (offset 1). Every element
+// is bounds-checked on decode; Decode never reads or writes out of range
+// and returns an error for any malformed block, making the codec safe on
+// untrusted wire input.
+package wirecomp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch      = 4
+	maxMatchTag   = minMatch + 127 // longest match one tag byte encodes
+	maxLiteralRun = 128
+
+	hashBits = 14
+	hashLen  = 1 << hashBits
+)
+
+// ErrCorrupt is wrapped by every Decode failure.
+var ErrCorrupt = errors.New("wirecomp: corrupt block")
+
+// MaxEncodedLen bounds the encoded size of n source bytes: the worst case
+// is pure literals (one tag byte per 128 source bytes) plus the length
+// prefix. Callers sizing scratch buffers use it; Encode never exceeds it.
+func MaxEncodedLen(n int) int {
+	return n + n/maxLiteralRun + binary.MaxVarintLen64 + 1
+}
+
+// Encode appends the compressed form of src to dst and returns the extended
+// slice. It never fails; incompressible input degrades to literal runs
+// (bounded by MaxEncodedLen). Encoding is deterministic: the same src
+// always yields the same bytes.
+func Encode(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) < minMatch {
+		return appendLiterals(dst, src)
+	}
+	var table [hashLen]int32 // last position+1 of each hash; 0 = empty
+	litStart := 0            // start of the pending literal run
+	pos := 0
+	limit := len(src) - minMatch
+	for pos <= limit {
+		h := hash4(src[pos:])
+		cand := int(table[h]) - 1
+		table[h] = int32(pos) + 1
+		if cand < 0 || src[cand] != src[pos] || src[cand+1] != src[pos+1] ||
+			src[cand+2] != src[pos+2] || src[cand+3] != src[pos+3] {
+			pos++
+			continue
+		}
+		// Extend the match forward.
+		n := minMatch
+		for pos+n < len(src) && src[cand+n] == src[pos+n] {
+			n++
+		}
+		dst = appendLiterals(dst, src[litStart:pos])
+		offset := pos - cand
+		for n > 0 {
+			m := n
+			if m > maxMatchTag {
+				m = maxMatchTag
+			}
+			if m < minMatch {
+				// Tail shorter than a match element: fold it into the next
+				// literal run instead.
+				break
+			}
+			dst = append(dst, byte((m-minMatch)<<1)|1)
+			dst = binary.AppendUvarint(dst, uint64(offset))
+			pos += m
+			n -= m
+		}
+		litStart = pos
+		// Seed the table across the match so immediately-following
+		// repetitions are found (sparse: every 4th position keeps Encode
+		// linear on highly repetitive input).
+		for p := pos - minMatch; p > cand && p+minMatch <= len(src); p -= 4 {
+			if p >= 0 {
+				table[hash4(src[p:])] = int32(p) + 1
+			}
+		}
+	}
+	return appendLiterals(dst, src[litStart:])
+}
+
+func appendLiterals(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > maxLiteralRun {
+			n = maxLiteralRun
+		}
+		dst = append(dst, byte((n-1)<<1))
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+// DecodedLen returns the decoded size a block declares, without decoding.
+func DecodedLen(src []byte) (int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || n > 1<<32 {
+		return 0, fmt.Errorf("%w: bad length prefix", ErrCorrupt)
+	}
+	return int(n), nil
+}
+
+// Decode appends the decompressed form of src to dst and returns the
+// extended slice. Any structural violation — truncated element, offset
+// beyond the produced output, output length not matching the declared
+// length — returns an error wrapping ErrCorrupt with dst unusable.
+func Decode(dst, src []byte) ([]byte, error) {
+	declared, sz := binary.Uvarint(src)
+	if sz <= 0 || declared > 1<<32 {
+		return dst, fmt.Errorf("%w: bad length prefix", ErrCorrupt)
+	}
+	src = src[sz:]
+	// A match element (2+ input bytes) expands to at most maxMatchTag output
+	// bytes, so any block declaring more than that ratio is corrupt — checked
+	// before the pre-allocation so hostile prefixes cannot force huge allocs.
+	if declared > uint64(len(src))*maxMatchTag {
+		return dst, fmt.Errorf("%w: declared length %d impossible for %d input bytes", ErrCorrupt, declared, len(src))
+	}
+	base := len(dst)
+	if cap(dst)-base < int(declared) {
+		grown := make([]byte, base, base+int(declared))
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(src) > 0 {
+		tag := src[0]
+		src = src[1:]
+		if tag&1 == 0 { // literal run
+			n := int(tag>>1) + 1
+			if n > len(src) {
+				return dst, fmt.Errorf("%w: literal run of %d overruns input", ErrCorrupt, n)
+			}
+			dst = append(dst, src[:n]...)
+			src = src[n:]
+			continue
+		}
+		n := int(tag>>1) + minMatch
+		offset, osz := binary.Uvarint(src)
+		if osz <= 0 {
+			return dst, fmt.Errorf("%w: truncated match offset", ErrCorrupt)
+		}
+		src = src[osz:]
+		if offset == 0 || offset > uint64(len(dst)-base) {
+			return dst, fmt.Errorf("%w: match offset %d at output position %d", ErrCorrupt, offset, len(dst)-base)
+		}
+		// Byte-at-a-time copy: overlapping matches (offset < n) replicate.
+		from := len(dst) - int(offset)
+		for i := 0; i < n; i++ {
+			dst = append(dst, dst[from+i])
+		}
+	}
+	if len(dst)-base != int(declared) {
+		return dst, fmt.Errorf("%w: decoded %d bytes, block declares %d", ErrCorrupt, len(dst)-base, declared)
+	}
+	return dst, nil
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}

@@ -1,0 +1,219 @@
+package wirecomp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	enc := Encode(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d bytes exceed MaxEncodedLen(%d)=%d", len(enc), len(src), MaxEncodedLen(len(src)))
+	}
+	if n, err := DecodedLen(enc); err != nil || n != len(src) {
+		t.Fatalf("DecodedLen = %d, %v; want %d", n, err, len(src))
+	}
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(dec), len(src))
+	}
+	return enc
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("abcd"),
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte("abcdefgh"), 500),
+		[]byte("the quick brown fox jumps over the lazy dog, the quick brown fox"),
+	}
+	for i, src := range cases {
+		enc := roundTrip(t, src)
+		if len(src) >= 64 && isRepetitive(src) && len(enc) >= len(src) {
+			t.Errorf("case %d: repetitive input did not compress: %d -> %d", i, len(src), len(enc))
+		}
+	}
+}
+
+func isRepetitive(src []byte) bool {
+	return bytes.Count(src, src[:1]) > len(src)/4
+}
+
+// TestSampleBatchLikeInput mirrors the real workload: fixed-size headers
+// with small varying fields followed by low-entropy float blocks must
+// compress meaningfully (this is the shape of coalesced exchange frames).
+func TestSampleBatchLikeInput(t *testing.T) {
+	var src []byte
+	for i := 0; i < 64; i++ {
+		hdr := make([]byte, 28)
+		hdr[0] = byte(i)
+		src = append(src, hdr...)
+		for j := 0; j < 16; j++ {
+			src = append(src, byte(j), 0, 0x80, 0x3f) // fp32 patterns with shared suffixes
+		}
+	}
+	enc := roundTrip(t, src)
+	if len(enc)*2 > len(src) {
+		t.Fatalf("batch-shaped input compressed %d -> %d, want at least 2x", len(src), len(enc))
+	}
+}
+
+func TestRandomRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(4096)
+		src := make([]byte, n)
+		switch i % 3 {
+		case 0: // incompressible
+			rng.Read(src)
+		case 1: // low-entropy alphabet
+			for j := range src {
+				src[j] = byte(rng.Intn(4))
+			}
+		case 2: // repeated chunk
+			chunk := make([]byte, 1+rng.Intn(64))
+			rng.Read(chunk)
+			for j := range src {
+				src[j] = chunk[j%len(chunk)]
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte("prefix")
+	src := bytes.Repeat([]byte("xy"), 100)
+	enc := Encode(append([]byte(nil), prefix...), src)
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Fatal("Encode clobbered dst prefix")
+	}
+	dec, err := Decode(append([]byte(nil), prefix...), enc[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(dec, prefix) || !bytes.Equal(dec[len(prefix):], src) {
+		t.Fatal("Decode clobbered dst prefix or payload")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":        {},
+		"huge length prefix": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02},
+		"truncated literal":  {4, 0x06, 'a'},
+		"offset beyond out":  {4, 0x01, 0x05},
+		"zero offset":        {8, 0x06, 'a', 'b', 'c', 'd', 0x01, 0x00},
+		"short output":       {9, 0x06, 'a', 'b', 'c', 'd'},
+		"long output":        {2, 0x06, 'a', 'b', 'c', 'd'},
+		"truncated offset":   {8, 0x06, 'a', 'b', 'c', 'd', 0x01},
+	}
+	for name, src := range cases {
+		if _, err := Decode(nil, src); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+// TestDeterministic pins that Encode is a pure function of the input —
+// the dedup protocol's lockstep accounting relies on both sides computing
+// identical sizes.
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 8192)
+	for j := range src {
+		src[j] = byte(rng.Intn(7))
+	}
+	a := Encode(nil, src)
+	b := Encode(make([]byte, 0, 16), src)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode not deterministic across dst capacities")
+	}
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("abcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0x3f, 0x80, 0, 0}, 40))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Encode(nil, src)
+		if len(enc) > MaxEncodedLen(len(src)) {
+			t.Fatalf("encoded %d > MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+		}
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic or
+// read out of bounds, only return data or an error.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(nil, bytes.Repeat([]byte("pls"), 50)))
+	f.Add([]byte{4, 0x06, 'a', 'b', 'c', 'd'})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		out, err := Decode(nil, src)
+		if err == nil {
+			// A valid block must re-encode/re-decode consistently.
+			if _, err := Decode(nil, Encode(nil, out)); err != nil {
+				t.Fatalf("re-encode of decoded output failed: %v", err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncodeBatch64(b *testing.B) {
+	var src []byte
+	for i := 0; i < 64; i++ {
+		hdr := make([]byte, 28)
+		hdr[0] = byte(i)
+		src = append(src, hdr...)
+		for j := 0; j < 16; j++ {
+			src = append(src, byte(j), 0, 0x80, 0x3f)
+		}
+	}
+	buf := make([]byte, 0, MaxEncodedLen(len(src)))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], src)
+	}
+}
+
+func BenchmarkDecodeBatch64(b *testing.B) {
+	var src []byte
+	for i := 0; i < 64; i++ {
+		hdr := make([]byte, 28)
+		hdr[0] = byte(i)
+		src = append(src, hdr...)
+		for j := 0; j < 16; j++ {
+			src = append(src, byte(j), 0, 0x80, 0x3f)
+		}
+	}
+	enc := Encode(nil, src)
+	out := make([]byte, 0, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = Decode(out[:0], enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
