@@ -76,11 +76,18 @@ func main() {
 		label  = flag.String("label", time.Now().Format("2006-01-02"), "label for this run in the trajectory")
 		count  = flag.Int("count", 5, "benchmark repetitions (-count)")
 		benchP = flag.String("bench", ".", "benchmark name pattern (-bench)")
+		filter = flag.String("filter", "", "run exactly one benchmark by name (anchored; overrides -bench)")
 		out    = flag.String("out", "BENCH_HOTPATH.json", "trajectory file to append to")
 		rawDir = flag.String("rawdir", "bench", "directory for raw benchstat-compatible output")
 		input  = flag.String("input", "", "ingest an existing raw benchmark file instead of running go test")
 	)
 	flag.Parse()
+	if *filter != "" {
+		// Iterating on one kernel benchmark shouldn't pay for the whole
+		// suite: anchor the name so MatMul512 doesn't also match
+		// MatMul5120 and friends. The Benchmark prefix is optional.
+		*benchP = "^Benchmark" + regexp.QuoteMeta(strings.TrimPrefix(*filter, "Benchmark")) + "$"
+	}
 
 	var raw []byte
 	if *input != "" {

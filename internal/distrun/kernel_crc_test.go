@@ -1,0 +1,62 @@
+package distrun
+
+import (
+	"testing"
+	"time"
+)
+
+// Golden weight checksums for the four acceptance configurations
+// (PLS/corgi2 × flat/overlap allreduce), captured on the pre-blocking
+// scalar kernels and required to survive every compute-kernel change
+// since: the packed GEMM core (DESIGN.md §14) promises bitwise-identical
+// training, so these constants are the end-to-end teeth of that promise.
+// Overlap and flat allreduce converge to the same bits by PR-4's
+// bucket-order argument, hence one golden value per strategy.
+const (
+	goldenPLSWeightsCRC    = "930e840f"
+	goldenCorgi2WeightsCRC = "a78e1d7e"
+)
+
+// TestKernelWeightCRCGolden runs full 4-rank TCP trainings and pins the
+// final weights crc32c to the golden values above. Any kernel, blocking,
+// or dispatch change that alters a single bit of any weight fails here.
+func TestKernelWeightCRCGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank TCP end-to-end in -short mode")
+	}
+	dir, maxShard := ingestCorgiDataset(t)
+	pls := Options{
+		World: 4, Dataset: "cifar-100", Model: "mlp", Strategy: "partial",
+		Q: 0.25, Epochs: 3, Batch: 16, LR: 0.05, Seed: 11,
+		Timeout: 2 * time.Minute, OnPeerFail: "abort",
+	}
+	corgi := Options{
+		World: 4, Model: "mlp", Strategy: "corgi2", DataDir: dir,
+		CacheBytes: 3 * maxShard, GroupEpochs: 3, Epochs: 6, Batch: 16,
+		LR: 0.05, Seed: 11, Timeout: 2 * time.Minute, OnPeerFail: "abort",
+	}
+	for _, tc := range []struct {
+		name    string
+		opts    Options
+		overlap bool
+		want    string
+	}{
+		{"pls-flat", pls, false, goldenPLSWeightsCRC},
+		{"pls-overlap", pls, true, goldenPLSWeightsCRC},
+		{"corgi2-flat", corgi, false, goldenCorgi2WeightsCRC},
+		{"corgi2-overlap", corgi, true, goldenCorgi2WeightsCRC},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			o.OverlapGrads = tc.overlap
+			out := runCorgiWorld(t, o)
+			m := weightsLine.FindStringSubmatch(out)
+			if m == nil {
+				t.Fatalf("no weights line:\n%s", out)
+			}
+			if m[1] != tc.want {
+				t.Fatalf("weights crc32c=%s, want golden %s (kernel change broke bitwise determinism)", m[1], tc.want)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"plshuffle/internal/rng"
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/tensor/arena"
 )
 
 // TestTrainingIterationSteadyStateAllocs pins the compute hot path's
@@ -43,6 +44,107 @@ func TestTrainingIterationSteadyStateAllocs(t *testing.T) {
 	iter()
 	if allocs := testing.AllocsPerRun(50, iter); allocs > 0 {
 		t.Fatalf("steady-state training iteration allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestTrainingIterationArenaZeroAllocs is the arena-backed variant of the
+// steady-state pin: with a step arena attached (the trainer's
+// configuration) and Reset at the top of every iteration, a full
+// forward + loss + backward + SGD step performs zero heap allocations and
+// the arena's high-water mark is stable — every workspace re-bumps the
+// same backing array.
+func TestTrainingIterationArenaZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	r := rng.New(43)
+	model := NewSequential(
+		NewLinear(8, 16, r),
+		NewBatchNorm(16),
+		NewReLU(),
+		NewDropout(0.1, rng.New(7)),
+		NewLinear(16, 4, r),
+	)
+	a := arena.New(0)
+	model.SetArena(a)
+	var ce SoftmaxCrossEntropy
+	ce.SetArena(a)
+	params := model.Params()
+	opt := NewSGD(0.9, 1e-4)
+	x := tensor.New(8, 8)
+	labels := make([]int, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	iter := func() {
+		a.Reset()
+		logits := model.Forward(x, true)
+		ce.Forward(logits, labels)
+		model.Backward(ce.Backward())
+		opt.Step(params, 0.01)
+	}
+	iter() // size every workspace and grow the arena once
+	iter()
+	used := a.Used()
+	if allocs := testing.AllocsPerRun(50, iter); allocs > 0 {
+		t.Fatalf("arena-backed training iteration allocates %.1f times, want 0", allocs)
+	}
+	if a.Used() != used {
+		t.Fatalf("arena high-water mark drifted: %d -> %d floats", used, a.Used())
+	}
+}
+
+// TestArenaTrainingMatchesHeapTraining pins that attaching an arena is
+// purely an allocation strategy: identical seeds and inputs produce
+// bitwise-identical weights with and without it.
+func TestArenaTrainingMatchesHeapTraining(t *testing.T) {
+	build := func(withArena bool) []Param {
+		r := rng.New(77)
+		model := NewSequential(
+			NewLinear(8, 16, r),
+			NewBatchNorm(16),
+			NewReLU(),
+			NewDropout(0.1, rng.New(9)),
+			NewLinear(16, 4, r),
+		)
+		var ce SoftmaxCrossEntropy
+		var a *arena.Arena
+		if withArena {
+			a = arena.New(0)
+			model.SetArena(a)
+			ce.SetArena(a)
+		}
+		params := model.Params()
+		opt := NewSGD(0.9, 1e-4)
+		dr := rng.New(5)
+		x := tensor.New(8, 8)
+		labels := make([]int, 8)
+		for it := 0; it < 6; it++ {
+			if a != nil {
+				a.Reset()
+			}
+			for i := range x.Data {
+				x.Data[i] = dr.NormFloat32()
+			}
+			for i := range labels {
+				labels[i] = dr.Intn(4)
+			}
+			logits := model.Forward(x, true)
+			ce.Forward(logits, labels)
+			model.Backward(ce.Backward())
+			opt.Step(params, 0.01)
+		}
+		return params
+	}
+	heap := build(false)
+	ar := build(true)
+	for i := range heap {
+		for j := range heap[i].W {
+			if heap[i].W[j] != ar[i].W[j] {
+				t.Fatalf("param %d[%d]: heap %v != arena %v", i, j, heap[i].W[j], ar[i].W[j])
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/tensor/arena"
 )
 
 // GroupNorm normalizes each sample's features within groups of channels,
@@ -32,9 +33,14 @@ type GroupNorm struct {
 	invStd []float32 // per (row, group), row-major
 
 	// reusable workspaces
-	out *tensor.Matrix
-	dx  *tensor.Matrix
+	out   *tensor.Matrix
+	dx    *tensor.Matrix
+	arena *arena.Arena
 }
+
+// SetArena moves the batch-shaped workspaces into a (nil detaches); see
+// ArenaUser.
+func (l *GroupNorm) SetArena(a *arena.Arena) { l.arena = a }
 
 // NewGroupNorm creates a GroupNorm layer over dim features in the given
 // number of groups; groups must divide dim.
@@ -64,9 +70,9 @@ func (l *GroupNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: GroupNorm.Forward: input has %d features, want %d", x.Cols, l.Dim))
 	}
 	gsize := l.Dim / l.Groups
-	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	l.out = tensor.EnsureShapeArena(l.arena, l.out, x.Rows, x.Cols)
 	out := l.out
-	l.xhat = tensor.EnsureShape(l.xhat, x.Rows, x.Cols)
+	l.xhat = tensor.EnsureShapeArena(l.arena, l.xhat, x.Rows, x.Cols)
 	l.invStd = ensureVec(l.invStd, x.Rows*l.Groups)
 	for i := 0; i < x.Rows; i++ {
 		row, hrow, orow := x.Row(i), l.xhat.Row(i), out.Row(i)
@@ -99,7 +105,7 @@ func (l *GroupNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 func (l *GroupNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	gsize := l.Dim / l.Groups
 	n := float32(gsize)
-	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShapeArena(l.arena, l.dx, dout.Rows, dout.Cols)
 	dx := l.dx
 	for j := range l.GGamma {
 		l.GGamma[j] = 0

@@ -16,7 +16,24 @@ import (
 
 	"plshuffle/internal/rng"
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/tensor/arena"
 )
+
+// ArenaUser is implemented by layers whose activation workspaces can live
+// in a caller-owned bump arena instead of individual heap buffers. The
+// trainer attaches one arena per worker goroutine and Resets it at the top
+// of every training step (DESIGN.md §14): all workspaces for one
+// forward+backward pass are bump-allocated from the same backing array and
+// reclaimed wholesale, so the steady state does zero heap allocation and
+// the activations of one step are packed contiguously.
+//
+// The contract tightens Layer's buffer-ownership rule: with an arena
+// attached, matrices returned by Forward/Backward are valid only until the
+// arena's next Reset. Persistent state (weights, gradients, running
+// statistics, masks) never moves into the arena.
+type ArenaUser interface {
+	SetArena(a *arena.Arena)
+}
 
 // Param is a flat view of one learnable parameter tensor and its gradient.
 // Optimizers and the gradient allreduce operate on these views, so updating
@@ -61,7 +78,11 @@ type Linear struct {
 	x       *tensor.Matrix // cached input for backward
 	y       *tensor.Matrix // forward workspace, reused across calls
 	dx      *tensor.Matrix // backward workspace, reused across calls
+	arena   *arena.Arena   // optional step arena for y/dx (see ArenaUser)
 }
+
+// SetArena moves the activation workspaces into a (nil detaches).
+func (l *Linear) SetArena(a *arena.Arena) { l.arena = a }
 
 // NewLinear creates a Linear layer with He (Kaiming) initialization, the
 // standard choice for ReLU networks.
@@ -83,7 +104,7 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: Linear.Forward: input has %d features, want %d", x.Cols, l.In))
 	}
 	l.x = x
-	l.y = tensor.EnsureShape(l.y, x.Rows, l.Out)
+	l.y = tensor.EnsureShapeArena(l.arena, l.y, x.Rows, l.Out)
 	tensor.MatMulInto(l.y, x, l.W)
 	l.y.AddRowVec(l.B)
 	return l.y
@@ -96,7 +117,7 @@ func (l *Linear) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulTAInto(l.GW, l.x, dout) // xᵀ·dy
 	dout.ColSumInto(l.GB)
-	l.dx = tensor.EnsureShape(l.dx, dout.Rows, l.In)
+	l.dx = tensor.EnsureShapeArena(l.arena, l.dx, dout.Rows, l.In)
 	tensor.MatMulTBInto(l.dx, dout, l.W) // dy·Wᵀ
 	return l.dx
 }
@@ -111,17 +132,22 @@ func (l *Linear) Params() []Param {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
-	out  *tensor.Matrix // forward workspace
-	dx   *tensor.Matrix // backward workspace
+	mask  []bool
+	out   *tensor.Matrix // forward workspace
+	dx    *tensor.Matrix // backward workspace
+	arena *arena.Arena
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+// SetArena moves the activation workspaces into a (nil detaches). The
+// boolean mask stays heap-resident: the arena holds float32 only.
+func (l *ReLU) SetArena(a *arena.Arena) { l.arena = a }
+
 // Forward zeroes negative inputs.
 func (l *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	l.out = tensor.EnsureShapeArena(l.arena, l.out, x.Rows, x.Cols)
 	if cap(l.mask) < len(x.Data) {
 		l.mask = make([]bool, len(x.Data))
 	}
@@ -140,7 +166,7 @@ func (l *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // Backward zeroes the gradient where the input was non-positive.
 func (l *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShapeArena(l.arena, l.dx, dout.Rows, dout.Cols)
 	for i, v := range dout.Data {
 		if l.mask[i] {
 			l.dx.Data[i] = v
@@ -192,7 +218,13 @@ type BatchNorm struct {
 	mean     []float32
 	variance []float32
 	dstats   []float32 // backward sumDy/sumDyXhat accumulator
+	arena    *arena.Arena
 }
+
+// SetArena moves the batch-shaped workspaces (out, xhat, dx) into a (nil
+// detaches). The per-feature statistics vectors stay heap-resident: they
+// are tiny and the Sync hook may hold them across the arena's lifetime.
+func (l *BatchNorm) SetArena(a *arena.Arena) { l.arena = a }
 
 // NewBatchNorm creates a BatchNorm layer over dim features.
 func NewBatchNorm(dim int) *BatchNorm {
@@ -222,7 +254,7 @@ func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != l.Dim {
 		panic(fmt.Sprintf("nn: BatchNorm.Forward: input has %d features, want %d", x.Cols, l.Dim))
 	}
-	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	l.out = tensor.EnsureShapeArena(l.arena, l.out, x.Rows, x.Cols)
 	out := l.out
 	n := float32(x.Rows)
 	if train {
@@ -262,7 +294,7 @@ func (l *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		for j := range l.invStd {
 			l.invStd[j] = 1 / float32(math.Sqrt(float64(variance[j]+l.Eps)))
 		}
-		l.xhat = tensor.EnsureShape(l.xhat, x.Rows, x.Cols)
+		l.xhat = tensor.EnsureShapeArena(l.arena, l.xhat, x.Rows, x.Cols)
 		for i := 0; i < x.Rows; i++ {
 			xr, hr, or := x.Row(i), l.xhat.Row(i), out.Row(i)
 			for j := range xr {
@@ -298,7 +330,7 @@ func (l *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	if n == 0 {
 		n = float32(nRows)
 	}
-	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShapeArena(l.arena, l.dx, dout.Rows, dout.Cols)
 	dx := l.dx
 	// dGamma_j = sum_i dout_ij * xhat_ij ; dBeta_j = sum_i dout_ij
 	l.dstats = ensureVec(l.dstats, 2*l.Dim)
@@ -342,12 +374,17 @@ func (l *BatchNorm) Params() []Param {
 // Dropout randomly zeroes activations during training (inverted dropout,
 // so inference is the identity).
 type Dropout struct {
-	P    float32
-	rand *rng.Rand
-	mask []float32
-	out  *tensor.Matrix // forward workspace
-	dx   *tensor.Matrix // backward workspace
+	P     float32
+	rand  *rng.Rand
+	mask  []float32
+	out   *tensor.Matrix // forward workspace
+	dx    *tensor.Matrix // backward workspace
+	arena *arena.Arena
 }
+
+// SetArena moves the activation workspaces into a (nil detaches). The
+// mask persists Forward→Backward and stays heap-resident.
+func (l *Dropout) SetArena(a *arena.Arena) { l.arena = a }
 
 // NewDropout creates a dropout layer with drop probability p, drawing its
 // masks from r (one generator per worker keeps runs deterministic).
@@ -364,7 +401,7 @@ func (l *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		l.mask = l.mask[:0]
 		return x
 	}
-	l.out = tensor.EnsureShape(l.out, x.Rows, x.Cols)
+	l.out = tensor.EnsureShapeArena(l.arena, l.out, x.Rows, x.Cols)
 	if cap(l.mask) < len(x.Data) {
 		l.mask = make([]float32, len(x.Data))
 	}
@@ -387,7 +424,7 @@ func (l *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	if len(l.mask) == 0 {
 		return dout
 	}
-	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
+	l.dx = tensor.EnsureShapeArena(l.arena, l.dx, dout.Rows, dout.Cols)
 	for i, v := range dout.Data {
 		l.dx.Data[i] = v * l.mask[i]
 	}
@@ -404,6 +441,17 @@ type Sequential struct {
 
 // NewSequential builds a sequential container from the given layers.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// SetArena attaches a step arena to every layer that supports one (see
+// ArenaUser). The caller owns the arena's Reset cadence: once per
+// forward+backward pass, never between a Forward and its Backward.
+func (s *Sequential) SetArena(a *arena.Arena) {
+	for _, l := range s.Layers {
+		if u, ok := l.(ArenaUser); ok {
+			u.SetArena(a)
+		}
+	}
+}
 
 // Forward runs the layers in order.
 func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {

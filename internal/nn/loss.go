@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/tensor/arena"
 )
 
 // SoftmaxCrossEntropy couples the softmax activation with the cross-entropy
@@ -17,14 +18,20 @@ type SoftmaxCrossEntropy struct {
 	labels    []int
 	perSample []float64
 	grad      *tensor.Matrix // backward workspace, reused across calls
+	arena     *arena.Arena
 }
+
+// SetArena moves the probability and gradient workspaces into a (nil
+// detaches); see ArenaUser. probs must survive Forward→Backward, so the
+// owner must not Reset between them.
+func (l *SoftmaxCrossEntropy) SetArena(a *arena.Arena) { l.arena = a }
 
 // Forward computes softmax probabilities and the mean cross-entropy loss.
 func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Matrix, labels []int) float64 {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: %d rows but %d labels", logits.Rows, len(labels)))
 	}
-	l.probs = tensor.EnsureShape(l.probs, logits.Rows, logits.Cols)
+	l.probs = tensor.EnsureShapeArena(l.arena, l.probs, logits.Rows, logits.Cols)
 	l.labels = labels
 	if cap(l.perSample) < logits.Rows {
 		l.perSample = make([]float64, logits.Rows)
@@ -74,7 +81,7 @@ func (l *SoftmaxCrossEntropy) Backward() *tensor.Matrix {
 	if l.probs == nil {
 		panic("nn: SoftmaxCrossEntropy.Backward called before Forward")
 	}
-	l.grad = tensor.EnsureShape(l.grad, l.probs.Rows, l.probs.Cols)
+	l.grad = tensor.EnsureShapeArena(l.arena, l.grad, l.probs.Rows, l.probs.Cols)
 	grad := l.grad
 	copy(grad.Data, l.probs.Data)
 	inv := 1 / float32(grad.Rows)

@@ -39,23 +39,45 @@ type ModelProfile struct {
 	ComputePerSample float64 // seconds
 }
 
-// profiles approximate the paper's models on an ABCI V100 worker
-// (parameters x 4 bytes; compute from published per-GPU throughputs).
-var profiles = map[string]ModelProfile{
-	"resnet50":     {Name: "resnet50", ParamBytes: 102e6, ComputePerSample: 0.0085},
-	"densenet161":  {Name: "densenet161", ParamBytes: 115e6, ComputePerSample: 0.0140},
-	"wideresnet28": {Name: "wideresnet28", ParamBytes: 146e6, ComputePerSample: 0.0060},
-	"inceptionv4":  {Name: "inceptionv4", ParamBytes: 170e6, ComputePerSample: 0.0120},
-	"deepcam":      {Name: "deepcam", ParamBytes: 225e6, ComputePerSample: 0.1000},
+// paperProfile derives a model's per-sample compute the same way the
+// calibrated local profiles do (calibrate.go): a per-sample flop count
+// divided by an achieved-throughput figure, instead of an opaque
+// seconds-per-sample constant. FlopsPerSample is forward+backward (≈3×
+// the published forward inference count); EffectiveGFLOPS is the
+// throughput that reproduces the per-GPU training rates published for an
+// ABCI V100 worker — well under the datasheet peak, as real per-model
+// efficiency always is.
+type paperProfile struct {
+	ParamBytes      int64
+	FlopsPerSample  float64
+	EffectiveGFLOPS float64
 }
 
-// Profile returns the performance profile for one of the paper's models.
+// profiles approximate the paper's models on an ABCI V100 worker
+// (parameters x 4 bytes).
+var profiles = map[string]paperProfile{
+	"resnet50":     {ParamBytes: 102e6, FlopsPerSample: 12.3e9, EffectiveGFLOPS: 1447},
+	"densenet161":  {ParamBytes: 115e6, FlopsPerSample: 23.4e9, EffectiveGFLOPS: 1671},
+	"wideresnet28": {ParamBytes: 146e6, FlopsPerSample: 15.8e9, EffectiveGFLOPS: 2633},
+	"inceptionv4":  {ParamBytes: 170e6, FlopsPerSample: 36.9e9, EffectiveGFLOPS: 3075},
+	"deepcam":      {ParamBytes: 225e6, FlopsPerSample: 130e9, EffectiveGFLOPS: 1300},
+}
+
+// errNoThroughput reports a failed throughput measurement.
+var errNoThroughput = fmt.Errorf("perfmodel: throughput measurement returned no signal")
+
+// Profile returns the performance profile for one of the paper's models,
+// with compute derived as flops / effective throughput.
 func Profile(name string) (ModelProfile, error) {
 	p, ok := profiles[name]
 	if !ok {
 		return ModelProfile{}, fmt.Errorf("perfmodel: unknown model %q", name)
 	}
-	return p, nil
+	return ModelProfile{
+		Name:             name,
+		ParamBytes:       p.ParamBytes,
+		ComputePerSample: p.FlopsPerSample / (p.EffectiveGFLOPS * 1e9),
+	}, nil
 }
 
 // Workload describes one training configuration to cost.

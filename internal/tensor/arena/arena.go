@@ -1,0 +1,70 @@
+// Package arena provides a bump allocator for float32 scratch memory: the
+// per-goroutine workspace spine of the compute hot path (DESIGN.md §14).
+//
+// An Arena hands out sub-slices of one backing array with a pointer bump
+// and reclaims everything at once with Reset. The training loop owns one
+// arena per worker goroutine: every layer workspace and GEMM pack buffer
+// is bump-allocated during the step and the whole arena is reset at the
+// step boundary. After the first step has grown the backing array to the
+// high-water mark, the steady state allocates nothing — Reset is a single
+// integer store — which is what the alloc regression tests pin.
+//
+// Arenas are NOT safe for concurrent use; give each goroutine its own
+// (the tensor package pools GEMM arenas for exactly this reason).
+package arena
+
+// Arena is a float32 bump allocator. The zero value is ready to use.
+type Arena struct {
+	buf []float32
+	off int
+}
+
+// New returns an arena with capacity for at least capHint floats.
+func New(capHint int) *Arena {
+	a := &Arena{}
+	if capHint > 0 {
+		a.buf = make([]float32, capHint)
+	}
+	return a
+}
+
+// Floats returns a length-n slice valid until the next Reset. Contents are
+// unspecified (callers overwrite fully or zero explicitly). The slice has
+// capacity n, so appends never silently alias a neighbour. Growing past
+// the current capacity allocates a fresh backing array; slices handed out
+// earlier keep the old one and remain valid until their owners drop them.
+func (a *Arena) Floats(n int) []float32 {
+	if n < 0 {
+		panic("arena: negative allocation")
+	}
+	if a.off+n > len(a.buf) {
+		newCap := 2 * (a.off + n)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		a.buf = make([]float32, newCap)
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Zeroed returns a length-n slice like Floats with every element set to 0.
+func (a *Arena) Zeroed(n int) []float32 {
+	s := a.Floats(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Reset reclaims every outstanding allocation. Slices handed out before
+// the call must not be used afterwards: the next allocations will reuse
+// the same memory.
+func (a *Arena) Reset() { a.off = 0 }
+
+// Used reports the floats currently allocated since the last Reset.
+func (a *Arena) Used() int { return a.off }
+
+// Cap reports the capacity of the current backing array.
+func (a *Arena) Cap() int { return len(a.buf) }

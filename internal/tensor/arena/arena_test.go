@@ -1,0 +1,75 @@
+package arena
+
+import "testing"
+
+func TestFloatsBumpsWithinCapacity(t *testing.T) {
+	a := New(64)
+	x := a.Floats(16)
+	y := a.Floats(16)
+	if len(x) != 16 || len(y) != 16 {
+		t.Fatalf("lengths %d, %d", len(x), len(y))
+	}
+	x[15] = 1
+	if y[0] != 0 {
+		t.Fatal("second allocation overlaps the first")
+	}
+	if a.Used() != 32 {
+		t.Fatalf("Used = %d, want 32", a.Used())
+	}
+}
+
+func TestGrowKeepsOldSlicesValid(t *testing.T) {
+	a := New(8)
+	x := a.Floats(8)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	_ = a.Floats(1 << 16) // forces a new backing array
+	for i := range x {
+		if x[i] != float32(i) {
+			t.Fatalf("old slice corrupted at %d after grow", i)
+		}
+	}
+}
+
+func TestResetReusesBacking(t *testing.T) {
+	a := New(0)
+	a.Floats(1024)
+	capBefore := a.Cap()
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatalf("Used after Reset = %d", a.Used())
+	}
+	a.Floats(1024)
+	if a.Cap() != capBefore {
+		t.Fatalf("Reset did not reuse backing: cap %d -> %d", capBefore, a.Cap())
+	}
+}
+
+func TestZeroedClearsRecycledMemory(t *testing.T) {
+	a := New(0)
+	x := a.Floats(32)
+	for i := range x {
+		x[i] = 7
+	}
+	a.Reset()
+	y := a.Zeroed(32)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("Zeroed[%d] = %v after Reset", i, v)
+		}
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	a := New(0)
+	a.Floats(4096)
+	a.Reset()
+	if n := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		_ = a.Floats(2048)
+		_ = a.Zeroed(1024)
+	}); n != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", n)
+	}
+}

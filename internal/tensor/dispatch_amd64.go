@@ -1,0 +1,71 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// Capability probe and assembly micro-kernel registration for amd64.
+//
+// The SIMD kernels vectorize across the NR (column) dimension only: each
+// output element still accumulates its k-products in ascending order with
+// a separate VMULPS and VADDPS per step (never FMA, which would contract
+// the rounding), so they are bitwise-identical to the scalar reference on
+// finite inputs. SSE is part of the amd64 baseline; AVX2 and AVX-512F are
+// gated on CPUID feature bits plus XGETBV confirming the OS saves the
+// wider register state.
+
+// cpuidAsm executes CPUID for (leaf, sub). Implemented in gemm_amd64.s.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0. Only valid when CPUID reports OSXSAVE.
+func xgetbvAsm() (eax, edx uint32)
+
+// The micro-kernels. c points at an MR×NR tile with row stride ldc
+// floats; each accumulates kc packed k-steps into the tile in place.
+//
+//go:noescape
+func microSSE8x4Asm(kc int, ap, bp, c *float32, ldc int)
+
+//go:noescape
+func microAVX28x8Asm(kc int, ap, bp, c *float32, ldc int)
+
+//go:noescape
+func microAVX5128x16Asm(kc int, ap, bp, c *float32, ldc int)
+
+func wrapAsm(f func(kc int, ap, bp, c *float32, ldc int)) func(int, []float32, []float32, []float32, int) {
+	return func(kc int, ap, bp, c []float32, ldc int) {
+		f(kc, &ap[0], &bp[0], &c[0], ldc)
+	}
+}
+
+// registerAsmKernels probes the CPU and prepends every usable assembly
+// kernel in preference order (widest vectors first).
+func registerAsmKernels() {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	var hasAVX2, hasAVX512 bool
+	if maxLeaf >= 7 {
+		_, _, c1, _ := cpuidAsm(1, 0)
+		const osxsave, avx = 1 << 27, 1 << 28
+		if c1&osxsave != 0 && c1&avx != 0 {
+			xlo, _ := xgetbvAsm()
+			osYMM := xlo&0x6 == 0x6        // XMM+YMM state saved
+			osZMM := xlo&0xe6 == 0xe6      // + opmask and ZMM state
+			b7, _, _, _ := cpuid7()
+			hasAVX2 = osYMM && b7&(1<<5) != 0
+			hasAVX512 = osZMM && b7&(1<<16) != 0
+		}
+	}
+	if hasAVX512 {
+		gemmKernels = append(gemmKernels,
+			&microKernel{name: "avx512_8x16", mr: 8, nr: 16, kern: wrapAsm(microAVX5128x16Asm)})
+	}
+	if hasAVX2 {
+		gemmKernels = append(gemmKernels,
+			&microKernel{name: "avx2_8x8", mr: 8, nr: 8, kern: wrapAsm(microAVX28x8Asm)})
+	}
+	gemmKernels = append(gemmKernels,
+		&microKernel{name: "sse8x4", mr: 8, nr: 4, kern: wrapAsm(microSSE8x4Asm)})
+}
+
+func cpuid7() (ebx, ecx, edx, eax uint32) {
+	a, b, c, d := cpuidAsm(7, 0)
+	return b, c, d, a
+}

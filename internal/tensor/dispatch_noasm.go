@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// registerAsmKernels is a no-op on architectures without an assembly
+// micro-kernel (or with the purego build tag): dispatch falls through to
+// the portable register-tiled Go kernels, which compute bit-for-bit the
+// same results.
+func registerAsmKernels() {}

@@ -1,0 +1,356 @@
+// Blocked, register-tiled GEMM core (DESIGN.md §14).
+//
+// All three matmul entry points (MatMulInto, MatMulTAInto, MatMulTBInto)
+// route through one packed kernel: A and B panels are copied into
+// contiguous cache-tile buffers (padding ragged edges with zeros), and an
+// MR×NR register-tiled micro-kernel drives the innermost loops. Blocking
+// constants follow the classic three-level scheme:
+//
+//	NC — columns of B per outermost block (B panel KC×NC lives in L2/L3)
+//	KC — depth of one packed panel pair (A strip MR×KC + B strip NR×KC
+//	     stream through L1)
+//	MC — rows of A per packed block (A panel MC×KC lives in L2)
+//
+// Determinism contract: every kernel — the scalar reference, the pure-Go
+// tiled kernels, and the SIMD paths — accumulates each output element
+// C[i,j] as fl(c + fl(a[i,k]*b[k,j])) for k strictly ascending, one
+// rounding per multiply and one per add (no FMA contraction). Blocking
+// over i/j never reorders a single element's reduction, and blocking over
+// k only inserts exact store/load round-trips at panel boundaries, so the
+// result is bitwise-identical to the naive triple loop for all finite
+// inputs, independent of tile constants, kernel choice, worker count, or
+// how rows are split across ranks. Zero-padding the ragged pack edges is
+// equally exact: a partial sum starting from +0 can never reach -0 under
+// round-to-nearest, so adding the padded ±0 products changes nothing.
+// The equivalence is pinned by exhaustive small-shape tests, property
+// tests over ragged shapes, and a micro-kernel fuzz target.
+package tensor
+
+import (
+	"sync"
+
+	"plshuffle/internal/tensor/arena"
+)
+
+// Blocking constants. Sized for a ~32 KiB L1d / ~1 MiB L2 x86 core: the
+// packed B strip (KC·NR floats, ≤16 KiB at NR=16) plus one A strip
+// (KC·MR floats, 8 KiB) stream through L1, the packed A block (MC·KC
+// floats, 128 KiB) stays L2-resident across the whole jr loop.
+const (
+	gemmNC = 512
+	gemmKC = 256
+	gemmMC = 128
+)
+
+// microKernel is one register-tiled inner kernel: it accumulates an MR×NR
+// C tile (row stride ldc floats) with a kc-deep packed panel pair, k
+// ascending, mul and add rounded separately.
+//
+// ap holds kc groups of MR A-values (column k of the tile's rows), bp
+// holds kc groups of NR B-values (row k of the tile's columns). c must
+// hold the running partial sums on entry (the driver zeroes dst first).
+type microKernel struct {
+	name   string
+	mr, nr int
+	kern   func(kc int, ap, bp []float32, c []float32, ldc int)
+}
+
+// microGo8x4 is the portable 8×4 register-tiled micro-kernel: 32 scalar
+// accumulators, manually unrolled so the compiler keeps the hot loop free
+// of bounds checks. It is the default on architectures without an
+// assembly path and the universal fallback everywhere.
+func microGo8x4(kc int, ap, bp []float32, c []float32, ldc int) {
+	r0 := c[0*ldc : 0*ldc+4 : 0*ldc+4]
+	r1 := c[1*ldc : 1*ldc+4 : 1*ldc+4]
+	r2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	r4 := c[4*ldc : 4*ldc+4 : 4*ldc+4]
+	r5 := c[5*ldc : 5*ldc+4 : 5*ldc+4]
+	r6 := c[6*ldc : 6*ldc+4 : 6*ldc+4]
+	r7 := c[7*ldc : 7*ldc+4 : 7*ldc+4]
+	c00, c01, c02, c03 := r0[0], r0[1], r0[2], r0[3]
+	c10, c11, c12, c13 := r1[0], r1[1], r1[2], r1[3]
+	c20, c21, c22, c23 := r2[0], r2[1], r2[2], r2[3]
+	c30, c31, c32, c33 := r3[0], r3[1], r3[2], r3[3]
+	c40, c41, c42, c43 := r4[0], r4[1], r4[2], r4[3]
+	c50, c51, c52, c53 := r5[0], r5[1], r5[2], r5[3]
+	c60, c61, c62, c63 := r6[0], r6[1], r6[2], r6[3]
+	c70, c71, c72, c73 := r7[0], r7[1], r7[2], r7[3]
+	for k := 0; k < kc; k++ {
+		a := ap[:8:8]
+		b := bp[:4:4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a0 := a[0]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		a1 := a[1]
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a2 := a[2]
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		a3 := a[3]
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a4 := a[4]
+		c40 += a4 * b0
+		c41 += a4 * b1
+		c42 += a4 * b2
+		c43 += a4 * b3
+		a5 := a[5]
+		c50 += a5 * b0
+		c51 += a5 * b1
+		c52 += a5 * b2
+		c53 += a5 * b3
+		a6 := a[6]
+		c60 += a6 * b0
+		c61 += a6 * b1
+		c62 += a6 * b2
+		c63 += a6 * b3
+		a7 := a[7]
+		c70 += a7 * b0
+		c71 += a7 * b1
+		c72 += a7 * b2
+		c73 += a7 * b3
+		ap = ap[8:]
+		bp = bp[4:]
+	}
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+	r4[0], r4[1], r4[2], r4[3] = c40, c41, c42, c43
+	r5[0], r5[1], r5[2], r5[3] = c50, c51, c52, c53
+	r6[0], r6[1], r6[2], r6[3] = c60, c61, c62, c63
+	r7[0], r7[1], r7[2], r7[3] = c70, c71, c72, c73
+}
+
+// microGo4x4 is the 4×4 fallback tile: 16 accumulators fit the scalar
+// register file on amd64/arm64, trading tile reuse for zero spills.
+func microGo4x4(kc int, ap, bp []float32, c []float32, ldc int) {
+	r0 := c[0*ldc : 0*ldc+4 : 0*ldc+4]
+	r1 := c[1*ldc : 1*ldc+4 : 1*ldc+4]
+	r2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	c00, c01, c02, c03 := r0[0], r0[1], r0[2], r0[3]
+	c10, c11, c12, c13 := r1[0], r1[1], r1[2], r1[3]
+	c20, c21, c22, c23 := r2[0], r2[1], r2[2], r2[3]
+	c30, c31, c32, c33 := r3[0], r3[1], r3[2], r3[3]
+	for k := 0; k < kc; k++ {
+		a := ap[:4:4]
+		b := bp[:4:4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a0 := a[0]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		a1 := a[1]
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a2 := a[2]
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		a3 := a[3]
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ap = ap[4:]
+		bp = bp[4:]
+	}
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+}
+
+// gemmOperand is one effective input matrix of the packed core, expressed
+// through strides so the transposed variants share the packing code:
+// element (i, k) of effective A is data[i*rowStride + k*depthStride], and
+// element (k, j) of effective B is data[k*depthStride + j*rowStride].
+type gemmOperand struct {
+	data        []float32
+	rowStride   int // stride along the output dimension (i for A, j for B)
+	depthStride int // stride along the reduction dimension k
+}
+
+// gemmWS is one goroutine's workspace for a packed matmul: a bump arena
+// that owns the pack buffers and the ragged-edge C scratch tile. Instances
+// are pooled; steady state re-bumps the same backing array, so the packed
+// path allocates nothing after warmup.
+type gemmWS struct {
+	a *arena.Arena
+}
+
+var gemmPool = sync.Pool{New: func() any { return &gemmWS{a: arena.New(0)} }}
+
+// packA copies rows [i0,i1) × depth [k0,k1) of effective A into dst as
+// ceil((i1-i0)/mr) strips: strip s holds, for each k ascending, the mr
+// values of rows i0+s*mr .. i0+s*mr+mr-1 (zero-padded past i1).
+func packA(dst []float32, a gemmOperand, i0, i1, k0, k1, mr int) {
+	kc := k1 - k0
+	p := 0
+	for is := i0; is < i1; is += mr {
+		full := is+mr <= i1
+		if full && a.depthStride == 1 {
+			// Contiguous k (MatMulTA's packing): copy mr k-runs row by row,
+			// interleaving into the strip layout.
+			base := is * a.rowStride
+			for r := 0; r < mr; r++ {
+				src := a.data[base+r*a.rowStride+k0 : base+r*a.rowStride+k1]
+				q := p + r
+				for _, v := range src {
+					dst[q] = v
+					q += mr
+				}
+			}
+			p += kc * mr
+			continue
+		}
+		for k := k0; k < k1; k++ {
+			col := a.data[k*a.depthStride:]
+			for r := 0; r < mr; r++ {
+				i := is + r
+				if i < i1 {
+					dst[p] = col[i*a.rowStride]
+				} else {
+					dst[p] = 0
+				}
+				p++
+			}
+		}
+	}
+}
+
+// packB copies depth [k0,k1) × columns [j0,j1) of effective B into dst as
+// ceil((j1-j0)/nr) strips: strip s holds, for each k ascending, the nr
+// values of columns j0+s*nr .. j0+s*nr+nr-1 (zero-padded past j1).
+func packB(dst []float32, b gemmOperand, k0, k1, j0, j1, nr int) {
+	p := 0
+	for js := j0; js < j1; js += nr {
+		full := js+nr <= j1
+		if full && b.rowStride == 1 {
+			// Contiguous columns (MatMul/MatMulTA): copy nr-wide row chunks.
+			for k := k0; k < k1; k++ {
+				copy(dst[p:p+nr], b.data[k*b.depthStride+js:])
+				p += nr
+			}
+			continue
+		}
+		for k := k0; k < k1; k++ {
+			row := b.data[k*b.depthStride:]
+			for c := 0; c < nr; c++ {
+				j := js + c
+				if j < j1 {
+					dst[p] = row[j*b.rowStride]
+				} else {
+					dst[p] = 0
+				}
+				p++
+			}
+		}
+	}
+}
+
+// gemmRows computes rows [lo,hi) of dst = effA · effB through the packed
+// core with the dispatched micro-kernel. dst rows are fully overwritten.
+func gemmRows(dst *Matrix, a, b gemmOperand, n, k, lo, hi int) {
+	mk := activeKernel()
+	ws := gemmPool.Get().(*gemmWS)
+	ar := ws.a
+	ar.Reset()
+	ldc := dst.Cols
+
+	// The kernels accumulate into dst, so start every covered element at
+	// +0 — same initialization as the reference triple loop.
+	zero := dst.Data[lo*ldc : hi*ldc]
+	for i := range zero {
+		zero[i] = 0
+	}
+	if k == 0 || n == 0 || hi <= lo {
+		gemmPool.Put(ws)
+		return
+	}
+
+	mr, nr := mk.mr, mk.nr
+	ap := ar.Floats(((gemmMC + mr - 1) / mr * mr) * gemmKC)
+	bp := ar.Floats(((gemmNC + nr - 1) / nr * nr) * gemmKC)
+	ct := ar.Floats(mr * nr)
+
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for kp := 0; kp < k; kp += gemmKC {
+			kc := min(gemmKC, k-kp)
+			packB(bp, b, kp, kp+kc, jc, jc+nc, nr)
+			for ic := lo; ic < hi; ic += gemmMC {
+				mc := min(gemmMC, hi-ic)
+				packA(ap, a, ic, ic+mc, kp, kp+kc, mr)
+				for jr := 0; jr < nc; jr += nr {
+					jw := min(nr, nc-jr)
+					bstrip := bp[jr/nr*(kc*nr):]
+					for ir := 0; ir < mc; ir += mr {
+						iw := min(mr, mc-ir)
+						astrip := ap[ir/mr*(kc*mr):]
+						if iw == mr && jw == nr {
+							cs := dst.Data[(ic+ir)*ldc+jc+jr:]
+							mk.kern(kc, astrip, bstrip, cs, ldc)
+							continue
+						}
+						// Ragged edge: run the full tile against a scratch
+						// MR×NR block seeded with the live C values (padding
+						// lanes stay zero: their packed operands are zero),
+						// then copy the valid region back.
+						for i := range ct {
+							ct[i] = 0
+						}
+						for r := 0; r < iw; r++ {
+							copy(ct[r*nr:r*nr+jw], dst.Data[(ic+ir+r)*ldc+jc+jr:])
+						}
+						mk.kern(kc, astrip, bstrip, ct, nr)
+						for r := 0; r < iw; r++ {
+							copy(dst.Data[(ic+ir+r)*ldc+jc+jr:(ic+ir+r)*ldc+jc+jr+jw], ct[r*nr:])
+						}
+					}
+				}
+			}
+		}
+	}
+	gemmPool.Put(ws)
+}
+
+// gemm computes dst = effA (m×k) · effB (k×n), chunking row tiles across
+// goroutines when the work amortizes the fan-out (see parallelTiles). Any
+// row split yields bitwise-identical results: each output element's
+// reduction schedule is a function of (k, KC) only.
+func gemm(dst *Matrix, a, b gemmOperand, m, n, k int) {
+	tiles := (m + gemmMC - 1) / gemmMC
+	// Gate the serial path before the closure below exists: the closure is
+	// captured by goroutines in parallelTiles, so constructing it
+	// unconditionally would heap-allocate even when we run inline — and the
+	// single-worker steady state must be 0 allocs/op.
+	if serialTiles(tiles, 2*gemmMC*k*n) {
+		gemmRows(dst, a, b, n, k, 0, m)
+		return
+	}
+	parallelTiles(tiles, 2*gemmMC*k*n, func(tlo, thi int) {
+		lo := tlo * gemmMC
+		hi := thi * gemmMC
+		if hi > m {
+			hi = m
+		}
+		gemmRows(dst, a, b, n, k, lo, hi)
+	})
+}

@@ -1,0 +1,423 @@
+package tensor
+
+// Bitwise-equivalence suite for the packed GEMM core (DESIGN.md §14).
+//
+// Everything downstream of these kernels — the PR-3 determinism gates, the
+// corgi2/PLS weight-CRC acceptance runs — assumes MatMul* results are a
+// pure function of the operands, independent of micro-kernel, tile
+// constants, and worker count. So these tests compare against the retained
+// reference kernels with math.Float32bits equality, never a tolerance.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"plshuffle/internal/rng"
+)
+
+// fillMixed fills m with normal variates plus injected exact +0 and -0.
+// The pre-blocking kernels special-cased zeros and the padding argument in
+// DESIGN.md §14 leans on signed-zero arithmetic, so equivalence tests must
+// exercise both zeros explicitly.
+func fillMixed(r *rng.Rand, m *Matrix) {
+	for i := range m.Data {
+		switch r.Intn(12) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = float32(math.Copysign(0, -1))
+		default:
+			m.Data[i] = r.NormFloat32()
+		}
+	}
+}
+
+func matricesBitwise(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d: got %v (%#08x) want %v (%#08x)",
+				label, i, got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// The gemmForced* helpers drive the packed core directly with the same
+// effective-operand strides as the public entry points, bypassing the
+// gemmMinWork cutoff so small shapes also exercise packing/ragged edges.
+func gemmForced(dst, a, b *Matrix) {
+	gemm(dst,
+		gemmOperand{data: a.Data, rowStride: a.Cols, depthStride: 1},
+		gemmOperand{data: b.Data, rowStride: 1, depthStride: b.Cols},
+		a.Rows, b.Cols, a.Cols)
+}
+
+func gemmForcedTA(dst, a, b *Matrix) {
+	gemm(dst,
+		gemmOperand{data: a.Data, rowStride: 1, depthStride: a.Cols},
+		gemmOperand{data: b.Data, rowStride: 1, depthStride: b.Cols},
+		a.Cols, b.Cols, a.Rows)
+}
+
+func gemmForcedTB(dst, a, b *Matrix) {
+	gemm(dst,
+		gemmOperand{data: a.Data, rowStride: a.Cols, depthStride: 1},
+		gemmOperand{data: b.Data, rowStride: b.Cols, depthStride: 1},
+		a.Rows, b.Rows, a.Cols)
+}
+
+// forEachKernel runs f once per registered micro-kernel (SIMD and Go), so
+// every host cross-checks every kernel it can execute, not just the
+// dispatched one.
+func forEachKernel(t *testing.T, f func(t *testing.T)) {
+	for _, name := range GemmKernels() {
+		t.Run(name, func(t *testing.T) {
+			prev, err := SetGemmKernel(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer SetGemmKernel(prev)
+			f(t)
+		})
+	}
+}
+
+// checkShape verifies all three matmul variants bitwise on one (n, k, m).
+func checkShape(t *testing.T, r *rng.Rand, n, k, m int) {
+	t.Helper()
+	a := New(n, k)
+	b := New(k, m)
+	fillMixed(r, a)
+	fillMixed(r, b)
+	got, want := New(n, m), New(n, m)
+	gemmForced(got, a, b)
+	matMulRef(want, a, b, 0, n)
+	matricesBitwise(t, got, want, "gemm")
+
+	at := New(k, n) // effective A is atᵀ
+	fillMixed(r, at)
+	gemmForcedTA(got, at, b)
+	matMulTARef(want, at, b, 0, n)
+	matricesBitwise(t, got, want, "gemmTA")
+
+	bt := New(m, k) // effective B is btᵀ
+	fillMixed(r, bt)
+	gemmForcedTB(got, a, bt)
+	matMulTBRef(want, a, bt, 0, n)
+	matricesBitwise(t, got, want, "gemmTB")
+}
+
+// TestGemmBitwiseExhaustiveSmall sweeps every shape with n, k, m in
+// [1, 9]: all the ragged-edge permutations of every MR×NR tile fit in this
+// range, for every registered kernel.
+func TestGemmBitwiseExhaustiveSmall(t *testing.T) {
+	forEachKernel(t, func(t *testing.T) {
+		r := rng.New(42)
+		for n := 1; n <= 9; n++ {
+			for k := 1; k <= 9; k++ {
+				for m := 1; m <= 9; m++ {
+					checkShape(t, r, n, k, m)
+				}
+			}
+		}
+	})
+}
+
+// TestGemmBitwiseRagged covers shapes that straddle the blocking
+// constants: multiple KC panels (k > 256), multiple MC row blocks
+// (n > 128), multiple NC column blocks (m > 512), and ragged remainders
+// against every tile width.
+func TestGemmBitwiseRagged(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 300, 1}, {8, 256, 16}, {7, 13, 9},
+		{31, 63, 15}, {70, 130, 90}, {64, 256, 48}, {16, 1, 16},
+		{129, 257, 17}, {130, 300, 70}, {3, 511, 600}, {140, 270, 530},
+	}
+	forEachKernel(t, func(t *testing.T) {
+		r := rng.New(7)
+		for _, s := range shapes {
+			checkShape(t, r, s[0], s[1], s[2])
+		}
+	})
+}
+
+// TestGemmBitwiseProperty is the property-based sweep from the issue:
+// random ragged shapes from 1×1×1 up to 70×130×90, bitwise against the
+// reference under the dispatched (probed) kernel.
+func TestGemmBitwiseProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw, mRaw uint8) bool {
+		n := int(nRaw)%70 + 1
+		k := int(kRaw)%130 + 1
+		m := int(mRaw)%90 + 1
+		r := rng.New(seed)
+		a := New(n, k)
+		b := New(k, m)
+		fillMixed(r, a)
+		fillMixed(r, b)
+		got, want := New(n, m), New(n, m)
+		gemmForced(got, a, b)
+		matMulRef(want, a, b, 0, n)
+		for i := range got.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGemmParallelBitwiseIdentical pins the row-split independence claim:
+// with GOMAXPROCS raised so parallelTiles actually forks, the result is
+// bit-for-bit the serial result.
+func TestGemmParallelBitwiseIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := rng.New(99)
+	n, k, m := 300, 200, 180 // 3 MC tiles, work far above minParallelWork
+	a := New(n, k)
+	b := New(k, m)
+	fillMixed(r, a)
+	fillMixed(r, b)
+
+	par := New(n, m)
+	MatMulInto(par, a, b)
+
+	runtime.GOMAXPROCS(1)
+	ser := New(n, m)
+	MatMulInto(ser, a, b)
+	runtime.GOMAXPROCS(4)
+
+	matricesBitwise(t, par, ser, "parallel vs serial")
+
+	ref := New(n, m)
+	matMulRef(ref, a, b, 0, n)
+	matricesBitwise(t, par, ref, "parallel vs reference")
+}
+
+// TestPublicEntryPointsBitwise drives the public Into entry points (cutoff
+// logic included) across the gemmMinWork boundary.
+func TestPublicEntryPointsBitwise(t *testing.T) {
+	r := rng.New(5)
+	for _, s := range [][3]int{{4, 4, 4}, {12, 12, 12}, {40, 33, 29}, {96, 200, 64}} {
+		n, k, m := s[0], s[1], s[2]
+		a := New(n, k)
+		b := New(k, m)
+		at := New(k, n)
+		bt := New(m, k)
+		fillMixed(r, a)
+		fillMixed(r, b)
+		fillMixed(r, at)
+		fillMixed(r, bt)
+		got, want := New(n, m), New(n, m)
+
+		MatMulInto(got, a, b)
+		matMulRef(want, a, b, 0, n)
+		matricesBitwise(t, got, want, "MatMulInto")
+
+		MatMulTAInto(got, at, b)
+		matMulTARef(want, at, b, 0, n)
+		matricesBitwise(t, got, want, "MatMulTAInto")
+
+		MatMulTBInto(got, a, bt)
+		matMulTBRef(want, a, bt, 0, n)
+		matricesBitwise(t, got, want, "MatMulTBInto")
+	}
+}
+
+func TestSetGemmKernelUnknown(t *testing.T) {
+	if _, err := SetGemmKernel("definitely-not-a-kernel"); err == nil {
+		t.Fatal("SetGemmKernel accepted an unknown name")
+	}
+	if GemmKernelName() == "" {
+		t.Fatal("dispatch left no active kernel")
+	}
+}
+
+// collectRanges runs a parallel splitter and records every (lo, hi) chunk
+// it hands out.
+func collectRanges(split func(fn func(lo, hi int))) [][2]int {
+	var mu sync.Mutex
+	var got [][2]int
+	split(func(lo, hi int) {
+		mu.Lock()
+		got = append(got, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	return got
+}
+
+// rangesPartition checks the chunks exactly tile [0, n) with no overlap
+// and no empty chunk.
+func rangesPartition(t *testing.T, got [][2]int, n int, label string) {
+	t.Helper()
+	covered := make([]int, n)
+	for _, r := range got {
+		if r[0] >= r[1] {
+			t.Fatalf("%s: empty or inverted chunk %v", label, r)
+		}
+		for i := r[0]; i < r[1]; i++ {
+			if i < 0 || i >= n {
+				t.Fatalf("%s: chunk %v outside [0, %d)", label, r, n)
+			}
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("%s: index %d covered %d times", label, i, c)
+		}
+	}
+}
+
+// TestParallelRowsDegenerate is the regression test for the rows<=0 and
+// rows<workers cases: zero rows must not call fn at all (the old code
+// could hand out empty or negative ranges), and tiny row counts must still
+// partition exactly.
+func TestParallelRowsDegenerate(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, rows := range []int{0, -1} {
+		got := collectRanges(func(fn func(lo, hi int)) { parallelRows(rows, 1 << 20, fn) })
+		if len(got) != 0 {
+			t.Fatalf("parallelRows(%d) called fn with %v", rows, got)
+		}
+	}
+	for _, rows := range []int{1, 2, 3, 7, 8, 9, 63} {
+		got := collectRanges(func(fn func(lo, hi int)) { parallelRows(rows, 1<<20, fn) })
+		rangesPartition(t, got, rows, "parallelRows")
+	}
+	for _, tiles := range []int{0, 1, 2, 5, 8, 17} {
+		got := collectRanges(func(fn func(lo, hi int)) { parallelTiles(tiles, 1<<20, fn) })
+		if tiles == 0 {
+			if len(got) != 0 {
+				t.Fatalf("parallelTiles(0) called fn with %v", got)
+			}
+			continue
+		}
+		rangesPartition(t, got, tiles, "parallelTiles")
+	}
+}
+
+// TestColSumIntoParallelBitwise checks the cache-line-chunked parallel
+// column sums against the serial path (and a plain ascending-row loop) on
+// widths that are not multiples of the chunk unit.
+func TestColSumIntoParallelBitwise(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := rng.New(17)
+	for _, shape := range [][2]int{{1024, 100}, {700, 33}, {2048, 16}, {5, 3}, {601, 131}} {
+		m := New(shape[0], shape[1])
+		fillMixed(r, m)
+
+		par := make([]float32, m.Cols)
+		m.ColSumInto(par)
+
+		ser := make([]float32, m.Cols)
+		m.colSumRange(ser, 0, m.Cols)
+
+		naive := make([]float32, m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				naive[j] += m.At(i, j)
+			}
+		}
+		for j := range par {
+			if math.Float32bits(par[j]) != math.Float32bits(ser[j]) {
+				t.Fatalf("ColSumInto %v: col %d parallel %v != serial %v", shape, j, par[j], ser[j])
+			}
+			if math.Float32bits(par[j]) != math.Float32bits(naive[j]) {
+				t.Fatalf("ColSumInto %v: col %d %v != naive %v", shape, j, par[j], naive[j])
+			}
+		}
+	}
+}
+
+// TestMatMulPackedZeroAllocs pins the arena-backed packed path at zero
+// steady-state allocations (the whole point of pooling gemmWS): one warmup
+// to grow the arena, then nothing.
+func TestMatMulPackedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	prev := runtime.GOMAXPROCS(1) // the parallel fork allocates by design
+	defer runtime.GOMAXPROCS(prev)
+
+	r := rng.New(3)
+	a := randomMatrix(r, 96, 200)
+	b := randomMatrix(r, 200, 64)
+	bt := randomMatrix(r, 64, 200)
+	at := randomMatrix(r, 200, 96)
+	dst := New(96, 64)
+
+	MatMulInto(dst, a, b) // warmup: grows the pooled arena once
+	if n := testing.AllocsPerRun(20, func() { MatMulInto(dst, a, b) }); n != 0 {
+		t.Fatalf("MatMulInto allocs/op = %v, want 0", n)
+	}
+	MatMulTAInto(dst, at, b)
+	if n := testing.AllocsPerRun(20, func() { MatMulTAInto(dst, at, b) }); n != 0 {
+		t.Fatalf("MatMulTAInto allocs/op = %v, want 0", n)
+	}
+	MatMulTBInto(dst, a, bt)
+	if n := testing.AllocsPerRun(20, func() { MatMulTBInto(dst, a, bt) }); n != 0 {
+		t.Fatalf("MatMulTBInto allocs/op = %v, want 0", n)
+	}
+}
+
+// microRef is the scalar semantics of one packed micro-kernel call: for k
+// ascending, each C element adds fl(a·b) — exactly the contract every
+// registered kernel must meet bit for bit.
+func microRef(kc, mr, nr int, ap, bp, c []float32, ldc int) {
+	for k := 0; k < kc; k++ {
+		for r := 0; r < mr; r++ {
+			av := ap[k*mr+r]
+			for j := 0; j < nr; j++ {
+				c[r*ldc+j] += av * bp[k*nr+j]
+			}
+		}
+	}
+}
+
+// TestMicroKernelsMatchScalar drives every registered kernel's inner
+// function directly on packed panels, no driver in between.
+func TestMicroKernelsMatchScalar(t *testing.T) {
+	r := rng.New(23)
+	for _, mk := range gemmKernels {
+		for _, kc := range []int{1, 2, 3, 17, 64, 256} {
+			ap := make([]float32, kc*mk.mr)
+			bp := make([]float32, kc*mk.nr)
+			for i := range ap {
+				ap[i] = r.NormFloat32()
+			}
+			for i := range bp {
+				bp[i] = r.NormFloat32()
+			}
+			ldc := mk.nr + 3 // non-trivial row stride
+			got := make([]float32, mk.mr*ldc)
+			want := make([]float32, mk.mr*ldc)
+			for i := range got {
+				v := r.NormFloat32()
+				got[i], want[i] = v, v
+			}
+			mk.kern(kc, ap, bp, got, ldc)
+			microRef(kc, mk.mr, mk.nr, ap, bp, want, ldc)
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("%s kc=%d: element %d: got %v want %v", mk.name, kc, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports that this test binary was built with -race. The
+// allocation-regression tests skip themselves under the race detector:
+// instrumentation changes escape analysis, and sync.Pool deliberately
+// randomizes its caching in race builds, so allocs-per-op is meaningless.
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"plshuffle/internal/rng"
+	"plshuffle/internal/tensor/arena"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -54,6 +55,28 @@ func EnsureShape(m *Matrix, r, c int) *Matrix {
 		return m
 	}
 	return New(r, c)
+}
+
+// EnsureShapeArena is EnsureShape with the backing storage bump-allocated
+// from a (nil a falls back to EnsureShape). Unlike EnsureShape it always
+// re-points m.Data at fresh arena memory: after the arena's per-step
+// Reset, the previous region may be handed to any other workspace, so
+// reuse-by-capacity would alias. The *Matrix header itself is recycled, so
+// the steady state allocates nothing on the heap. Contents are
+// unspecified; callers overwrite fully.
+func EnsureShapeArena(a *arena.Arena, m *Matrix, r, c int) *Matrix {
+	if a == nil {
+		return EnsureShape(m, r, c)
+	}
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: EnsureShapeArena(%d, %d): negative dimension", r, c))
+	}
+	if m == nil {
+		m = &Matrix{}
+	}
+	m.Rows, m.Cols = r, c
+	m.Data = a.Floats(r * c)
+	return m
 }
 
 // At returns element (i, j).
@@ -97,19 +120,38 @@ func (m *Matrix) KaimingInit(r *rng.Rand, fanIn int) {
 // goroutine fan-out (and the closure it requires) costs more than the work.
 const minParallelWork = 1 << 16
 
+// gemmMinWork is the flop count (2·m·n·k) below which a matmul takes the
+// retained reference kernel instead of the packed core: for the small
+// per-layer matmuls of the training loop, packing overhead exceeds the
+// blocking win. Both paths are bitwise-identical, so the cutover is purely
+// a throughput decision.
+const gemmMinWork = 1 << 15
+
 // serialRows reports whether a row-parallel kernel over rows rows with
 // workPerRow estimated flops per row should run on the calling goroutine.
-// The matmul kernels branch on it before constructing the parallelRows
-// closure, so the serial fast path — every small matmul in the training
-// loop — allocates nothing.
+// Kernels branch on it (or on serialTiles) before constructing the
+// parallelRows closure, so the serial fast path — every small kernel in
+// the training loop — allocates nothing.
 func serialRows(rows, workPerRow int) bool {
 	return runtime.GOMAXPROCS(0) <= 1 || rows <= 1 || rows*workPerRow < minParallelWork
 }
 
+/// serialTiles is serialRows for tile-granular kernels: the packed GEMM
+// forks over whole MC-row tiles, so the fork/join decision weighs per-tile
+// work units, not raw rows.
+func serialTiles(tiles, workPerTile int) bool {
+	return runtime.GOMAXPROCS(0) <= 1 || tiles <= 1 || tiles*workPerTile < minParallelWork
+}
+
 // parallelRows splits [0, rows) into contiguous chunks and runs fn on each
 // chunk concurrently. Small workloads run inline to avoid goroutine
-// overhead; work is an estimate of per-row flops.
+// overhead; work is an estimate of per-row flops. rows == 0 is a no-op
+// (fn is never called with an empty range), and the chunk count never
+// exceeds rows, so every invocation of fn covers at least one row.
 func parallelRows(rows int, workPerRow int, fn func(lo, hi int)) {
+	if rows <= 0 {
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
@@ -122,6 +164,39 @@ func parallelRows(rows int, workPerRow int, fn func(lo, hi int)) {
 	for w := 0; w < workers; w++ {
 		lo := w * rows / workers
 		hi := (w + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelTiles splits [0, tiles) tile indices into contiguous chunks and
+// runs fn on each chunk concurrently — the tile-granular fork the packed
+// GEMM chunks over (whole MC-row blocks, never raw rows, so no worker ever
+// splits a pack unit). Callers gate with serialTiles first to keep the
+// serial path closure-free.
+func parallelTiles(tiles, workPerTile int, fn func(lo, hi int)) {
+	if tiles <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 || tiles*workPerTile < minParallelWork {
+		fn(0, tiles)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * tiles / workers
+		hi := (w + 1) * tiles / workers
 		if lo == hi {
 			continue
 		}
@@ -149,22 +224,31 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulInto computes dst = A·B. dst must be a.Rows × b.Cols and is
-// overwritten. The kernel iterates i-k-j so the inner loop streams both B
-// and dst rows sequentially (cache-friendly for row-major storage).
+// overwritten. Large shapes route through the packed, register-tiled GEMM
+// core (gemm.go); small ones take the retained reference kernel, whose
+// inner loop streams both B and dst rows sequentially. The two paths are
+// bitwise-identical for finite inputs (see gemm.go's determinism
+// contract).
 func MatMulInto(dst, a, b *Matrix) {
 	checkMul(a, b, "MatMulInto", a.Cols, b.Rows)
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
-	if serialRows(n, 2*k*m) {
-		matMulRange(dst, a, b, 0, n)
+	if 2*n*k*m >= gemmMinWork {
+		gemm(dst,
+			gemmOperand{data: a.Data, rowStride: a.Cols, depthStride: 1},
+			gemmOperand{data: b.Data, rowStride: 1, depthStride: b.Cols},
+			n, m, k)
 		return
 	}
-	parallelRows(n, 2*k*m, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+	matMulRef(dst, a, b, 0, n)
 }
 
-func matMulRange(dst, a, b *Matrix, lo, hi int) {
+// matMulRef is the retained reference kernel (the pre-blocking i-k-j
+/// triple loop): the semantic ground truth every packed kernel is
+// equivalence-tested against, and the fast path for small shapes.
+func matMulRef(dst, a, b *Matrix, lo, hi int) {
 	k, m := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {
 		di := dst.Data[i*m : (i+1)*m]
@@ -203,16 +287,19 @@ func MatMulTAInto(dst, a, b *Matrix) {
 	if dst.Rows != n || dst.Cols != m {
 		panic(fmt.Sprintf("tensor: MatMulTAInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, n, m))
 	}
-	// Accumulate row-blocks of the output; each output row i gathers
-	// contributions a[kk][i] * b[kk][:].
-	if serialRows(n, 2*k*m) {
-		matMulTARange(dst, a, b, 0, n)
+	if 2*n*k*m >= gemmMinWork {
+		gemm(dst,
+			gemmOperand{data: a.Data, rowStride: 1, depthStride: a.Cols},
+			gemmOperand{data: b.Data, rowStride: 1, depthStride: b.Cols},
+			n, m, k)
 		return
 	}
-	parallelRows(n, 2*k*m, func(lo, hi int) { matMulTARange(dst, a, b, lo, hi) })
+	matMulTARef(dst, a, b, 0, n)
 }
 
-func matMulTARange(dst, a, b *Matrix, lo, hi int) {
+// matMulTARef is the retained Aᵀ·B reference kernel; each output row i
+/// gathers contributions a[kk][i] * b[kk][:].
+func matMulTARef(dst, a, b *Matrix, lo, hi int) {
 	n, k, m := a.Cols, a.Rows, b.Cols
 	for i := lo; i < hi; i++ {
 		di := dst.Data[i*m : (i+1)*m]
@@ -254,14 +341,18 @@ func MatMulTBInto(dst, a, b *Matrix) {
 	if dst.Rows != n || dst.Cols != m {
 		panic(fmt.Sprintf("tensor: MatMulTBInto: dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, n, m))
 	}
-	if serialRows(n, 2*k*m) {
-		matMulTBRange(dst, a, b, 0, n)
+	if 2*n*k*m >= gemmMinWork {
+		gemm(dst,
+			gemmOperand{data: a.Data, rowStride: a.Cols, depthStride: 1},
+			gemmOperand{data: b.Data, rowStride: b.Cols, depthStride: 1},
+			n, m, k)
 		return
 	}
-	parallelRows(n, 2*k*m, func(lo, hi int) { matMulTBRange(dst, a, b, lo, hi) })
+	matMulTBRef(dst, a, b, 0, n)
 }
 
-func matMulTBRange(dst, a, b *Matrix, lo, hi int) {
+// matMulTBRef is the retained A·Bᵀ reference kernel.
+func matMulTBRef(dst, a, b *Matrix, lo, hi int) {
 	k, m := a.Cols, b.Rows
 	for i := lo; i < hi; i++ {
 		ai := a.Data[i*k : (i+1)*k]
@@ -324,19 +415,46 @@ func (m *Matrix) ColSum() []float32 {
 	return out
 }
 
+// colSumLineFloats is the column-chunk unit of the parallel ColSumInto
+// path: one 64-byte cache line of float32 output. Splitting out[] on any
+// finer boundary makes adjacent workers ping-pong the shared line
+// (false sharing); chunking whole lines keeps every worker's output
+// region disjoint at cache granularity.
+const colSumLineFloats = 16
+
 // ColSumInto accumulates per-column sums into out (len = Cols), which is
-// zeroed first — the workspace-reusing form of ColSum.
+// zeroed first — the workspace-reusing form of ColSum. Wide matrices
+// chunk columns across goroutines in whole cache lines of out (see
+// colSumLineFloats); each column always accumulates its rows in ascending
+// order, so the result is bitwise-identical for every worker count.
 func (m *Matrix) ColSumInto(out []float32) {
 	if len(out) != m.Cols {
 		panic("tensor: ColSumInto: length mismatch")
 	}
-	for j := range out {
+	lines := (m.Cols + colSumLineFloats - 1) / colSumLineFloats
+	if serialTiles(lines, m.Rows*colSumLineFloats) {
+		m.colSumRange(out, 0, m.Cols)
+		return
+	}
+	parallelTiles(lines, m.Rows*colSumLineFloats, func(llo, lhi int) {
+		lo, hi := llo*colSumLineFloats, lhi*colSumLineFloats
+		if hi > m.Cols {
+			hi = m.Cols
+		}
+		m.colSumRange(out, lo, hi)
+	})
+}
+
+// colSumRange accumulates columns [lo, hi) of the per-column sums, rows
+// ascending.
+func (m *Matrix) colSumRange(out []float32, lo, hi int) {
+	for j := lo; j < hi; j++ {
 		out[j] = 0
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
 		for j, v := range row {
-			out[j] += v
+			out[lo+j] += v
 		}
 	}
 }

@@ -240,4 +240,44 @@ func benchMatMul(b *testing.B, n int) {
 	for i := 0; i < b.N; i++ {
 		MatMulInto(dst, a, c)
 	}
+	reportGFLOPS(b, 2*n*n*n)
+}
+
+// reportGFLOPS attaches achieved floating-point throughput to a matmul
+// benchmark (flops = flop count of ONE op). The unit is per-op so the
+// benchhot trajectory tooling picks it up like any other */op metric.
+func reportGFLOPS(b *testing.B, flops int) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 {
+		return
+	}
+	b.ReportMetric(float64(flops)*float64(b.N)/sec/1e9, "gflops/op")
+}
+
+// BenchmarkMatMulTA256/TB256 cover the two transposed backward-pass
+// kernels at a training-typical panel shape.
+func BenchmarkMatMulTA256(b *testing.B) {
+	r := rng.New(2)
+	a := randomMatrix(r, 256, 256)
+	c := randomMatrix(r, 256, 256)
+	dst := New(256, 256)
+	b.SetBytes(int64(2 * 256 * 256 * 256 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTAInto(dst, a, c)
+	}
+	reportGFLOPS(b, 2*256*256*256)
+}
+
+func BenchmarkMatMulTB256(b *testing.B) {
+	r := rng.New(3)
+	a := randomMatrix(r, 256, 256)
+	c := randomMatrix(r, 256, 256)
+	dst := New(256, 256)
+	b.SetBytes(int64(2 * 256 * 256 * 256 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTBInto(dst, a, c)
+	}
+	reportGFLOPS(b, 2*256*256*256)
 }

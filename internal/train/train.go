@@ -30,6 +30,7 @@ import (
 	"plshuffle/internal/store/shard"
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/tensor"
+	"plshuffle/internal/tensor/arena"
 	"plshuffle/internal/trace"
 	"plshuffle/internal/transport"
 )
@@ -485,6 +486,14 @@ type worker struct {
 	xBuf    *tensor.Matrix
 	yBuf    []int
 
+	// arena is this worker's step arena (DESIGN.md §14): every layer and
+	// loss workspace for one forward+backward pass is bump-allocated from
+	// it and reclaimed wholesale by the Reset at the top of the next
+	// iteration — the steady-state training step does zero heap
+	// allocation. valBuf is the arena-backed eval input batch.
+	arena  *arena.Arena
+	valBuf *tensor.Matrix
+
 	// Overlapped gradient sync state (cfg.OverlapGrads; DESIGN.md §9).
 	// plan partitions the parameters into reverse-layer buckets;
 	// bucketBounds[i] is bucket i's ring-chunk partition — the global flat
@@ -538,7 +547,10 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		pfs:           pfs,
 		exchEpoch:     -1,
 		assignedGroup: -1,
+		arena:         arena.New(0),
 	}
+	w.model.SetArena(w.arena)
+	w.loss.SetArena(w.arena)
 	if cfg.ImportanceSampling {
 		w.lossByID = make(map[int]float64)
 	}
@@ -1234,6 +1246,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		// applied to the gradient exchange): the bucket rings progress on
 		// background goroutines while the earlier layers keep computing.
 		t0 = time.Now()
+		// Reclaim the previous step's activation workspaces wholesale.
+		// Nothing arena-backed is live across this boundary: the last
+		// iteration's outputs, gradients-of-activations, and loss buffers
+		// are all dead once its optimizer step ran.
+		w.arena.Reset()
 		logits := w.model.Forward(w.xBuf, true)
 		lossSum += w.loss.Forward(logits, w.yBuf)
 		if w.lossByID != nil {
@@ -1418,7 +1435,11 @@ func (w *worker) validate() float64 {
 		if end > hi {
 			end = hi
 		}
-		x := tensor.New(end-start, w.cfg.Dataset.FeatureDim)
+		// Eval batches share the step arena: reset per batch, so a long
+		// validation shard never grows the arena past one batch's worth.
+		w.arena.Reset()
+		w.valBuf = tensor.EnsureShapeArena(w.arena, w.valBuf, end-start, w.cfg.Dataset.FeatureDim)
+		x := w.valBuf
 		y := make([]int, end-start)
 		for i := start; i < end; i++ {
 			copy(x.Row(i-start), val[i].Features)
