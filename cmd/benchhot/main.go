@@ -41,6 +41,7 @@ var hotPackages = []string{
 	"./internal/shuffle",
 	"./internal/store/shard",
 	"./internal/store/cache",
+	"./internal/checkpoint",
 	"./internal/train",
 }
 
@@ -202,9 +203,9 @@ func parseRaw(raw string) []Result {
 			case "MB/s":
 				// throughput of the ns/op column; redundant, skip
 			default:
-				if strings.HasSuffix(unit, "/op") {
-					s.extra[unit] = append(s.extra[unit], v)
-				}
+				// Any custom b.ReportMetric column ("wait-ns/op",
+				// "snapshot-B/model-B", ...) is kept keyed by its unit.
+				s.extra[unit] = append(s.extra[unit], v)
 			}
 		}
 	}

@@ -45,33 +45,43 @@ func main() {
 	seed := flag.Uint64("seed", 42, "run seed (must match on every rank)")
 	timeout := flag.Duration("timeout", 0, "abort with an error if the run makes no progress for this long (0 = no watchdog)")
 	onPeerFail := flag.String("on-peer-fail", "abort", "policy when a peer rank dies mid-run: abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q); must match on every rank")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for atomic epoch-boundary snapshots (empty = checkpointing off; must match on every rank)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot every Nth epoch boundary (0 = every epoch)")
+	resume := flag.Bool("resume", false, "restore the newest complete snapshot under -checkpoint-dir before training; the resumed run is bitwise identical to one that never stopped")
+	maxWorld := flag.Int("max-world", 0, "elastic world capacity: rank slots [world, max-world) stay reserved for mid-run joiners (0 = fixed world; must match on every rank)")
+	join := flag.Bool("join", false, "join an already-running elastic world instead of bootstrapping one: the root assigns a free slot and the members admit this rank at the next epoch boundary (-rank is ignored; all training flags must match the running world's)")
 	telemetryAddr := flag.String("telemetry-addr", "", "BASE host:port of the per-rank telemetry endpoints; rank r serves /metrics, /trace, /healthz, and /debug/pprof on port+r, and rank 0 additionally serves /cluster/metrics (empty = telemetry off)")
 	flag.Parse()
 
 	err := distrun.Run(distrun.Options{
-		Rank:          *rank,
-		World:         *world,
-		Rendezvous:    *rendezvous,
-		Dataset:       *dataset,
-		Model:         *model,
-		Strategy:      *strategy,
-		Q:             *q,
-		DataDir:       *dataDir,
-		CacheBytes:    *cacheBytes,
-		GroupEpochs:   *groupEpochs,
-		Epochs:        *epochs,
-		Batch:         *batch,
-		LR:            *lr,
-		Locality:      *locality,
-		LARS:          *lars,
-		OverlapGrads:   *overlapGrads,
-		WireCompress:   *wireCompress,
-		WireDedup:      *wireDedup,
-		SampleEncoding: *sampleEncoding,
-		Seed:           *seed,
-		Timeout:        *timeout,
-		OnPeerFail:     *onPeerFail,
-		TelemetryAddr:  *telemetryAddr,
+		Rank:            *rank,
+		World:           *world,
+		Rendezvous:      *rendezvous,
+		Dataset:         *dataset,
+		Model:           *model,
+		Strategy:        *strategy,
+		Q:               *q,
+		DataDir:         *dataDir,
+		CacheBytes:      *cacheBytes,
+		GroupEpochs:     *groupEpochs,
+		Epochs:          *epochs,
+		Batch:           *batch,
+		LR:              *lr,
+		Locality:        *locality,
+		LARS:            *lars,
+		OverlapGrads:    *overlapGrads,
+		WireCompress:    *wireCompress,
+		WireDedup:       *wireDedup,
+		SampleEncoding:  *sampleEncoding,
+		Seed:            *seed,
+		Timeout:         *timeout,
+		OnPeerFail:      *onPeerFail,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
+		MaxWorld:        *maxWorld,
+		Join:            *join,
+		TelemetryAddr:   *telemetryAddr,
 	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -51,6 +51,10 @@ func main() {
 	launch := flag.Int("launch", 0, "run as this many OS processes over localhost TCP (0 = in-process goroutines)")
 	timeout := flag.Duration("timeout", 0, "exit non-zero instead of hanging if the run makes no progress for this long (0 = no watchdog)")
 	onPeerFail := flag.String("on-peer-fail", "abort", "with -launch: policy when a peer rank dies mid-run — abort (fail fast, naming the dead rank) or degrade (survivors finish with a reduced effective Q)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for atomic epoch-boundary snapshots (empty = checkpointing off)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot every Nth epoch boundary (0 = every epoch)")
+	resume := flag.Bool("resume", false, "restore the newest complete snapshot under -checkpoint-dir before training; the resumed run is bitwise identical to one that never stopped")
+	maxWorld := flag.Int("max-world", 0, "with -launch: elastic world capacity — rank slots [launch, max-world) stay reserved for mid-run joiners (0 = fixed world)")
 	telemetryAddr := flag.String("telemetry-addr", "", "BASE host:port of the live telemetry endpoints (/metrics, /trace, /healthz, /debug/pprof); with -launch rank r serves on port+r and rank 0 additionally serves /cluster/metrics (empty = telemetry off)")
 	saveWeights := flag.String("save-weights", "", "write the trained model checkpoint to this file")
 	listDatasets := flag.Bool("list-datasets", false, "list dataset keys and exit")
@@ -67,26 +71,30 @@ func main() {
 	}
 
 	opts := distrun.Options{
-		Dataset:       *dataset,
-		Model:         *model,
-		Strategy:      *strategy,
-		Q:             *q,
-		DataDir:       *dataDir,
-		CacheBytes:    *cacheBytes,
-		GroupEpochs:   *groupEpochs,
-		Epochs:        *epochs,
-		Batch:         *batch,
-		LR:            *lr,
-		Locality:      *locality,
-		LARS:          *lars,
-		OverlapGrads:   *overlapGrads,
-		WireCompress:   *wireCompress,
-		WireDedup:      *wireDedup,
-		SampleEncoding: *sampleEncoding,
-		Seed:           *seed,
-		Timeout:       *timeout,
-		OnPeerFail:    *onPeerFail,
-		TelemetryAddr: *telemetryAddr,
+		Dataset:         *dataset,
+		Model:           *model,
+		Strategy:        *strategy,
+		Q:               *q,
+		DataDir:         *dataDir,
+		CacheBytes:      *cacheBytes,
+		GroupEpochs:     *groupEpochs,
+		Epochs:          *epochs,
+		Batch:           *batch,
+		LR:              *lr,
+		Locality:        *locality,
+		LARS:            *lars,
+		OverlapGrads:    *overlapGrads,
+		WireCompress:    *wireCompress,
+		WireDedup:       *wireDedup,
+		SampleEncoding:  *sampleEncoding,
+		Seed:            *seed,
+		Timeout:         *timeout,
+		OnPeerFail:      *onPeerFail,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
+		MaxWorld:        *maxWorld,
+		TelemetryAddr:   *telemetryAddr,
 	}
 
 	if *workerRank >= 0 {
@@ -111,7 +119,8 @@ func main() {
 
 	runInproc(*workers, *strategy, *q, *dataset, *model, *dataDir, *cacheBytes,
 		*groupEpochs, *epochs, *batch, *lr, *locality, *lars, *overlapGrads,
-		*wireDedup, *sampleEncoding, *seed, *timeout, *saveWeights, *telemetryAddr)
+		*wireDedup, *sampleEncoding, *seed, *timeout, *saveWeights, *telemetryAddr,
+		*checkpointDir, *checkpointEvery, *resume)
 }
 
 // runLaunched forks world-1 copies of this binary as worker ranks and plays
@@ -157,6 +166,15 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-wire-compress=" + strconv.FormatBool(opts.WireCompress),
 		"-wire-dedup=" + strconv.FormatBool(opts.WireDedup),
 		"-sample-encoding", opts.SampleEncoding,
+	}
+	if opts.CheckpointDir != "" {
+		args = append(args,
+			"-checkpoint-dir", opts.CheckpointDir,
+			"-checkpoint-every", strconv.Itoa(opts.CheckpointEvery),
+			"-resume="+strconv.FormatBool(opts.Resume))
+	}
+	if opts.MaxWorld > 0 {
+		args = append(args, "-max-world", strconv.Itoa(opts.MaxWorld))
 	}
 	if opts.TelemetryAddr != "" {
 		// Forward the BASE address; each worker offsets the port by its rank.
@@ -234,7 +252,8 @@ func runLaunched(world int, opts distrun.Options) error {
 func runInproc(workers int, strategy string, q float64, dataset, model, dataDir string,
 	cacheBytes int64, groupEpochs, epochs, batch int, lr, locality float64,
 	lars, overlapGrads, wireDedup bool, sampleEncoding string, seed uint64,
-	timeout time.Duration, saveWeights, telemetryAddr string) {
+	timeout time.Duration, saveWeights, telemetryAddr string,
+	checkpointDir string, checkpointEvery int, resume bool) {
 	var strat plshuffle.Strategy
 	switch strategy {
 	case "global":
@@ -324,6 +343,9 @@ func runInproc(workers int, strategy string, q float64, dataset, model, dataDir 
 			OverlapGrads:      overlapGrads,
 			WireDedup:         wireDedup,
 			SampleEncoding:    sampleEncoding,
+			CheckpointDir:     checkpointDir,
+			CheckpointEvery:   checkpointEvery,
+			Resume:            resume,
 			Trace:             rec,
 			Telemetry:         reg,
 		})

@@ -1,0 +1,77 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSections builds a realistic per-rank snapshot for a model of the
+// given weight size: weights plus one momentum buffer of the same shape,
+// a few RNG streams, and an 8K-sample store-ID list — the layout
+// train.snapshotSections produces.
+func benchSections(modelBytes int) map[string][]byte {
+	rng := rand.New(rand.NewSource(1))
+	blob := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	return map[string][]byte{
+		"weights":   blob(modelBytes),
+		"optimizer": blob(modelBytes),
+		"rng":       blob(256),
+		"store_ids": blob(4 + 8*8192),
+	}
+}
+
+// BenchmarkEncodeSnapshot measures the snapshot codec alone: sectioning,
+// length-prefixing, and the crc32c footer over a model-sized payload. The
+// snapshot-bytes/model-byte column is the format's size overhead — how many
+// durable bytes one byte of model state costs (moments and cursors
+// included), the satellite metric for checkpoint capacity planning.
+func BenchmarkEncodeSnapshot(b *testing.B) {
+	for _, mb := range []int{1 << 16, 1 << 20, 8 << 20} {
+		sections := benchSections(mb)
+		var in int64
+		for _, s := range sections {
+			in += int64(len(s))
+		}
+		b.Run(fmt.Sprintf("model%dKB", mb>>10), func(b *testing.B) {
+			img := EncodeSnapshot(sections)
+			b.SetBytes(in)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				img = EncodeSnapshot(sections)
+			}
+			b.ReportMetric(float64(len(img))/float64(mb), "snapshot-B/model-B")
+		})
+	}
+}
+
+// BenchmarkWriteRestore measures the durable round-trip a training step
+// actually pays at a checkpoint boundary: encode, fsync'd temp write,
+// atomic commit, then the resume side's read-back with CRC verification.
+func BenchmarkWriteRestore(b *testing.B) {
+	for _, mb := range []int{1 << 16, 1 << 20, 8 << 20} {
+		sections := benchSections(mb)
+		b.Run(fmt.Sprintf("model%dKB", mb>>10), func(b *testing.B) {
+			dir := b.TempDir()
+			img := EncodeSnapshot(sections)
+			b.SetBytes(int64(len(img)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := RankPath(dir, i%64)
+				if err := WriteTemp(path, img); err != nil {
+					b.Fatal(err)
+				}
+				if err := Commit(path); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ReadRankFile(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSections() map[string][]byte {
+	return map[string][]byte{
+		"weights":   bytes.Repeat([]byte{1, 2, 3, 4}, 64),
+		"optimizer": {9, 8, 7},
+		"rng":       {},
+		"store_ids": {42},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := sampleSections()
+	img := EncodeSnapshot(in)
+	if !bytes.Equal(img, EncodeSnapshot(in)) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+	out, err := DecodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("section count %d != %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if !bytes.Equal(out[k], v) {
+			t.Fatalf("section %q corrupted", k)
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	img := EncodeSnapshot(sampleSections())
+	for _, tc := range []struct {
+		name string
+		muck func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bitflip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"badmagic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"badversion", func(b []byte) []byte { b[4] = Version + 1; return b }},
+		{"empty", func(b []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.muck(append([]byte(nil), img...))
+			if _, err := DecodeSnapshot(b); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+// writeSnapshot commits a complete snapshot directory for the given ranks.
+func writeSnapshot(t *testing.T, base string, nextEpoch int, ranks []int, meta Meta) string {
+	t.Helper()
+	dir := Dir(base, nextEpoch)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	meta.NextEpoch = nextEpoch
+	for _, r := range ranks {
+		img := EncodeSnapshot(map[string][]byte{"rank": {byte(r), byte(nextEpoch)}})
+		path := RankPath(dir, r)
+		if err := WriteTemp(path, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := Commit(path); err != nil {
+			t.Fatal(err)
+		}
+		meta.Ranks = append(meta.Ranks, RankFile{Rank: r, CRC: CRC(img), Size: int64(len(img))})
+	}
+	if err := WriteManifest(dir, meta); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadLatestPicksNewestComplete(t *testing.T) {
+	base := t.TempDir()
+	writeSnapshot(t, base, 2, []int{0, 1}, Meta{WorldSize: 2, Seed: 7})
+	writeSnapshot(t, base, 5, []int{0, 1}, Meta{WorldSize: 2, Seed: 7})
+
+	dir, meta, err := LoadLatest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NextEpoch != 5 || dir != Dir(base, 5) {
+		t.Fatalf("loaded %s (next epoch %d), want the epoch-5 snapshot", dir, meta.NextEpoch)
+	}
+	sections, err := ReadRankFile(RankPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sections["rank"], []byte{1, 5}) {
+		t.Fatal("rank file contents wrong")
+	}
+}
+
+// TestLoadLatestIgnoresTornSnapshot is the crash-mid-checkpoint contract:
+// a snapshot directory holding only temp files (some torn) and no committed
+// manifest is invisible, and the previous complete snapshot loads.
+func TestLoadLatestIgnoresTornSnapshot(t *testing.T) {
+	base := t.TempDir()
+	writeSnapshot(t, base, 3, []int{0, 1}, Meta{WorldSize: 2, Seed: 7})
+
+	// A later snapshot that died mid-write: rank 0's temp file is torn in
+	// half, rank 1 never renamed, no manifest.
+	dir := Dir(base, 6)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	img := EncodeSnapshot(map[string][]byte{"rank": {0, 6}})
+	if err := WriteTemp(RankPath(dir, 0), img[:len(img)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTemp(RankPath(dir, 1), img); err != nil {
+		t.Fatal(err)
+	}
+
+	_, meta, err := LoadLatest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NextEpoch != 3 {
+		t.Fatalf("loaded next epoch %d, want the previous complete snapshot (3)", meta.NextEpoch)
+	}
+}
+
+// TestLoadLatestSkipsCorruptedNewest: a committed manifest whose rank file
+// was later damaged fails Verify, and the scan falls back to an older one.
+func TestLoadLatestSkipsCorruptedNewest(t *testing.T) {
+	base := t.TempDir()
+	writeSnapshot(t, base, 2, []int{0}, Meta{WorldSize: 1})
+	dir := writeSnapshot(t, base, 4, []int{0}, Meta{WorldSize: 1})
+	if err := os.Truncate(RankPath(dir, 0), 5); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := LoadLatest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NextEpoch != 2 {
+		t.Fatalf("loaded next epoch %d, want fallback snapshot (2)", meta.NextEpoch)
+	}
+}
+
+func TestLoadLatestEmpty(t *testing.T) {
+	base := t.TempDir()
+	if _, _, err := LoadLatest(base); err == nil {
+		t.Fatal("empty base directory yielded a snapshot")
+	}
+	if err := os.WriteFile(filepath.Join(base, "ckpt-junk"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadLatest(base); err == nil {
+		t.Fatal("junk entries yielded a snapshot")
+	}
+}
+
+// TestDegradedGroupRecorded pins the satellite fix: the manifest carries the
+// post-shrink group, and LiveRanks resolves it.
+func TestDegradedGroupRecorded(t *testing.T) {
+	base := t.TempDir()
+	writeSnapshot(t, base, 7, []int{0, 2, 3}, Meta{WorldSize: 4, Group: []int{0, 2, 3}, Generation: 1})
+	_, meta, err := LoadLatest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meta.LiveRanks()
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("LiveRanks = %v, want [0 2 3]", got)
+	}
+	full := Meta{WorldSize: 3}
+	if lr := full.LiveRanks(); len(lr) != 3 || lr[2] != 2 {
+		t.Fatalf("full-world LiveRanks = %v", lr)
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(EncodeSnapshot(sampleSections()))
+	f.Add(EncodeSnapshot(map[string][]byte{}))
+	img := EncodeSnapshot(sampleSections())
+	f.Add(img[:len(img)-2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sections, err := DecodeSnapshot(b)
+		if err == nil {
+			// Valid decodes must re-encode to an image that decodes equal.
+			if _, err := DecodeSnapshot(EncodeSnapshot(sections)); err != nil {
+				t.Fatalf("re-encode of valid snapshot failed: %v", err)
+			}
+		}
+	})
+}

@@ -52,12 +52,12 @@ type Options struct {
 	// GroupEpochs is corgi2's epoch-group length: shard assignments
 	// reshuffle across ranks every GroupEpochs epochs (0 = 1).
 	GroupEpochs int
-	Epochs   int
-	Batch    int
-	LR       float64
-	Locality float64
-	LARS     bool
-	Seed     uint64
+	Epochs      int
+	Batch       int
+	LR          float64
+	Locality    float64
+	LARS        bool
+	Seed        uint64
 	// OverlapGrads selects the bucketed non-blocking gradient all-reduce
 	// that pipelines with backward (train.Config.OverlapGrads); false runs
 	// the serial flat ring, the A/B baseline. Results are bitwise identical
@@ -88,6 +88,34 @@ type Options struct {
 	// rank, "degrade" completes the run among the survivors with a
 	// reduced effective Q. Every rank must agree.
 	OnPeerFail string
+
+	// CheckpointDir, when non-empty, enables deterministic checkpointing
+	// (train.Config.CheckpointDir; DESIGN.md §15): every rank commits an
+	// atomic, CRC-checksummed snapshot of its replica state at epoch
+	// boundaries. Every rank must agree (typically a shared filesystem
+	// path, or per-host paths that survive the rank's restart).
+	CheckpointDir string
+	// CheckpointEvery snapshots every Nth epoch boundary (0 = every epoch).
+	CheckpointEvery int
+	// Resume restores the newest complete snapshot under CheckpointDir
+	// before training (train.Config.Resume). The relaunched world must have
+	// either the snapshot's full world size or exactly its live-group size
+	// (a degraded world resumes shrunken; rank i adopts group member i's
+	// state). The resumed run is bitwise identical to one that never
+	// stopped.
+	Resume bool
+
+	// MaxWorld, when greater than World, makes the world elastic
+	// (tcp.Config.MaxSize): rank slots [World, MaxWorld) stay reserved for
+	// mid-run joiners, and the running members admit them at epoch
+	// boundaries. Must be identical on every rank.
+	MaxWorld int
+	// Join connects this rank to an already-running elastic world instead
+	// of bootstrapping one (tcp.Config.Join): the root assigns a free slot,
+	// the members admit the rank at the next epoch boundary, and it trains
+	// the remaining epochs as a full member. Rank is ignored; World and
+	// MaxWorld must match the running world's.
+	Join bool
 
 	// TelemetryAddr, when non-empty, is the BASE listen address of the
 	// per-rank telemetry endpoints (DESIGN.md §11): rank r serves
@@ -149,6 +177,13 @@ func Run(o Options, out io.Writer) error {
 		return err
 	}
 
+	if o.Join && o.MaxWorld <= o.World {
+		return fmt.Errorf("distrun: -join requires an elastic world (-max-world greater than -world, identical to the running members')")
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("distrun: -resume requires -checkpoint-dir")
+	}
+
 	bootstrap := 30 * time.Second
 	if o.Timeout > 0 && o.Timeout < bootstrap {
 		bootstrap = o.Timeout
@@ -157,6 +192,8 @@ func Run(o Options, out io.Writer) error {
 		return tcp.New(tcp.Config{
 			Rank:               o.Rank,
 			Size:               o.World,
+			MaxSize:            o.MaxWorld,
+			Join:               o.Join,
 			Rendezvous:         o.Rendezvous,
 			RendezvousListener: o.RendezvousListener,
 			BootstrapTimeout:   bootstrap,
@@ -176,6 +213,11 @@ func Run(o Options, out io.Writer) error {
 		// a rendezvous that never formed (rank 0 absent, wrong address, or a
 		// rank missing from the world).
 		return fmt.Errorf("distrun: rank %d/%d: bootstrap failed (rendezvous %s): %w", o.Rank, o.World, o.Rendezvous, err)
+	}
+	if o.Join {
+		// A joiner's rank is assigned by the rendezvous root at bootstrap;
+		// adopt it so telemetry ports and failure reports name the real slot.
+		o.Rank = comm.Rank()
 	}
 
 	// Every rank records phase trace events so a watchdog report can name
@@ -253,10 +295,13 @@ func Run(o Options, out io.Writer) error {
 			o.Rank, pe.Rank, pe.Phase, lastPhase(rec), err)
 	}
 	if cerr := comm.Close(); err == nil && cerr != nil {
-		if _, isPeer := transport.AsPeerError(cerr); isPeer && o.OnPeerFail == "degrade" {
-			// A completed degrade-mode run tolerated this death already: the
-			// transport's sticky record of the shrunk-away peer is history,
-			// not a failure of the surviving rank.
+		if _, isPeer := transport.AsPeerError(cerr); isPeer {
+			// err == nil means this rank cleared the final barrier, so every
+			// peer was alive through the whole run. A peer "failure" that
+			// surfaces only at close is therefore shutdown ordering — a rank
+			// that finished and exited before our last heartbeat reached it —
+			// or, in degrade mode, the sticky record of a death the run
+			// already tolerated. Neither is a failure of this rank.
 			return nil
 		}
 		err = fmt.Errorf("distrun: rank %d: close: %w", o.Rank, cerr)
@@ -312,7 +357,7 @@ func telemetryTargets(base string, world int) []string {
 // trainRank is the per-rank program: train, gather balance/peak/byte
 // accounting at the lowest surviving rank, and print the report there.
 func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset, spec nn.ModelSpec, rec *trace.Recorder, reg *telemetry.Registry, out io.Writer) error {
-	rr, err := train.RunRank(c, train.Config{
+	cfg := train.Config{
 		Workers:           c.Size(),
 		Strategy:          strat,
 		Dataset:           ds,
@@ -331,9 +376,24 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		WireDedup:         o.WireDedup,
 		SampleEncoding:    o.SampleEncoding,
 		OnPeerFail:        o.OnPeerFail,
+		CheckpointDir:     o.CheckpointDir,
+		CheckpointEvery:   o.CheckpointEvery,
+		Resume:            o.Resume,
+		Elastic:           o.MaxWorld > o.World || o.Join,
 		Trace:             rec,
 		Telemetry:         reg,
-	})
+	}
+	var rr *train.RankResult
+	var err error
+	if o.Join {
+		// A joiner parks until the members admit it at an epoch boundary,
+		// then trains the remaining epochs as a full member; its post-join
+		// group is the grown world, so the gather/report path below works
+		// unchanged.
+		rr, err = train.JoinRank(c, cfg)
+	} else {
+		rr, err = train.RunRank(c, cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -309,6 +309,11 @@ type Comm struct {
 	// boundsScratch is the ring-Allreduce chunk-bounds table, reused across
 	// calls (a Comm is single-goroutine by contract, so no locking).
 	boundsScratch []int
+	// joins queues rendezvous join requests announced by the transport
+	// (rank 0 of an elastic TCP world) until the trainer drains them at an
+	// epoch boundary — see elastic.go.
+	joinMu sync.Mutex
+	joins  []transport.JoinRequest
 }
 
 // Connect builds a communicator over a transport connection opened by dial.
@@ -338,6 +343,9 @@ func Connect(dial func(transport.Handler) (transport.Conn, error)) (*Comm, error
 	c.gidx = c.rank
 	if fn, ok := conn.(transport.FailureNotifier); ok {
 		fn.OnPeerFailure(c.notePeerFailure)
+	}
+	if jn, ok := transport.AsJoinNotifier(conn); ok {
+		jn.OnJoinRequest(c.noteJoinRequest)
 	}
 	return c, nil
 }

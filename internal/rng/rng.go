@@ -62,6 +62,22 @@ func (r *Rand) Seed(seed uint64) {
 	}
 }
 
+// State returns the raw xoshiro256** state. Together with SetState it
+// allows a generator's stream position to be checkpointed and later resumed
+// bitwise: SetState(State()) followed by the same draw sequence yields the
+// same outputs.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a generator to a previously captured State. An all-zero
+// state is invalid for xoshiro256** and is mapped to the same guard value
+// Seed uses, so a corrupted checkpoint cannot wedge the generator.
+func (r *Rand) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

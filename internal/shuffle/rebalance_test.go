@@ -1,0 +1,200 @@
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"plshuffle/internal/data"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/store"
+)
+
+func rebalanceSample(id int) data.Sample {
+	return data.Sample{ID: id, Label: id % 7, Features: []float32{float32(id), float32(id) * 0.5}, Bytes: 64}
+}
+
+// TestRebalanceFromSkew: rank 0 starts holding the entire dataset (the
+// extreme skew a fresh joiner world exhibits: joiners hold nothing) and a
+// rebalance leaves every rank with a balanced, disjoint, conserved share.
+func TestRebalanceFromSkew(t *testing.T) {
+	const n, m = 41, 4
+	finals := make([][]int, m)
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		st := store.NewLocal(0)
+		if c.Rank() == 0 {
+			for id := 0; id < n; id++ {
+				if err := st.Put(rebalanceSample(id)); err != nil {
+					return err
+				}
+			}
+		}
+		stats, err := Rebalance(c, st, 42, 3)
+		if err != nil {
+			return err
+		}
+		if stats.Total != n {
+			return fmt.Errorf("rank %d: stats.Total = %d, want %d", c.Rank(), stats.Total, n)
+		}
+		if c.Rank() == 0 && stats.Received != 0 {
+			return fmt.Errorf("rank 0 received %d samples while holding everything", stats.Received)
+		}
+		if c.Rank() != 0 && stats.Sent != 0 {
+			return fmt.Errorf("rank %d sent %d samples from an empty store", c.Rank(), stats.Sent)
+		}
+		finals[c.Rank()] = st.IDs()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConservedBalanced(t, finals, n)
+}
+
+// TestRebalanceDeterministicAndIdempotent: the target partition is a pure
+// function of (survivor set, seed, epoch), so a second rebalance at the same
+// coordinates moves nothing.
+func TestRebalanceIdempotent(t *testing.T) {
+	const n, m = 24, 3
+	err := mpi.Run(m, func(c *mpi.Comm) error {
+		st := store.NewLocal(0)
+		// Arbitrary initial spread: round-robin.
+		for id := 0; id < n; id++ {
+			if id%m == c.Rank() {
+				if err := st.Put(rebalanceSample(id)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := Rebalance(c, st, 7, 1); err != nil {
+			return err
+		}
+		after := st.IDs()
+		stats, err := Rebalance(c, st, 7, 1)
+		if err != nil {
+			return err
+		}
+		if stats.Sent != 0 || stats.Received != 0 {
+			return fmt.Errorf("rank %d: second rebalance moved sent=%d recv=%d", c.Rank(), stats.Sent, stats.Received)
+		}
+		if !equalIntsRB(after, st.IDs()) {
+			return fmt.Errorf("rank %d: idempotent rebalance changed the store", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceDegradedGroup: a shrunken group (dead rank excluded, its
+// samples lost) rebalances what survives over the members, joiner included.
+func TestRebalanceDegradedGroup(t *testing.T) {
+	const n = 40 // ids 0..39; rank 1's initial quarter (10..19) is "lost"
+	w := mpi.NewWorld(5)
+	group := []int{0, 2, 3, 4} // rank 1 dead, rank 4 is a joiner with nothing
+	finals := make([][]int, 5)
+	errs := make([]error, 5)
+	var wg sync.WaitGroup
+	for _, r := range group {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			if r != 4 {
+				if err := c.Shrink([]int{0, 2, 3}); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			if err := c.Grow(5, group); err != nil {
+				errs[r] = err
+				return
+			}
+			st := store.NewLocal(0)
+			// Survivors hold their original quarters; rank 1's is gone.
+			if r != 4 {
+				quarter := map[int]int{0: 0, 2: 20, 3: 30}[r]
+				for id := quarter; id < quarter+10; id++ {
+					if err := st.Put(rebalanceSample(id)); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}
+			if _, err := Rebalance(c, st, 99, 5); err != nil {
+				errs[r] = err
+				return
+			}
+			finals[r] = st.IDs()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	var held [][]int
+	for _, r := range group {
+		held = append(held, finals[r])
+	}
+	// 30 surviving samples over 4 members: shares of 8,8,7,7.
+	assertConservedBalanced(t, held, 30)
+	union := map[int]bool{}
+	for _, ids := range held {
+		for _, id := range ids {
+			union[id] = true
+		}
+	}
+	for id := 10; id < 20; id++ {
+		if union[id] {
+			t.Fatalf("lost sample %d reappeared after rebalance", id)
+		}
+	}
+	_ = n
+}
+
+// assertConservedBalanced checks that the per-rank ID sets are disjoint,
+// cover exactly total samples, and differ in size by at most one.
+func assertConservedBalanced(t *testing.T, held [][]int, total int) {
+	t.Helper()
+	seen := map[int]int{}
+	minLen, maxLen := -1, -1
+	var all []int
+	for r, ids := range held {
+		if minLen == -1 || len(ids) < minLen {
+			minLen = len(ids)
+		}
+		if len(ids) > maxLen {
+			maxLen = len(ids)
+		}
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("sample %d held by entries %d and %d", id, prev, r)
+			}
+			seen[id] = r
+			all = append(all, id)
+		}
+	}
+	if len(all) != total {
+		t.Fatalf("%d samples held, want %d", len(all), total)
+	}
+	if maxLen-minLen > 1 {
+		t.Fatalf("imbalanced shares: min %d, max %d", minLen, maxLen)
+	}
+	sort.Ints(all)
+}
+
+func equalIntsRB(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -37,6 +37,17 @@ type TrainMetrics struct {
 	// bytes, zero on inproc), mirroring EpochStats.GradWireBytes.
 	GradWireBytes Counter
 
+	// Elastic-world shape (DESIGN.md §15): the collective group's current
+	// member count and the membership generation (bumped by every shrink or
+	// join). WorldSize tracks GroupSize, not the rank name space.
+	WorldSize  Gauge
+	Generation Gauge
+	// Checkpoint accounting: snapshots committed by this rank, cumulative
+	// wall-clock spent encoding+writing them, and cumulative snapshot bytes.
+	CheckpointWrites Counter
+	CheckpointNs     Counter
+	CheckpointBytes  Counter
+
 	// start anchors the lifetime samples/sec gauge.
 	start time.Time
 }
@@ -80,6 +91,16 @@ func (m *TrainMetrics) Register(reg *Registry, rank int) {
 	reg.CounterFunc("pls_train_grad_wire_bytes_total",
 		"Exact wire bytes moved by the gradient all-reduce (sent+recv, frame headers included).", l,
 		func() float64 { return float64(m.GradWireBytes.Load()) })
+	reg.GaugeFunc("pls_world_size", "Live members of the collective group (shrinks on failure, grows on join).", l,
+		func() float64 { return m.WorldSize.Load() })
+	reg.GaugeFunc("pls_world_generation", "Membership generation: re-formations of the collective group (shrink or grow).", l,
+		func() float64 { return m.Generation.Load() })
+	reg.CounterFunc("pls_checkpoint_writes_total", "Checkpoint snapshots committed by this rank.", l,
+		func() float64 { return float64(m.CheckpointWrites.Load()) })
+	reg.CounterFunc("pls_checkpoint_seconds_total", "Cumulative wall-clock spent encoding and writing checkpoints, seconds.", l,
+		func() float64 { return float64(m.CheckpointNs.Load()) / 1e9 })
+	reg.CounterFunc("pls_checkpoint_bytes_total", "Cumulative snapshot image bytes committed by this rank.", l,
+		func() float64 { return float64(m.CheckpointBytes.Load()) })
 }
 
 // rankLabel renders the shared {rank="N"} label set.

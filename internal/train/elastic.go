@@ -1,0 +1,283 @@
+package train
+
+// Mid-run rank join (DESIGN.md §15). The transport's rendezvous root keeps
+// answering hellos after bootstrap; a joiner that rendezvoused sits parked
+// with a rank slot but no group membership until the trainers admit it at
+// an epoch boundary:
+//
+//	members (admitJoiners)               joiner (JoinRank)
+//	────────────────────────             ─────────────────────────
+//	root drains PendingJoins             blocks on Irecv(admitTag)
+//	Bcast join list over group
+//	AdmitPeer each joiner
+//	generation++, SetCollSeq,
+//	Grow(newSize, newGroup)
+//	root sends admission ──────────────▶ adopts generation/SetCollSeq,
+//	                                     Grow(newSize, newGroup)
+//	Barrier over grown group ◀─────────▶ Barrier
+//	Bcast weights from group root ─────▶ receives weights
+//	Rebalance stored samples ◀─────────▶ Rebalance (receives its share)
+//	train epoch e                        train() from startEpoch = e
+//
+// The admission message is point-to-point on a per-joiner tag, so a joiner
+// can never confuse another joiner's admission (or a stale epoch's) with
+// its own. After the join every member — joiner included — derives the same
+// iteration counts, exchange plans, and collective schedule from the grown
+// group, and the rebalance restores the balanced-disjoint-store invariant
+// those derivations assume.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/transport"
+)
+
+// admitTag is the user-tag space of join admissions, keyed by the JOINER's
+// world rank (not an epoch: a joiner listens before it knows the epoch).
+func admitTag(rank int) int { return 1<<22 + rank }
+
+// admitMsg is what the group root sends a joiner: the grown world shape,
+// the generation to align the collective sequence to, and the epoch the
+// grown group trains next. short propagates the members' shortData flag so
+// the joiner runs the identical per-epoch collectives.
+type admitMsg struct {
+	size       int
+	generation int
+	epoch      int
+	short      bool
+	group      []int
+}
+
+func encodeAdmit(m admitMsg) []byte {
+	buf := make([]byte, 4*(5+len(m.group)))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(m.size))
+	le.PutUint32(buf[4:], uint32(m.generation))
+	le.PutUint32(buf[8:], uint32(m.epoch))
+	var s uint32
+	if m.short {
+		s = 1
+	}
+	le.PutUint32(buf[12:], s)
+	le.PutUint32(buf[16:], uint32(len(m.group)))
+	for i, r := range m.group {
+		le.PutUint32(buf[20+4*i:], uint32(r))
+	}
+	return buf
+}
+
+func decodeAdmit(b []byte) (admitMsg, error) {
+	var m admitMsg
+	if len(b) < 20 {
+		return m, fmt.Errorf("train: admission message truncated (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	m.size = int(le.Uint32(b[0:]))
+	m.generation = int(le.Uint32(b[4:]))
+	m.epoch = int(le.Uint32(b[8:]))
+	m.short = le.Uint32(b[12:]) != 0
+	n := int(le.Uint32(b[16:]))
+	if len(b) != 4*(5+n) {
+		return m, fmt.Errorf("train: admission message is %d bytes, want %d for %d group ranks", len(b), 4*(5+n), n)
+	}
+	m.group = make([]int, n)
+	for i := range m.group {
+		m.group[i] = int(le.Uint32(b[20+4*i:]))
+	}
+	return m, nil
+}
+
+// admitJoiners runs on every member at the top of an elastic epoch: the
+// group root drains the transport's pending join requests and broadcasts
+// them; if any arrived, every member applies the grow in lock-step. Joiner
+// traffic (the broadcast, the grow, the weight sync, the rebalance) all
+// happens before the epoch's first exchange or gradient collective.
+func (w *worker) admitJoiners(epoch int) error {
+	return w.comm.Guard(func() error {
+		root := w.comm.GroupRanks()[0]
+		var blob []byte
+		if w.comm.Rank() == root {
+			if joins := w.comm.PendingJoins(); len(joins) > 0 {
+				b, err := json.Marshal(joins)
+				if err != nil {
+					return err
+				}
+				blob = b
+			}
+		}
+		n := []int{len(blob)}
+		mpi.Bcast(w.comm, n, root)
+		if n[0] == 0 {
+			return nil
+		}
+		if w.comm.Rank() != root {
+			blob = make([]byte, n[0])
+		}
+		mpi.Bcast(w.comm, blob, root)
+		var joins []transport.JoinRequest
+		if err := json.Unmarshal(blob, &joins); err != nil {
+			return err
+		}
+		return w.applyJoins(epoch, joins)
+	})
+}
+
+// applyJoins grows the collective group over the joiners and brings them to
+// the members' state. Every member executes it with the identical join list
+// (the root's broadcast).
+func (w *worker) applyJoins(epoch int, joins []transport.JoinRequest) error {
+	group := w.comm.GroupRanks()
+	newSize := w.comm.Size()
+	for _, jr := range joins {
+		// Inproc worlds are wired at creation and note joins with an empty
+		// address; the transport-level admission is then a no-op.
+		if jr.Addr != "" {
+			if err := w.comm.AdmitPeer(jr.Rank, jr.Addr, jr.Flags); err != nil {
+				return err
+			}
+		}
+		group = unionSorted(group, []int{jr.Rank})
+		if jr.Rank+1 > newSize {
+			newSize = jr.Rank + 1
+		}
+	}
+	w.generation++
+	base := w.generation << 32
+	if base <= w.comm.CollSeq() {
+		return fmt.Errorf("collective sequence space exhausted (seq %d)", w.comm.CollSeq())
+	}
+	w.comm.SetCollSeq(base)
+	if err := w.comm.Grow(newSize, group); err != nil {
+		return err
+	}
+	root := group[0]
+	if w.comm.Rank() == root {
+		for _, jr := range joins {
+			w.comm.Isend(jr.Rank, admitTag(jr.Rank), encodeAdmit(admitMsg{
+				size: newSize, generation: w.generation, epoch: epoch,
+				short: w.shortData, group: group,
+			}))
+		}
+	}
+	// First collective over the grown group; the joiners' Grow + Barrier
+	// rendezvous with it.
+	w.comm.Barrier()
+	for _, p := range w.params {
+		mpi.Bcast(w.comm, p.W, root)
+	}
+	// Re-created optimizer state (zeroed moments) is the one state every
+	// member and joiner can agree on without shipping buffers — the same
+	// convention the failure-recovery path uses.
+	w.opt = newOptimizer(w.cfg)
+	if w.cfg.OverlapGrads {
+		w.setupOverlap()
+	}
+	if w.exchanger != nil {
+		w.exchanger.InvalidateDedup()
+	}
+	// Corgi2 shard assignments depend on the world size: force a recompute
+	// at the next epoch so every member (and the joiner) re-derives them.
+	w.assignedGroup = -1
+	if w.tm != nil {
+		w.tm.WorldSize.SetInt(int64(w.comm.GroupSize()))
+		w.tm.Generation.SetInt(int64(w.generation))
+	}
+	if w.local != nil {
+		if _, err := shuffle.Rebalance(w.comm, w.local, w.cfg.Seed, epoch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JoinRank enters an already-running elastic world as a fresh rank: it
+// blocks until the group root admits this rank at an epoch boundary, adopts
+// the broadcast world shape, receives the current weights, takes its share
+// of the stored samples through the rebalance, and trains the remaining
+// epochs as a full member. cfg must be the configuration the running world
+// was launched with; Workers (if non-zero) must equal this communicator's
+// world size, which is the post-join rank name space.
+func JoinRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = c.Size()
+	}
+	if cfg.Workers != c.Size() {
+		return nil, fmt.Errorf("train: cfg.Workers = %d but world size is %d", cfg.Workers, c.Size())
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, sched, _, pfs, err := prepareRank(cfg)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := waitAdmission(c)
+	if err != nil {
+		return nil, err
+	}
+	c.SetCollSeq(adm.generation << 32)
+	if err := c.Grow(adm.size, adm.group); err != nil {
+		return nil, err
+	}
+	w, err := newWorker(c, cfg, sched, nil, pfs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if w.tier != nil {
+		defer w.tier.Close()
+	}
+	w.generation = adm.generation
+	w.startEpoch = adm.epoch
+	w.joinedEpoch = adm.epoch
+	w.shortData = adm.short
+	if w.tm != nil {
+		w.tm.WorldSize.SetInt(int64(c.GroupSize()))
+		w.tm.Generation.SetInt(int64(w.generation))
+	}
+	// Rendezvous with the members' post-grow Barrier, then adopt the
+	// current replica state and take this rank's share of the samples.
+	c.Barrier()
+	root := adm.group[0]
+	for _, p := range w.params {
+		mpi.Bcast(c, p.W, root)
+	}
+	if w.local != nil {
+		if _, err := shuffle.Rebalance(c, w.local, cfg.Seed, adm.epoch); err != nil {
+			return nil, err
+		}
+	}
+	return w.run()
+}
+
+// waitAdmission blocks until the admission message for this rank arrives.
+// Peer failures recorded while waiting (a member of the world this rank is
+// joining may die, or the whole run may finish and tear down) do not match
+// the receive; they accumulate until either the admission arrives or every
+// other rank is known dead — the joiner's only way to learn the world is
+// gone.
+func waitAdmission(c *mpi.Comm) (admitMsg, error) {
+	known := make(map[int]bool)
+	for {
+		req := c.Irecv(mpi.AnySource, admitTag(c.Rank()))
+		payload, _, err := c.WaitPeerAware(req, func(r int) bool { return known[r] })
+		if err == nil {
+			b, ok := payload.([]byte)
+			if !ok {
+				return admitMsg{}, fmt.Errorf("train: JoinRank: admission payload is %T, want []byte", payload)
+			}
+			return decodeAdmit(b)
+		}
+		pe, isPeer := mpi.PeerErrorFrom(err)
+		if !isPeer {
+			return admitMsg{}, err
+		}
+		known[pe.Rank] = true
+		if len(known) >= c.Size()-1 {
+			return admitMsg{}, fmt.Errorf("train: JoinRank: every peer failed before admission (world gone or run complete): %w", err)
+		}
+	}
+}

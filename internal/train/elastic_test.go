@@ -1,0 +1,237 @@
+package train
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"plshuffle/internal/checkpoint"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/shuffle"
+	"plshuffle/internal/transport"
+	"plshuffle/internal/transport/transporttest"
+)
+
+// TestElasticJoinInproc grows a running 4-rank world by a 5th rank mid-run.
+// The inproc mesh is opened at the full capacity of 5; the four members
+// narrow their collective group to [0..3] before training (exactly the view
+// a bootstrap at -world 4 -max-world 5 produces), and the joiner parks in
+// JoinRank until rank 0 notes its join request during epoch 0. The members
+// admit it at the epoch-1 boundary; from there the joiner is a full member:
+// same weights every step, a fair share of the samples, full exchange Q.
+func TestElasticJoinInproc(t *testing.T) {
+	const (
+		members  = 4
+		capacity = 5
+		epochs   = 4
+		samples  = 512
+	)
+	base := runtime.NumGoroutine()
+	ds := testDataset(t, samples, 4)
+
+	b := transporttest.Inproc()
+	comms, cleanup, err := b.Open(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rrs := make([]*RankResult, capacity)
+	errs := make([]error, capacity)
+	var joinOnce sync.Once
+	var wg sync.WaitGroup
+	for r := 0; r < capacity; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = mpi.Execute(comms[rank], func(c *mpi.Comm) error {
+				if rank < members {
+					if err := c.Grow(members, []int{0, 1, 2, 3}); err != nil {
+						return err
+					}
+					cfg := baseConfig(t, ds, members, shuffle.Partial(0.3))
+					cfg.Epochs = epochs
+					cfg.Elastic = true
+					if rank == 0 {
+						// Surface the join request mid-epoch-0, as the TCP
+						// bootstrap's rendezvous callback would; the members
+						// admit the joiner at the next epoch boundary.
+						cfg.testIterHook = func(epoch, iter int) error {
+							if epoch == 0 && iter == 2 {
+								joinOnce.Do(func() {
+									c.NoteJoinRequest(transport.JoinRequest{Rank: members})
+								})
+							}
+							return nil
+						}
+					}
+					rr, err := RunRank(c, cfg)
+					rrs[rank] = rr
+					return err
+				}
+				cfg := baseConfig(t, ds, capacity, shuffle.Partial(0.3))
+				cfg.Epochs = epochs
+				cfg.Elastic = true
+				rr, err := JoinRank(c, cfg)
+				rrs[rank] = rr
+				return err
+			})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		cleanup()
+		for r, err := range errs {
+			t.Logf("rank %d error at timeout: %v", r, err)
+		}
+		t.Fatal("elastic world deadlocked")
+	}
+	cleanup()
+
+	for r := 0; r < capacity; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d failed: %v", r, errs[r])
+		}
+		if rrs[r] == nil {
+			t.Fatalf("rank %d returned no result", r)
+		}
+	}
+	// Members trained every epoch; the joiner entered at the epoch-1
+	// boundary and trained the rest.
+	for r := 0; r < members; r++ {
+		if len(rrs[r].Epochs) != epochs {
+			t.Errorf("member %d recorded %d epochs, want %d", r, len(rrs[r].Epochs), epochs)
+		}
+	}
+	if len(rrs[members].Epochs) != epochs-1 {
+		t.Errorf("joiner recorded %d epochs, want %d (joined before epoch 1)",
+			len(rrs[members].Epochs), epochs-1)
+	}
+	// Replica consistency: every member — the joiner included — ends with
+	// bit-identical weights.
+	ref := flatWeights(rrs[0].FinalParams)
+	for r := 1; r < capacity; r++ {
+		requireBitwiseEqual(t, "post-join weights", ref, flatWeights(rrs[r].FinalParams))
+	}
+	// Sample conservation and balance: the five stores are a disjoint
+	// partition of the dataset, with shares differing by at most one — the
+	// admission rebalance gave the joiner a full share.
+	var all []int
+	minShare, maxShare := samples, 0
+	for r := 0; r < capacity; r++ {
+		n := len(rrs[r].FinalLocalIDs)
+		if n < minShare {
+			minShare = n
+		}
+		if n > maxShare {
+			maxShare = n
+		}
+		all = append(all, rrs[r].FinalLocalIDs...)
+	}
+	sort.Ints(all)
+	if len(all) != samples {
+		t.Fatalf("stores hold %d samples in total, want %d", len(all), samples)
+	}
+	for i, id := range all {
+		if id != i {
+			t.Fatalf("stores are not a disjoint cover: position %d holds id %d", i, id)
+		}
+	}
+	if maxShare-minShare > 1 {
+		t.Errorf("stores unbalanced after join: shares range %d..%d", minShare, maxShare)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestElasticJoinWithCheckpoint drives the full elastic lifecycle the CI
+// gate scripts end-to-end: a checkpointing world is grown mid-run and the
+// post-join snapshot records the full five-rank world, resumable at size 5.
+func TestElasticJoinWithCheckpoint(t *testing.T) {
+	const (
+		members  = 4
+		capacity = 5
+		epochs   = 4
+		samples  = 512
+	)
+	ds := testDataset(t, samples, 4)
+	ckptDir := t.TempDir()
+
+	b := transporttest.Inproc()
+	comms, cleanup, err := b.Open(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, capacity)
+	var joinOnce sync.Once
+	var wg sync.WaitGroup
+	for r := 0; r < capacity; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = mpi.Execute(comms[rank], func(c *mpi.Comm) error {
+				workers := members
+				if rank >= members {
+					workers = capacity
+				}
+				cfg := baseConfig(t, ds, workers, shuffle.Partial(0.3))
+				cfg.Epochs = epochs
+				cfg.Elastic = true
+				cfg.CheckpointDir = ckptDir
+				if rank >= members {
+					_, err := JoinRank(c, cfg)
+					return err
+				}
+				if err := c.Grow(members, []int{0, 1, 2, 3}); err != nil {
+					return err
+				}
+				if rank == 0 {
+					cfg.testIterHook = func(epoch, iter int) error {
+						if epoch == 0 && iter == 2 {
+							joinOnce.Do(func() {
+								c.NoteJoinRequest(transport.JoinRequest{Rank: members})
+							})
+						}
+						return nil
+					}
+				}
+				_, err := RunRank(c, cfg)
+				return err
+			})
+		}(r)
+	}
+	wg.Wait()
+	cleanup()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d failed: %v", r, err)
+		}
+	}
+
+	// The final snapshot was committed by the grown world: five rank files,
+	// world size 5, and it resumes with five ranks.
+	_, meta, err := checkpoint.LoadLatest(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.WorldSize != capacity || len(meta.Ranks) != capacity || meta.Group != nil {
+		t.Fatalf("post-join snapshot shape: %+v, want a full %d-rank world", meta, capacity)
+	}
+	if meta.NextEpoch != epochs {
+		t.Fatalf("latest snapshot is for epoch %d, want %d", meta.NextEpoch, epochs)
+	}
+	resumed := baseConfig(t, ds, capacity, shuffle.Partial(0.3))
+	resumed.Epochs = epochs + 2
+	resumed.CheckpointDir = ckptDir
+	resumed.Resume = true
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("resume of the grown world trained %d epochs, want 2", len(res.Epochs))
+	}
+}

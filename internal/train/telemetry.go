@@ -41,6 +41,8 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 	w.tm = &telemetry.TrainMetrics{}
 	w.tm.Register(reg, rank)
 	w.tm.EpochsTotal.SetInt(int64(w.cfg.Epochs))
+	w.tm.WorldSize.SetInt(int64(w.comm.GroupSize()))
+	w.tm.Generation.SetInt(int64(w.generation))
 
 	// --- mpi runtime ---
 	c := w.comm

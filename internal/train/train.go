@@ -166,6 +166,28 @@ type Config struct {
 	// steps.
 	OnPeerFail string
 
+	// CheckpointDir, when non-empty, enables deterministic checkpointing
+	// (DESIGN.md §15): every CheckpointEvery epochs each rank durably writes
+	// an atomic snapshot of its replica state — weights including batch-norm
+	// running statistics, optimizer moments, dropout RNG cursors, and the
+	// stored sample IDs — and the group root commits a manifest binding every
+	// member's checksum. A run restarted with Resume continues bitwise
+	// identically to one that was never interrupted.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in epochs (0 = every epoch).
+	CheckpointEvery int
+	// Resume restores the newest complete snapshot under CheckpointDir
+	// before training starts. The resuming world must have either the
+	// snapshot's full world size or exactly its live-group size (degraded
+	// resume: new rank i adopts state from Group[i]'s snapshot).
+	Resume bool
+	// Elastic polls for rendezvoused joiners at every epoch boundary and
+	// grows the collective group mid-run (DESIGN.md §15): the group root
+	// broadcasts the admitted joiners, every member Grows, each joiner
+	// adopts the current weights, and the stored samples rebalance over the
+	// new membership. A fresh rank enters a running world through JoinRank.
+	Elastic bool
+
 	// testIterHook, when non-nil, runs at the top of every training
 	// iteration (after the epoch's exchange is scheduled). Tests use it to
 	// inject deterministic faults — e.g. kill this rank's transport at a
@@ -229,6 +251,12 @@ func (c Config) Validate() error {
 	}
 	if c.WireDedupBudget < 0 {
 		return fmt.Errorf("train: WireDedupBudget must be non-negative, got %d", c.WireDedupBudget)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("train: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("train: Resume requires CheckpointDir")
 	}
 	return c.Model.Validate()
 }
@@ -386,18 +414,43 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg, sched, parts, pfs, err := prepareRank(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rs *resumeState
+	if cfg.Resume {
+		if rs, err = loadResume(c, cfg); err != nil {
+			return nil, err
+		}
+	}
+	w, err := newWorker(c, cfg, sched, parts, pfs, rs)
+	if err != nil {
+		return nil, err
+	}
+	if w.tier != nil {
+		defer w.tier.Close()
+	}
+	return w.run()
+}
+
+// prepareRank resolves the derived run inputs every entry point (RunRank,
+// JoinRank) shares: the Corgi2 shard store and proxy dataset, the LR
+// schedule, the initial partition of the local-family strategies, and the
+// PFS view.
+func prepareRank(cfg Config) (Config, nn.Schedule, [][]int, *store.PFS, error) {
 	if cfg.Strategy.Kind == shuffle.Corgi2 {
 		if cfg.ShardStore == nil {
 			sd, err := shard.OpenDataset(cfg.DataDir)
 			if err != nil {
-				return nil, err
+				return cfg, nil, nil, nil, err
 			}
 			cfg.ShardStore = sd
 		}
 		if cfg.Dataset == nil {
 			ds, err := cfg.ShardStore.Proxy()
 			if err != nil {
-				return nil, err
+				return cfg, nil, nil, nil, err
 			}
 			cfg.Dataset = ds
 		}
@@ -424,21 +477,18 @@ func RunRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 			parts, err = shuffle.Partition(n, cfg.Workers, cfg.Seed)
 		}
 		if err != nil {
-			return nil, err
+			return cfg, nil, nil, nil, err
 		}
 	}
-	pfs := store.NewPFS(cfg.Dataset.Train)
+	return cfg, sched, parts, store.NewPFS(cfg.Dataset.Train), nil
+}
 
-	w, err := newWorker(c, cfg, sched, parts, pfs)
-	if err != nil {
-		return nil, err
-	}
-	if w.tier != nil {
-		defer w.tier.Close()
-	}
+// run trains and assembles the rank's result — the shared tail of RunRank
+// and JoinRank.
+func (w *worker) run() (*RankResult, error) {
 	stats, err := w.train()
 	if err != nil {
-		return nil, fmt.Errorf("rank %d: %w", c.Rank(), err)
+		return nil, fmt.Errorf("rank %d: %w", w.comm.Rank(), err)
 	}
 	rr := &RankResult{Epochs: stats, FinalParams: w.model.Params(), FinalModel: w.model}
 	if w.local != nil {
@@ -517,18 +567,35 @@ type worker struct {
 	// labeling happened at registration (registerTelemetry).
 	tm *telemetry.TrainMetrics
 
-	// Fault-tolerance state (cfg.OnPeerFail == "degrade"; DESIGN.md §10).
+	// Fault-tolerance and elasticity state (DESIGN.md §10, §15).
 	// exchEpoch is the epoch whose exchange is currently open (-1 when no
 	// Scheduling…CleanLocalStorage window is in flight) — the recovery path
 	// uses it to decide whether the disrupted epoch's exchange must be
-	// completed or abandoned. recoveries counts group re-formations; it
-	// seeds the deterministic collective-sequence realignment every
-	// survivor computes without communicating.
+	// completed or abandoned. generation counts group re-formations (shrinks
+	// AND grows); it seeds the deterministic collective-sequence realignment
+	// every member computes without communicating, and it is persisted in
+	// checkpoints so a resumed world keeps counting from where it left off.
 	exchEpoch  int
-	recoveries int
+	generation int
+	// startEpoch is the first epoch this rank trains — non-zero after a
+	// resume (the snapshot's NextEpoch) or a mid-run join (the epoch the
+	// admission message named).
+	startEpoch int
+	// joinedEpoch is the epoch this rank was admitted at (-1 for founding
+	// and resumed ranks). The joiner skips its own admission round for that
+	// epoch: the members drained the join queue in the very round that
+	// admitted it, so a fresh broadcast would have no counterpart.
+	joinedEpoch int
+	// shortData marks a world whose stores may hold fewer than N/M samples
+	// (resumed from a degraded snapshot: the dead ranks' unexchanged samples
+	// are gone). Per-epoch iteration counts then come from a group-min over
+	// the actual stores instead of the static N/M floor. The root's
+	// admission message propagates the flag to joiners so every member runs
+	// the same collectives.
+	shortData bool
 }
 
-func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *store.PFS) (*worker, error) {
+func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *store.PFS, rs *resumeState) (*worker, error) {
 	// Same init seed on every rank: identical starting weights. Dropout
 	// streams differ per rank.
 	model, err := cfg.Model.Build(cfg.Seed, cfg.Seed+uint64(1000+c.Rank()))
@@ -547,6 +614,7 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		pfs:           pfs,
 		exchEpoch:     -1,
 		assignedGroup: -1,
+		joinedEpoch:   -1,
 		arena:         arena.New(0),
 	}
 	w.model.SetArena(w.arena)
@@ -583,7 +651,22 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 		}
 	} else if cfg.Strategy.Kind != shuffle.Global {
 		w.local = store.NewLocal(cfg.LocalCapacityBytes)
-		for _, id := range parts[c.Rank()] {
+		// A resumed rank restores the sample set its snapshot recorded (the
+		// exchange has moved samples since the initial partition); a joiner
+		// (nil parts, nil rs) starts empty and receives its share through
+		// the post-admission rebalance.
+		var stage []int
+		switch {
+		case rs != nil:
+			ids, err := decodeIDs(rs.sections["store"])
+			if err != nil {
+				return nil, fmt.Errorf("restoring stored sample set: %w", err)
+			}
+			stage = ids
+		case parts != nil:
+			stage = parts[c.Rank()]
+		}
+		for _, id := range stage {
 			s, err := pfs.Read(id)
 			if err != nil {
 				return nil, err
@@ -621,6 +704,11 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 					return nil, err
 				}
 			}
+		}
+	}
+	if rs != nil {
+		if err := w.applyResume(rs); err != nil {
+			return nil, err
 		}
 	}
 	if cfg.Telemetry != nil {
@@ -743,7 +831,15 @@ func (w *worker) drainBuckets(es *EpochStats, lr float32) {
 
 func (w *worker) train() ([]EpochStats, error) {
 	stats := make([]EpochStats, 0, w.cfg.Epochs)
-	for epoch := 0; epoch < w.cfg.Epochs; epoch++ {
+	for epoch := w.startEpoch; epoch < w.cfg.Epochs; epoch++ {
+		// Elastic worlds admit rendezvoused joiners at the epoch boundary —
+		// a quiescent point: no exchange window open, no collective in
+		// flight — so the grown group runs this whole epoch together.
+		if w.cfg.Elastic && epoch != w.joinedEpoch {
+			if err := w.admitJoiners(epoch); err != nil {
+				return nil, fmt.Errorf("admitting joiners before epoch %d: %w", epoch, err)
+			}
+		}
 		es := EpochStats{Epoch: epoch}
 		// The whole per-epoch block runs under a Guard: in degrade mode a
 		// peer death unwinds the current collective on every survivor
@@ -762,6 +858,21 @@ func (w *worker) train() ([]EpochStats, error) {
 			w.emitTrace(epoch, es, time.Since(tv))
 			return nil
 		})
+		trained := err == nil
+		if err == nil {
+			stats = append(stats, es)
+			// Snapshot AFTER the epoch's collectives settle: every rank
+			// reaches this point at the same step, so all ranks snapshot the
+			// same state. A peer may still die while the boundary drains (a
+			// slow rank can sit in the commit barrier while a fast one is
+			// already deep in the next epoch's exchange); in degrade mode
+			// that death funnels into the same recovery as a mid-epoch one.
+			if w.checkpointDue(epoch + 1) {
+				if cerr := w.comm.Guard(func() error { return w.saveCheckpoint(epoch + 1) }); cerr != nil {
+					err = fmt.Errorf("checkpoint before epoch %d: %w", epoch+1, cerr)
+				}
+			}
+		}
 		if err != nil {
 			pe, isPeer := mpi.PeerErrorFrom(err)
 			if !isPeer || w.cfg.OnPeerFail != "degrade" {
@@ -771,9 +882,11 @@ func (w *worker) train() ([]EpochStats, error) {
 			if rerr != nil {
 				return nil, fmt.Errorf("recovering from death of rank %d: %w", pe.Rank, rerr)
 			}
-			es.Disrupted = true
-			w.emitTrace(epoch, es, 0)
-			stats = append(stats, es)
+			if !trained {
+				es.Disrupted = true
+				w.emitTrace(epoch, es, 0)
+				stats = append(stats, es)
+			}
 			// A failure straddling an epoch boundary can leave part of the
 			// group one epoch ahead; the resume point skips past the
 			// furthest progress so no epoch (and no exchange tag space) is
@@ -783,11 +896,45 @@ func (w *worker) train() ([]EpochStats, error) {
 					DegradedSlots: es.DegradedSlots, EffectiveQ: es.EffectiveQ})
 			}
 			epoch = resume - 1
+			// Every recovery of a checkpointing run commits a post-shrink
+			// snapshot at the agreed resume boundary: the degraded group is
+			// durably recorded the moment it forms (a resume restores the
+			// shrunken partition, never the pre-failure one), and a snapshot
+			// generation interrupted by the death — whichever protocol step
+			// it reached — is superseded by a complete one. All survivors
+			// reach here with the same resume point, whether the failure
+			// surfaced in their epoch or in their checkpoint barrier.
+			if w.cfg.CheckpointDir != "" && resume <= w.cfg.Epochs {
+				if cerr := w.checkpointAfterRecovery(resume); cerr != nil {
+					return nil, cerr
+				}
+			}
 			continue
 		}
-		stats = append(stats, es)
 	}
 	return stats, nil
+}
+
+// checkpointAfterRecovery commits the post-shrink snapshot, riding out
+// further deaths with bounded retries: each failed attempt re-forms the
+// group (the generation bump re-salts the checkpoint tag, so a retry can
+// never gather a stale report from the failed attempt) and tries again.
+func (w *worker) checkpointAfterRecovery(resume int) error {
+	const maxAttempts = 4
+	for attempt := 0; ; attempt++ {
+		err := w.comm.Guard(func() error { return w.saveCheckpoint(resume) })
+		if err == nil {
+			return nil
+		}
+		pe, isPeer := mpi.PeerErrorFrom(err)
+		if !isPeer || attempt == maxAttempts-1 {
+			return fmt.Errorf("post-recovery checkpoint before epoch %d: %w", resume, err)
+		}
+		var es EpochStats
+		if _, rerr := w.recoverPeerFailure(resume-1, pe, &es); rerr != nil {
+			return fmt.Errorf("recovering from death of rank %d during post-recovery checkpoint: %w", pe.Rank, rerr)
+		}
+	}
 }
 
 // emitTrace records the epoch's phase durations and byte volumes.
@@ -914,8 +1061,8 @@ func (w *worker) recoverPeerFailure(epoch int, first *transport.PeerError, es *E
 		if err := w.comm.Shrink(live); err != nil {
 			return 0, err
 		}
-		w.recoveries++
-		base := w.recoveries << 32
+		w.generation++
+		base := w.generation << 32
 		if base <= w.comm.CollSeq() {
 			return 0, fmt.Errorf("collective sequence space exhausted (seq %d)", w.comm.CollSeq())
 		}
@@ -1014,6 +1161,10 @@ func (w *worker) recoverPeerFailure(epoch int, first *transport.PeerError, es *E
 	w.opt = newOptimizer(w.cfg)
 	if w.cfg.OverlapGrads {
 		w.setupOverlap()
+	}
+	if w.tm != nil {
+		w.tm.WorldSize.SetInt(int64(w.comm.GroupSize()))
+		w.tm.Generation.SetInt(int64(w.generation))
 	}
 	return resume, nil
 }
@@ -1158,12 +1309,13 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		}
 		minLocal = len(w.cfg.Dataset.Train) / w.comm.Size()
 	}
-	if w.comm.GroupSize() < w.comm.Size() {
-		// Degraded world: the dead ranks' unexchanged samples are gone, so
-		// survivor stores can dip below N/M (retention and forfeiture also
-		// skew them independently). The survivors agree on the smallest
-		// surviving store with one group-min all-reduce — same iteration
-		// count everywhere, and no rank slices past its own sample list.
+	if w.comm.GroupSize() < w.comm.Size() || w.shortData {
+		// Degraded world (or one resumed from a degraded snapshot): the dead
+		// ranks' unexchanged samples are gone, so stores can dip below N/M
+		// (retention and forfeiture also skew them independently). The
+		// members agree on the smallest store with one group-min all-reduce
+		// — same iteration count everywhere, and no rank slices past its own
+		// sample list.
 		buf := []int{len(ids)}
 		mpi.Allreduce(w.comm, buf, mpi.OpMin)
 		if buf[0] < minLocal {

@@ -115,6 +115,33 @@ type Config struct {
 	// Dial overrides the dial function (tests inject flaky networks).
 	// Default net.DialTimeout("tcp", addr, timeout).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// MaxSize, when greater than Size, makes the world elastic: rank slots
+	// [Size, MaxSize) are reserved for mid-run joiners. Rank 0 keeps the
+	// rendezvous listener open after bootstrap and answers later hellos
+	// (Src == -1) by assigning the next free slot and returning the peer
+	// table; the join is surfaced through OnJoinRequest, and the running
+	// members attach the new peer with AdmitPeer once the upper-layer join
+	// protocol tells them to. Must be identical on every rank. Zero (the
+	// default) means a fixed world (MaxSize == Size).
+	MaxSize int
+	// Join makes New join an already-running elastic world instead of
+	// bootstrapping one: Rank and Size are ignored, the endpoint dials
+	// Rendezvous, announces itself with a joiner hello, and adopts the rank
+	// slot and peer table the root assigns. MaxSize must match the running
+	// world's. After New returns, Rank() reports the assigned slot and
+	// Size() reports MaxSize (the rank name space); the actual live
+	// membership arrives through the upper-layer admission protocol.
+	Join bool
+}
+
+// capacity is the size of the rank name space: every per-rank table is
+// sized by it, and latent slots above Size are admitted lazily.
+func (c *Config) capacity() int {
+	if c.MaxSize > c.Size {
+		return c.MaxSize
+	}
+	return c.Size
 }
 
 // capabilityFlags renders the config's negotiable capabilities as the wire
@@ -173,14 +200,29 @@ func (c *Config) fillDefaults() {
 }
 
 func (c *Config) validate() error {
+	if c.Join {
+		if c.Rendezvous == "" {
+			return fmt.Errorf("tcp: join mode requires a rendezvous address")
+		}
+		if c.MaxSize <= 1 {
+			return fmt.Errorf("tcp: join mode requires MaxSize > 1 (the running world's capacity)")
+		}
+		return nil
+	}
 	if c.Size <= 0 {
 		return fmt.Errorf("tcp: world size %d must be positive", c.Size)
 	}
 	if c.Rank < 0 || c.Rank >= c.Size {
 		return fmt.Errorf("tcp: rank %d out of range [0,%d)", c.Rank, c.Size)
 	}
+	if c.MaxSize != 0 && c.MaxSize < c.Size {
+		return fmt.Errorf("tcp: MaxSize %d smaller than world size %d", c.MaxSize, c.Size)
+	}
 	if c.Size > 1 && c.Rendezvous == "" && (c.Rank != 0 || c.RendezvousListener == nil) {
 		return fmt.Errorf("tcp: rendezvous address required for world size %d", c.Size)
+	}
+	if c.capacity() > 1 && c.Rendezvous == "" && (c.Rank != 0 || c.RendezvousListener == nil) {
+		return fmt.Errorf("tcp: rendezvous address required for elastic capacity %d", c.capacity())
 	}
 	return nil
 }
@@ -190,10 +232,22 @@ type Conn struct {
 	cfg     Config
 	handler transport.Handler
 
-	listener  net.Listener
-	addrs     []string // rank → data address
+	listener net.Listener
+	// addrMu guards addrs and peerFlags, which elastic worlds mutate at
+	// runtime (the root's join accept loop and AdmitPeer); peers itself is
+	// immutable after New — latent slots get a peer struct up front.
+	addrMu    sync.RWMutex
+	addrs     []string // rank → data address ("" = latent, not yet admitted)
 	peerFlags []byte   // rank → negotiated capability flags (v2 table)
 	peers     []*peer  // peers[ownRank] == nil
+
+	// Elastic state: the retained rendezvous listener (rank 0 of a world
+	// with MaxSize > Size), the next joiner slot, the join callback, and
+	// joins queued before the callback was registered.
+	rendezvousLn net.Listener
+	nextJoin     int
+	onJoin       func(transport.JoinRequest)
+	pendingJoins []transport.JoinRequest
 
 	framesSent atomic.Int64
 	framesRecv atomic.Int64
@@ -276,11 +330,13 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 	if h == nil {
 		return nil, fmt.Errorf("tcp: nil frame handler")
 	}
+	capacity := cfg.capacity()
 	c := &Conn{cfg: cfg, handler: h, closed: make(chan struct{})}
-	c.lastHeard = make([]atomic.Int64, cfg.Size)
+	c.lastHeard = make([]atomic.Int64, capacity)
+	c.nextJoin = cfg.Size
 
-	if cfg.Size == 1 {
-		// Single-rank world: only self-delivery, no sockets.
+	if capacity == 1 {
+		// Single-rank fixed world: only self-delivery, no sockets.
 		c.addrs = []string{""}
 		c.peerFlags = []byte{cfg.capabilityFlags()}
 		c.peers = []*peer{nil}
@@ -297,14 +353,23 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 		advertise = ln.Addr().String()
 	}
 
-	if err := c.bootstrap(advertise); err != nil {
+	if cfg.Join {
+		err = c.bootstrapJoin(advertise)
+	} else {
+		err = c.bootstrap(advertise)
+	}
+	if err != nil {
 		ln.Close()
 		return nil, err
 	}
 
-	c.peers = make([]*peer, cfg.Size)
-	for r := 0; r < cfg.Size; r++ {
-		if r == cfg.Rank {
+	// Every slot of the rank name space gets its peer struct and writer up
+	// front, latent joiner slots included: an idle writer goroutine parked
+	// on its condition variable is cheap, and it means admission never has
+	// to mutate the peers table under traffic.
+	c.peers = make([]*peer, capacity)
+	for r := 0; r < capacity; r++ {
+		if r == c.cfg.Rank {
 			continue
 		}
 		p := &peer{rank: r}
@@ -316,6 +381,10 @@ func New(cfg Config, h transport.Handler) (*Conn, error) {
 
 	c.readerWG.Add(1)
 	go c.acceptLoop()
+	if c.rendezvousLn != nil {
+		c.readerWG.Add(1)
+		go c.joinAcceptLoop()
+	}
 	if cfg.HeartbeatInterval > 0 {
 		c.beatWG.Add(1)
 		go c.heartbeatLoop()
@@ -339,6 +408,15 @@ func (c *Conn) heartbeatLoop() {
 		}
 		for _, p := range c.peers {
 			if p == nil {
+				continue
+			}
+			// A latent joiner slot has no address yet: pinging it would burn
+			// the dial budget and poison the failure registry with a rank
+			// that was never alive. Probing begins once the peer is admitted.
+			c.addrMu.RLock()
+			admitted := c.addrs[p.rank] != ""
+			c.addrMu.RUnlock()
+			if !admitted {
 				continue
 			}
 			wb := transport.GetWireBuf()
@@ -416,6 +494,9 @@ func (c *Conn) Kill() {
 		}
 		if c.listener != nil {
 			c.listener.Close()
+		}
+		if c.rendezvousLn != nil {
+			c.rendezvousLn.Close()
 		}
 		c.connsMu.Lock()
 		for conn := range c.conns {
@@ -576,9 +657,16 @@ func (c *Conn) SendMetered(dst, tag int, payload any) (int64, error) {
 }
 
 // compressTo reports whether data frames toward dst may travel compressed:
-// both this rank and dst advertised FlagCompress at bootstrap.
+// both this rank and dst advertised FlagCompress (at bootstrap or at
+// admission for joiners).
 func (c *Conn) compressTo(dst int) bool {
-	return c.cfg.Compress && dst < len(c.peerFlags) && c.peerFlags[dst]&transport.FlagCompress != 0
+	if !c.cfg.Compress || dst >= len(c.peerFlags) {
+		return false
+	}
+	c.addrMu.RLock()
+	f := c.peerFlags[dst]
+	c.addrMu.RUnlock()
+	return f&transport.FlagCompress != 0
 }
 
 // frameWireOffset is where the payload section starts inside a marshalled
@@ -586,8 +674,8 @@ func (c *Conn) compressTo(dst int) bool {
 const frameWireOffset = 4 + 17
 
 func (c *Conn) send(dst, tag int, payload any) (int64, error) {
-	if dst < 0 || dst >= c.cfg.Size {
-		return 0, fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.Size)
+	if dst < 0 || dst >= c.cfg.capacity() {
+		return 0, fmt.Errorf("tcp: Send: rank %d out of range [0,%d)", dst, c.cfg.capacity())
 	}
 	if err := c.Err(); err != nil {
 		// A peer-scoped failure poisons only sends toward that peer (checked
@@ -708,6 +796,9 @@ func (c *Conn) Close() error {
 		if c.listener != nil {
 			c.listener.Close()
 		}
+		if c.rendezvousLn != nil {
+			c.rendezvousLn.Close()
+		}
 		for _, p := range c.peers {
 			if p == nil {
 				continue
@@ -754,14 +845,29 @@ func (c *Conn) bootstrapRoot(advertise string, deadline time.Time) error {
 			return fmt.Errorf("tcp: rank 0: binding rendezvous %s: %w", c.cfg.Rendezvous, err)
 		}
 	}
-	defer ln.Close()
+	// An elastic world (MaxSize > Size) keeps the rendezvous open after
+	// bootstrap so late joiners can rendezvous mid-run; joinAcceptLoop takes
+	// it over, and Close/Kill tear it down.
+	keepOpen := c.cfg.capacity() > c.cfg.Size
+	defer func() {
+		if keepOpen {
+			if tl, ok := ln.(*net.TCPListener); ok {
+				tl.SetDeadline(time.Time{})
+			}
+			c.rendezvousLn = ln
+		} else {
+			ln.Close()
+		}
+	}()
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
 
-	addrs := make([]string, c.cfg.Size)
+	// Tables are sized by the full rank name space; latent joiner slots
+	// stay empty until admission.
+	addrs := make([]string, c.cfg.capacity())
 	addrs[0] = advertise
-	flags := make([]byte, c.cfg.Size)
+	flags := make([]byte, c.cfg.capacity())
 	flags[0] = c.cfg.capabilityFlags()
 	conns := make([]net.Conn, c.cfg.Size) // per-rank hello connection
 	defer func() {
@@ -881,10 +987,202 @@ func (c *Conn) rendezvousRound(hello []byte, deadline time.Time) ([]string, []by
 	if err != nil {
 		return nil, nil, fmt.Errorf("decoding rendezvous table: %w", err)
 	}
-	if len(addrs) != c.cfg.Size {
-		return nil, nil, fmt.Errorf("rendezvous table has %d entries, want %d", len(addrs), c.cfg.Size)
+	if len(addrs) != c.cfg.capacity() {
+		return nil, nil, fmt.Errorf("rendezvous table has %d entries, want %d", len(addrs), c.cfg.capacity())
 	}
 	return addrs, flags, nil
+}
+
+// --- elastic join (DESIGN.md §15) ---
+
+// OnJoinRequest registers the callback invoked once per joiner the
+// rendezvous admits (rank 0 of an elastic world only; other ranks never
+// fire it). Joins that arrived before registration are flushed to the
+// callback immediately. Implements transport.JoinNotifier.
+func (c *Conn) OnJoinRequest(cb func(transport.JoinRequest)) {
+	c.errMu.Lock()
+	c.onJoin = cb
+	pending := c.pendingJoins
+	c.pendingJoins = nil
+	c.errMu.Unlock()
+	for _, jr := range pending {
+		cb(jr)
+	}
+}
+
+func (c *Conn) notifyJoin(jr transport.JoinRequest) {
+	c.errMu.Lock()
+	cb := c.onJoin
+	if cb == nil {
+		c.pendingJoins = append(c.pendingJoins, jr)
+	}
+	c.errMu.Unlock()
+	if cb != nil {
+		cb(jr)
+	}
+}
+
+// AdmitPeer records a joiner's data address and capability flags so traffic
+// toward its slot dials like any bootstrap-time peer. Every running member
+// calls it when the join protocol announces the new rank. Implements
+// transport.PeerAdmitter.
+func (c *Conn) AdmitPeer(rank int, addr string, flags byte) error {
+	if rank == c.cfg.Rank {
+		return nil
+	}
+	if rank < 0 || rank >= c.cfg.capacity() {
+		return fmt.Errorf("tcp: AdmitPeer: rank %d out of capacity [0,%d)", rank, c.cfg.capacity())
+	}
+	if addr == "" {
+		return fmt.Errorf("tcp: AdmitPeer: empty address for rank %d", rank)
+	}
+	c.addrMu.Lock()
+	c.addrs[rank] = addr
+	c.peerFlags[rank] = flags
+	c.addrMu.Unlock()
+	return nil
+}
+
+var (
+	_ transport.PeerAdmitter = (*Conn)(nil)
+	_ transport.JoinNotifier = (*Conn)(nil)
+)
+
+// joinAcceptLoop answers mid-run rendezvous hellos on rank 0 of an elastic
+// world: a joiner announces itself with Src == -1, receives the next free
+// slot and the current peer table, and is surfaced through OnJoinRequest.
+// The joiner is NOT yet a member — the upper layers decide when (and
+// whether) to admit it into the collective group.
+func (c *Conn) joinAcceptLoop() {
+	defer c.readerWG.Done()
+	ln := c.rendezvousLn
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Close/Kill
+		}
+		c.track(conn)
+		c.readerWG.Add(1)
+		go func(conn net.Conn) {
+			defer c.readerWG.Done()
+			defer func() {
+				c.untrack(conn)
+				conn.Close()
+			}()
+			conn.SetDeadline(time.Now().Add(c.cfg.BootstrapTimeout))
+			f, _, err := transport.ReadFrame(conn)
+			if err != nil || f.Kind != transport.KindHello || f.Src != -1 {
+				return // not a joiner hello; drop
+			}
+			addr, fl := transport.DecodeHello(f.Payload)
+			if addr == "" {
+				return
+			}
+			c.addrMu.Lock()
+			if c.nextJoin >= c.cfg.capacity() {
+				c.addrMu.Unlock()
+				return // world full; the joiner times out and gives up
+			}
+			r := c.nextJoin
+			c.nextJoin++
+			c.addrs[r] = addr
+			c.peerFlags[r] = fl
+			table := transport.EncodePeerTable(c.addrs, c.peerFlags)
+			c.addrMu.Unlock()
+			reply, err := transport.MarshalFrame(transport.WireFrame{
+				Kind:    transport.KindTable,
+				Src:     int32(c.cfg.Rank),
+				Dst:     int32(r), // the assigned slot rides the Dst field
+				Payload: table,
+			})
+			if err == nil {
+				_, err = conn.Write(reply)
+			}
+			if err != nil {
+				// The joiner never learned its slot; roll the assignment back
+				// when it is still the newest so a retry doesn't leak slots
+				// (and never surface a ghost join).
+				c.addrMu.Lock()
+				if c.nextJoin == r+1 {
+					c.nextJoin = r
+					c.addrs[r] = ""
+					c.peerFlags[r] = 0
+				}
+				c.addrMu.Unlock()
+				return
+			}
+			c.notifyJoin(transport.JoinRequest{Rank: r, Addr: addr, Flags: fl})
+		}(conn)
+	}
+}
+
+// bootstrapJoin is the joiner side of the mid-run rendezvous: dial, send a
+// Src == -1 hello advertising the data listener, adopt the assigned slot
+// and peer table from the reply. Retries the whole round with backoff, like
+// the bootstrap-time peer rendezvous.
+func (c *Conn) bootstrapJoin(advertise string) error {
+	deadline := time.Now().Add(c.cfg.BootstrapTimeout)
+	hello, err := transport.MarshalFrame(transport.WireFrame{
+		Kind:    transport.KindHello,
+		Src:     -1,
+		Dst:     0,
+		Payload: transport.EncodeHello(advertise, c.cfg.capabilityFlags()),
+	})
+	if err != nil {
+		return err
+	}
+	backoff := c.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if time.Now().Add(backoff).After(deadline) {
+				return fmt.Errorf("tcp: join via %s failed within %v: %w",
+					c.cfg.Rendezvous, c.cfg.BootstrapTimeout, lastErr)
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		conn, err := c.cfg.Dial(c.cfg.Rendezvous, c.cfg.DialTimeout)
+		if err != nil {
+			lastErr = fmt.Errorf("dialing rendezvous: %w", err)
+			continue
+		}
+		conn.SetDeadline(deadline)
+		if _, err := conn.Write(hello); err != nil {
+			conn.Close()
+			lastErr = fmt.Errorf("sending join hello: %w", err)
+			continue
+		}
+		f, _, err := transport.ReadFrame(conn)
+		conn.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("reading join table: %w", err)
+			continue
+		}
+		if f.Kind != transport.KindTable || f.Dst < 0 {
+			lastErr = fmt.Errorf("join answered with frame kind %d dst %d", f.Kind, f.Dst)
+			continue
+		}
+		addrs, flags, err := transport.DecodePeerTable(f.Payload)
+		if err != nil {
+			lastErr = fmt.Errorf("decoding join table: %w", err)
+			continue
+		}
+		if len(addrs) != c.cfg.capacity() {
+			return fmt.Errorf("tcp: join table has %d entries, want capacity %d (mismatched -max-world?)",
+				len(addrs), c.cfg.capacity())
+		}
+		if int(f.Dst) >= c.cfg.capacity() {
+			return fmt.Errorf("tcp: join assigned rank %d beyond capacity %d", f.Dst, c.cfg.capacity())
+		}
+		c.cfg.Rank = int(f.Dst)
+		c.cfg.Size = c.cfg.capacity()
+		c.addrs = addrs
+		c.peerFlags = flags
+		return nil
+	}
 }
 
 // --- data plane ---
@@ -915,7 +1213,7 @@ func (c *Conn) acceptLoop() {
 				return
 			}
 			r := int(f.Src)
-			if r < 0 || r >= c.cfg.Size || r == c.cfg.Rank {
+			if r < 0 || r >= c.cfg.capacity() || r == c.cfg.Rank {
 				c.untrack(conn)
 				conn.Close()
 				return
@@ -1052,6 +1350,18 @@ func (c *Conn) writeLoop(p *peer) {
 			}
 			transport.PutWireBuf(wb)
 		}
+		if err == errPingsAbandonedOnClose {
+			// Teardown overtook a liveness probe to a peer that is already
+			// gone — at the end of a run the fastest rank closes first, and
+			// its exit must not read as a failure to the ranks behind it.
+			p.mu.Lock()
+			for _, wb := range p.queue {
+				transport.PutWireBuf(wb)
+			}
+			p.queue = nil
+			p.mu.Unlock()
+			return
+		}
 		if err != nil {
 			pe, ok := transport.AsPeerError(err)
 			if !ok {
@@ -1078,6 +1388,24 @@ func (c *Conn) writeLoop(p *peer) {
 	}
 }
 
+// errPingsAbandonedOnClose reports that a retried batch consisted solely of
+// liveness probes and the local endpoint began closing: the pings are
+// dropped rather than pressed through the retry budget, because a peer that
+// stopped answering while we ourselves are tearing down is almost always a
+// peer that finished the run and exited first, not a failure.
+var errPingsAbandonedOnClose = errors.New("tcp: closing: undelivered liveness probes abandoned")
+
+// pingsOnly reports whether every marshalled frame in the batch is a
+// KindPing probe (the wire kind is byte 4, after the length prefix).
+func pingsOnly(batch []*transport.WireBuf) bool {
+	for _, wb := range batch {
+		if len(wb.B) <= 4 || wb.B[4] != transport.KindPing {
+			return false
+		}
+	}
+	return true
+}
+
 // writeBatch writes a run of marshalled frames to the peer as one vectored
 // write, establishing or re-establishing the connection as needed. On a
 // partial write the connection is dropped (the receiver discards the
@@ -1096,6 +1424,12 @@ func (c *Conn) writeBatch(p *peer, batch []*transport.WireBuf) error {
 				Err: errors.New("transport killed")}
 		}
 		if attempt > 0 {
+			p.mu.Lock()
+			closing := p.closing
+			p.mu.Unlock()
+			if closing && pingsOnly(batch[done:]) {
+				return errPingsAbandonedOnClose
+			}
 			if time.Now().Add(backoff).After(deadline) {
 				return &transport.PeerError{Rank: p.rank, Phase: phase,
 					Err: fmt.Errorf("tcp: rank %d: sending to rank %d failed after %d attempts (retry deadline %v exceeded): %w",
@@ -1147,9 +1481,15 @@ func (c *Conn) peerConn(p *peer) (net.Conn, error) {
 	}
 	p.mu.Unlock()
 
-	conn, err := c.cfg.Dial(c.addrs[p.rank], c.cfg.DialTimeout)
+	c.addrMu.RLock()
+	addr := c.addrs[p.rank]
+	c.addrMu.RUnlock()
+	if addr == "" {
+		return nil, fmt.Errorf("rank %d not admitted (no address)", p.rank)
+	}
+	conn, err := c.cfg.Dial(addr, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("dial %s: %w", c.addrs[p.rank], err)
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	c.track(conn)
 	hello, err := transport.MarshalFrame(transport.WireFrame{
@@ -1166,7 +1506,7 @@ func (c *Conn) peerConn(p *peer) (net.Conn, error) {
 	if _, err := conn.Write(hello); err != nil {
 		c.untrack(conn)
 		conn.Close()
-		return nil, fmt.Errorf("hello to %s: %w", c.addrs[p.rank], err)
+		return nil, fmt.Errorf("hello to %s: %w", addr, err)
 	}
 	conn.SetWriteDeadline(time.Time{})
 	c.bytesSent.Add(int64(len(hello)))

@@ -398,6 +398,39 @@ func TestHeartbeatDetectsSilentPeerDeath(t *testing.T) {
 	}
 }
 
+func TestCloseAbandonsPingsToExitedPeer(t *testing.T) {
+	t.Parallel()
+	// End-of-run shutdown race: rank 1 finishes and closes first; rank 0's
+	// next heartbeat ping dials a listener that no longer exists. Once rank
+	// 0 itself begins closing, the undeliverable ping must be abandoned
+	// rather than pressed through the retry budget — a peer that exited
+	// while we are tearing down is not a failure, and Close must return nil.
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+		// Keep the retry budget far longer than this test: the failure must
+		// be averted by the closing check, not by winning a race against it.
+		cfg.DialBackoff = 50 * time.Millisecond
+		cfg.DialAttempts = 8
+	})
+	failed := make(chan transport.PeerError, 4)
+	conns[0].OnPeerFailure(func(pe transport.PeerError) { failed <- pe })
+
+	if err := conns[1].Close(); err != nil {
+		t.Fatalf("rank 1 close: %v", err)
+	}
+	// Let at least one heartbeat tick enqueue a ping to the departed peer so
+	// rank 0's writer is mid-retry against the dead listener.
+	time.Sleep(50 * time.Millisecond)
+	if err := conns[0].Close(); err != nil {
+		t.Fatalf("rank 0 close after peer exit: %v", err)
+	}
+	select {
+	case pe := <-failed:
+		t.Fatalf("peer-failure callback fired for a graceful shutdown: %v", pe)
+	default:
+	}
+}
+
 func TestKillStopsEndpointImmediately(t *testing.T) {
 	t.Parallel()
 	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
@@ -679,5 +712,138 @@ func TestSendValidation(t *testing.T) {
 	}
 	if err := c.Send(0, 0, nil); err == nil {
 		t.Fatal("Send on a closed transport succeeded")
+	}
+}
+
+// TestElasticJoin forms a 3-rank world with capacity 4, then rendezvouses a
+// fourth endpoint mid-run: the joiner adopts slot 3 and the full peer table,
+// rank 0 surfaces the join through OnJoinRequest, the other members admit
+// the newcomer, and data frames flow in both directions.
+func TestElasticJoin(t *testing.T) {
+	t.Parallel()
+	conns, inbox := startWorld(t, 3, func(rank int, cfg *Config) {
+		cfg.MaxSize = 4
+	})
+
+	joinCh := make(chan transport.JoinRequest, 1)
+	conns[0].OnJoinRequest(func(jr transport.JoinRequest) { joinCh <- jr })
+
+	joinInbox := make(chan transport.Frame, 64)
+	joiner, err := New(Config{
+		Join:             true,
+		MaxSize:          4,
+		Rendezvous:       conns[0].cfg.Rendezvous,
+		BootstrapTimeout: 20 * time.Second,
+	}, func(f transport.Frame) { joinInbox <- f })
+	if err != nil {
+		t.Fatalf("joiner New: %v", err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if joiner.Rank() != 3 || joiner.Size() != 4 {
+		t.Fatalf("joiner adopted rank=%d size=%d, want 3/4", joiner.Rank(), joiner.Size())
+	}
+
+	var jr transport.JoinRequest
+	select {
+	case jr = <-joinCh:
+	case <-time.After(15 * time.Second):
+		t.Fatal("rank 0 never surfaced the join request")
+	}
+	if jr.Rank != 3 || jr.Addr == "" {
+		t.Fatalf("join request %+v, want rank 3 with an address", jr)
+	}
+	// Non-root members learn the joiner's address out of band (in the real
+	// protocol, from rank 0's broadcast) and admit it.
+	for r := 1; r < 3; r++ {
+		if err := conns[r].AdmitPeer(jr.Rank, jr.Addr, jr.Flags); err != nil {
+			t.Fatalf("rank %d AdmitPeer: %v", r, err)
+		}
+	}
+
+	for r := 0; r < 3; r++ {
+		if err := conns[r].Send(3, 5, r*10); err != nil {
+			t.Fatalf("rank %d send to joiner: %v", r, err)
+		}
+		if err := joiner.Send(r, 6, 100+r); err != nil {
+			t.Fatalf("joiner send to rank %d: %v", r, err)
+		}
+	}
+	got := map[int]int{}
+	for _, f := range recvN(t, joinInbox, 3) {
+		got[f.Src] = f.Payload.(int)
+	}
+	for r := 0; r < 3; r++ {
+		if got[r] != r*10 {
+			t.Fatalf("joiner inbox from rank %d = %v, want %d", r, got[r], r*10)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		f := recvN(t, inbox[r], 1)[0]
+		if f.Src != 3 || f.Payload.(int) != 100+r {
+			t.Fatalf("rank %d got %+v from joiner, want src=3 payload=%d", r, f, 100+r)
+		}
+	}
+}
+
+// TestElasticJoinQueuedBeforeCallback checks the pending-join buffer: a join
+// that lands before OnJoinRequest is registered is flushed to the callback at
+// registration time instead of being lost.
+func TestElasticJoinQueuedBeforeCallback(t *testing.T) {
+	t.Parallel()
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.MaxSize = 3
+	})
+	joiner, err := New(Config{
+		Join:             true,
+		MaxSize:          3,
+		Rendezvous:       conns[0].cfg.Rendezvous,
+		BootstrapTimeout: 20 * time.Second,
+	}, func(transport.Frame) {})
+	if err != nil {
+		t.Fatalf("joiner New: %v", err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+
+	// The joiner's New returning means rank 0 already processed the hello, so
+	// the request is sitting in the pending buffer.
+	joinCh := make(chan transport.JoinRequest, 1)
+	conns[0].OnJoinRequest(func(jr transport.JoinRequest) { joinCh <- jr })
+	select {
+	case jr := <-joinCh:
+		if jr.Rank != 2 {
+			t.Fatalf("flushed join request %+v, want rank 2", jr)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("queued join request was not flushed on registration")
+	}
+}
+
+// TestElasticJoinWorldFull: once every latent slot is assigned, further
+// joiners are refused (their rendezvous gets no table) and fail by deadline.
+func TestElasticJoinWorldFull(t *testing.T) {
+	t.Parallel()
+	conns, _ := startWorld(t, 2, func(rank int, cfg *Config) {
+		cfg.MaxSize = 3
+	})
+	first, err := New(Config{
+		Join:             true,
+		MaxSize:          3,
+		Rendezvous:       conns[0].cfg.Rendezvous,
+		BootstrapTimeout: 20 * time.Second,
+	}, func(transport.Frame) {})
+	if err != nil {
+		t.Fatalf("first joiner: %v", err)
+	}
+	t.Cleanup(func() { first.Close() })
+
+	_, err = New(Config{
+		Join:             true,
+		MaxSize:          3,
+		Rendezvous:       conns[0].cfg.Rendezvous,
+		BootstrapTimeout: 1500 * time.Millisecond,
+		DialBackoff:      50 * time.Millisecond,
+	}, func(transport.Frame) {})
+	if err == nil {
+		t.Fatal("joiner beyond capacity was admitted")
 	}
 }

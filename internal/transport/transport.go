@@ -259,6 +259,69 @@ type FailureNotifier interface {
 	OnPeerFailure(func(PeerError))
 }
 
+// JoinRequest describes a would-be rank that reached the transport's
+// rendezvous mid-run (elastic join, DESIGN.md §15): the world rank the
+// bootstrap root assigned it, the data-listener address it advertises, and
+// its negotiated capability flags. The transport only performs the
+// handshake; admitting the rank into the running world (AdmitPeer on every
+// member, mpi.Grow, state transfer) is the upper layers' protocol.
+type JoinRequest struct {
+	Rank  int
+	Addr  string
+	Flags byte
+}
+
+// JoinNotifier is implemented by backends whose bootstrap root keeps
+// accepting rendezvous hellos after the initial world has formed.
+// OnJoinRequest registers a callback invoked once per admitted joiner, from
+// a backend goroutine; it must be registered before traffic flows and must
+// not block.
+type JoinNotifier interface {
+	OnJoinRequest(func(JoinRequest))
+}
+
+// PeerAdmitter is implemented by backends that can attach a new peer to an
+// already-running endpoint: AdmitPeer records the peer's address and
+// capability flags so subsequent sends toward rank dial it like any
+// bootstrap-time peer. The rank must lie within the endpoint's configured
+// capacity (tcp.Config.MaxSize). Shared-memory backends, whose worlds are
+// fixed at creation, simply don't implement the interface.
+type PeerAdmitter interface {
+	AdmitPeer(rank int, addr string, flags byte) error
+}
+
+// AsPeerAdmitter finds the first PeerAdmitter in c's wrapper chain.
+// Admission is control-plane state, not a frame, so unwrapping through
+// fault injectors is safe (they interpose on frames, not peer tables).
+func AsPeerAdmitter(c Conn) (PeerAdmitter, bool) {
+	for c != nil {
+		if pa, ok := c.(PeerAdmitter); ok {
+			return pa, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			break
+		}
+		c = u.Underlying()
+	}
+	return nil, false
+}
+
+// AsJoinNotifier finds the first JoinNotifier in c's wrapper chain.
+func AsJoinNotifier(c Conn) (JoinNotifier, bool) {
+	for c != nil {
+		if jn, ok := c.(JoinNotifier); ok {
+			return jn, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			break
+		}
+		c = u.Underlying()
+	}
+	return nil, false
+}
+
 // Killer is implemented by backends that can simulate an abrupt process
 // death for fault-injection tests: Kill tears the endpoint down instantly —
 // no drain, no goodbye frames — exactly as SIGKILL would. After Kill every
