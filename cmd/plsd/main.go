@@ -30,6 +30,9 @@ func main() {
 	model := flag.String("model", "resnet50", "proxy model name")
 	strategy := flag.String("strategy", "partial", "global | local | partial | corgi2")
 	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	autoQ := flag.Bool("auto-q", false, "with -strategy partial: retune Q online with the closed-loop controller — -q is the starting point; decisions are broadcast so every rank re-plans identically (must match on every rank)")
+	autoQMin := flag.Float64("auto-q-min", 0, "lower clamp of the -auto-q trajectory (0 with -auto-q-max 0 = the default policy clamps; must match on every rank)")
+	autoQMax := flag.Float64("auto-q-max", 0, "upper clamp of the -auto-q trajectory (must match on every rank)")
 	dataDir := flag.String("data-dir", "", "ingested on-disk dataset directory (cmd/plsingest) for -strategy corgi2; replaces -dataset and must name the same data on every rank")
 	cacheBytes := flag.Int64("cache-bytes", 0, "this rank's node-local cache budget in bytes for -strategy corgi2 (0 = unlimited; must match on every rank)")
 	groupEpochs := flag.Int("group-epochs", 1, "corgi2 epoch-group length: shard assignments reshuffle across ranks every this many epochs (must match on every rank)")
@@ -73,6 +76,9 @@ func main() {
 		WireCompress:    *wireCompress,
 		WireDedup:       *wireDedup,
 		SampleEncoding:  *sampleEncoding,
+		AutoQ:           *autoQ,
+		AutoQMin:        *autoQMin,
+		AutoQMax:        *autoQMax,
 		Seed:            *seed,
 		Timeout:         *timeout,
 		OnPeerFail:      *onPeerFail,

@@ -35,6 +35,9 @@ func main() {
 	workers := flag.Int("workers", 8, "number of data-parallel workers")
 	strategy := flag.String("strategy", "partial", "global | local | partial | corgi2")
 	q := flag.Float64("q", 0.1, "exchange fraction for -strategy partial")
+	autoQ := flag.Bool("auto-q", false, "with -strategy partial: retune Q online with the closed-loop controller — -q becomes the starting point, and every epoch boundary re-decides from gathered deterministic stats (no hand tuning; two same-seed runs stay bitwise identical)")
+	autoQMin := flag.Float64("auto-q-min", 0, "lower clamp of the -auto-q trajectory (0 with -auto-q-max 0 = the default policy clamps)")
+	autoQMax := flag.Float64("auto-q-max", 0, "upper clamp of the -auto-q trajectory")
 	dataDir := flag.String("data-dir", "", "ingested on-disk dataset directory (cmd/plsingest) for -strategy corgi2; replaces -dataset")
 	cacheBytes := flag.Int64("cache-bytes", 0, "per-rank node-local cache budget in bytes for -strategy corgi2 (0 = unlimited)")
 	groupEpochs := flag.Int("group-epochs", 1, "corgi2 epoch-group length: shard assignments reshuffle across ranks every this many epochs")
@@ -87,6 +90,9 @@ func main() {
 		WireCompress:    *wireCompress,
 		WireDedup:       *wireDedup,
 		SampleEncoding:  *sampleEncoding,
+		AutoQ:           *autoQ,
+		AutoQMin:        *autoQMin,
+		AutoQMax:        *autoQMax,
 		Seed:            *seed,
 		Timeout:         *timeout,
 		OnPeerFail:      *onPeerFail,
@@ -119,7 +125,8 @@ func main() {
 
 	runInproc(*workers, *strategy, *q, *dataset, *model, *dataDir, *cacheBytes,
 		*groupEpochs, *epochs, *batch, *lr, *locality, *lars, *overlapGrads,
-		*wireDedup, *sampleEncoding, *seed, *timeout, *saveWeights, *telemetryAddr,
+		*wireDedup, *sampleEncoding, *autoQ, *autoQMin, *autoQMax, *seed,
+		*timeout, *saveWeights, *telemetryAddr,
 		*checkpointDir, *checkpointEvery, *resume)
 }
 
@@ -166,6 +173,12 @@ func runLaunched(world int, opts distrun.Options) error {
 		"-wire-compress=" + strconv.FormatBool(opts.WireCompress),
 		"-wire-dedup=" + strconv.FormatBool(opts.WireDedup),
 		"-sample-encoding", opts.SampleEncoding,
+	}
+	if opts.AutoQ {
+		args = append(args,
+			"-auto-q",
+			"-auto-q-min", fmt.Sprint(opts.AutoQMin),
+			"-auto-q-max", fmt.Sprint(opts.AutoQMax))
 	}
 	if opts.CheckpointDir != "" {
 		args = append(args,
@@ -251,7 +264,8 @@ func runLaunched(world int, opts distrun.Options) error {
 // runInproc is the original single-process path (goroutine workers).
 func runInproc(workers int, strategy string, q float64, dataset, model, dataDir string,
 	cacheBytes int64, groupEpochs, epochs, batch int, lr, locality float64,
-	lars, overlapGrads, wireDedup bool, sampleEncoding string, seed uint64,
+	lars, overlapGrads, wireDedup bool, sampleEncoding string,
+	autoQ bool, autoQMin, autoQMax float64, seed uint64,
 	timeout time.Duration, saveWeights, telemetryAddr string,
 	checkpointDir string, checkpointEvery int, resume bool) {
 	var strat plshuffle.Strategy
@@ -343,6 +357,9 @@ func runInproc(workers int, strategy string, q float64, dataset, model, dataDir 
 			OverlapGrads:      overlapGrads,
 			WireDedup:         wireDedup,
 			SampleEncoding:    sampleEncoding,
+			AutoQ:             autoQ,
+			AutoQMin:          autoQMin,
+			AutoQMax:          autoQMax,
 			CheckpointDir:     checkpointDir,
 			CheckpointEvery:   checkpointEvery,
 			Resume:            resume,
@@ -377,6 +394,13 @@ func runInproc(workers int, strategy string, q float64, dataset, model, dataDir 
 	}
 	fmt.Printf("final=%.4f best=%.4f peak-storage/worker=%d bytes\n",
 		res.FinalValAcc, res.BestValAcc, res.PeakStorageBytes)
+	if autoQ {
+		fmt.Printf("controller q trajectory:")
+		for _, e := range res.Epochs {
+			fmt.Printf(" %g(%s)", e.ControllerQ, e.ControllerReason)
+		}
+		fmt.Println()
+	}
 	if saveWeights != "" {
 		f, err := os.Create(saveWeights)
 		if err != nil {

@@ -77,6 +77,16 @@ type Options struct {
 	// Every rank must agree.
 	SampleEncoding string
 
+	// AutoQ enables the closed-loop shuffle controller
+	// (train.Config.AutoQ; DESIGN.md §16): Q is retuned at every epoch
+	// boundary from gathered deterministic stats, with the decision
+	// broadcast so every rank re-plans identically. partial strategy only;
+	// every rank must agree.
+	AutoQ bool
+	// AutoQMin / AutoQMax clamp the controller's trajectory
+	// (0,0 = the default policy clamps).
+	AutoQMin, AutoQMax float64
+
 	// Timeout bounds the whole run. When it expires — typically because a
 	// peer died before reaching a collective — the rank unwinds with a clear
 	// error instead of blocking forever. Zero means no watchdog.
@@ -375,6 +385,9 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 		OverlapGrads:      o.OverlapGrads,
 		WireDedup:         o.WireDedup,
 		SampleEncoding:    o.SampleEncoding,
+		AutoQ:             o.AutoQ,
+		AutoQMin:          o.AutoQMin,
+		AutoQMax:          o.AutoQMax,
 		OnPeerFail:        o.OnPeerFail,
 		CheckpointDir:     o.CheckpointDir,
 		CheckpointEvery:   o.CheckpointEvery,
@@ -461,6 +474,16 @@ func trainRank(c *mpi.Comm, o Options, strat shuffle.Strategy, ds *data.Dataset,
 	if strat.Kind == shuffle.PartialLocal {
 		fmt.Fprintf(out, "exchange wire=%d bytes  dedup hits=%d saved=%d bytes\n",
 			exchWire, dedupHits, dedupSaved)
+	}
+	if o.AutoQ {
+		// The controller's per-epoch trajectory: the fraction each epoch
+		// planned with and the decision that set it. Two same-seed auto-Q
+		// worlds print identical lines — the decisions are deterministic.
+		fmt.Fprintf(out, "controller q trajectory:")
+		for _, e := range rr.Epochs {
+			fmt.Fprintf(out, " %g(%s)", e.ControllerQ, e.ControllerReason)
+		}
+		fmt.Fprintln(out)
 	}
 	// Checksum of the trained weights (CRC32C over the float bits, LE): two
 	// same-seed worlds must print the same value regardless of -wire-compress

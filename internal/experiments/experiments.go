@@ -113,6 +113,7 @@ func Registry() []struct {
 		{"hier-exchange", HierarchicalExchangeTable},
 		{"eventsim", EventSimVsModel},
 		{"importance", ImportanceSamplingTable},
+		{"autoq", AutoQTable},
 	}
 }
 

@@ -1,0 +1,182 @@
+package control
+
+import (
+	"testing"
+
+	"plshuffle/internal/analysis"
+)
+
+// testPolicy uses exactly-representable binary fractions (1/16 steps) so
+// the pinned trajectories below compare against exact float64 literals —
+// the same bitwise-determinism property the live protocol guarantees.
+func testPolicy() analysis.QPolicy {
+	p := analysis.DefaultQPolicy()
+	p.Step = 0.0625
+	p.MinQ = 0.0625
+	p.MaxQ = 0.5
+	return p
+}
+
+// epochObs is one epoch's gathered observations; world < 0 means "shrink to
+// |world| ranks and re-adopt the current Q before this epoch's decision"
+// (the degrade path's re-synchronization).
+type epochObs struct {
+	obs   []Obs
+	world int
+}
+
+// TestTrajectories replays canned multi-epoch stat traces — no live world —
+// and pins the exact Q value and reason of every decision.
+func TestTrajectories(t *testing.T) {
+	const n, m, b = 50000, 4, 16
+	flat := func(skew, comm float64, ranks int) []Obs {
+		obs := make([]Obs, ranks)
+		for i := range obs {
+			obs[i] = Obs{Skew: skew, CommRatio: comm}
+		}
+		return obs
+	}
+	cases := []struct {
+		name        string
+		q0          float64
+		trace       []epochObs
+		wantQ       []float64
+		wantReasons []string
+	}{
+		{
+			// Exchange fully hidden, exposure representative: the
+			// controller must not move a Q that is working.
+			name: "compute-bound",
+			q0:   0.25,
+			trace: []epochObs{
+				{obs: flat(0.01, 0.2, m)},
+				{obs: flat(0.015, 0.3, m)},
+				{obs: flat(0.01, 0.25, m)},
+			},
+			wantQ:       []float64{0.25, 0.25, 0.25},
+			wantReasons: []string{"hold", "hold", "hold"},
+		},
+		{
+			// Modeled exchange cost above compute on every rank: walk Q
+			// down a step per epoch until the floor, then report the clamp.
+			name: "comm-bound",
+			q0:   0.25,
+			trace: []epochObs{
+				{obs: flat(0.005, 2.5, m)},
+				{obs: flat(0.005, 2.5, m)},
+				{obs: flat(0.005, 2.5, m)},
+				{obs: flat(0.005, 2.5, m)},
+			},
+			wantQ:       []float64{0.1875, 0.125, 0.0625, 0.0625},
+			wantReasons: []string{"lower-hidden", "lower-hidden", "lower-hidden", "lower-clamp"},
+		},
+		{
+			// One rank's exposure skews hard (the max governs even if the
+			// others look fine): walk Q up to the ceiling, then clamp.
+			name: "skewed-exposure",
+			q0:   0.25,
+			trace: []epochObs{
+				{obs: []Obs{{Skew: 0.01, CommRatio: 0.2}, {Skew: 0.3, CommRatio: 0.2}, {Skew: 0.01, CommRatio: 0.2}, {Skew: 0.01, CommRatio: 0.2}}},
+				{obs: flat(0.3, 0.2, m)},
+				{obs: flat(0.3, 0.2, m)},
+				{obs: flat(0.3, 0.2, m)},
+				{obs: flat(0.3, 0.2, m)},
+			},
+			wantQ:       []float64{0.3125, 0.375, 0.4375, 0.5, 0.5},
+			wantReasons: []string{"raise-skew", "raise-skew", "raise-skew", "raise-skew", "raise-clamp"},
+		},
+		{
+			// A rank dies after epoch 1: the survivors shrink the world,
+			// re-adopt the running Q, and the controller keeps deciding
+			// from the same trajectory position — now under the survivors'
+			// (larger) non-domination threshold and their skewed exposure.
+			name: "degraded-world",
+			q0:   0.25,
+			trace: []epochObs{
+				{obs: flat(0.01, 0.2, m)},
+				{obs: flat(0.01, 0.2, m)},
+				{obs: flat(0.1, 0.2, m-1), world: -(m - 1)},
+				{obs: flat(0.1, 0.2, m-1)},
+			},
+			wantQ:       []float64{0.25, 0.25, 0.3125, 0.375},
+			wantReasons: []string{"hold", "hold", "raise-skew", "raise-skew"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(Config{N: n, M: m, B: b, Policy: testPolicy()}, tc.q0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e, step := range tc.trace {
+				if step.world < 0 {
+					c.SetWorld(-step.world)
+					c.Adopt(c.Q())
+				}
+				d, err := c.Decide(e, step.obs)
+				if err != nil {
+					t.Fatalf("epoch %d: %v", e, err)
+				}
+				if d.Q != tc.wantQ[e] || d.Reason != tc.wantReasons[e] {
+					t.Fatalf("epoch %d: decision (%v, %q), want (%v, %q)",
+						e, d.Q, d.Reason, tc.wantQ[e], tc.wantReasons[e])
+				}
+				if c.Q() != d.Q {
+					t.Fatalf("epoch %d: controller q %v diverged from decision %v", e, c.Q(), d.Q)
+				}
+				if d.Epoch != e {
+					t.Fatalf("epoch %d: decision stamped epoch %d", e, d.Epoch)
+				}
+			}
+		})
+	}
+}
+
+// TestNewClampsInitialQ: the starting fraction respects the operator's
+// clamp range from epoch 0.
+func TestNewClampsInitialQ(t *testing.T) {
+	cfg := Config{N: 50000, M: 4, B: 16, Policy: testPolicy()}
+	for _, tc := range []struct{ q0, want float64 }{
+		{0.25, 0.25},
+		{0.01, 0.0625},
+		{0.9, 0.5},
+	} {
+		c, err := New(cfg, tc.q0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Q() != tc.want {
+			t.Errorf("New(q0=%v): Q=%v, want %v", tc.q0, c.Q(), tc.want)
+		}
+	}
+}
+
+// TestInvalidInputs: bad world shapes, fractions, and empty observation
+// sets must error instead of deciding garbage.
+func TestInvalidInputs(t *testing.T) {
+	pol := testPolicy()
+	if _, err := New(Config{N: 0, M: 4, B: 16, Policy: pol}, 0.25); err == nil {
+		t.Error("New accepted n=0")
+	}
+	if _, err := New(Config{N: 100, M: 1, B: 16, Policy: pol}, 0.25); err == nil {
+		t.Error("New accepted m=1")
+	}
+	if _, err := New(Config{N: 100, M: 4, B: 0, Policy: pol}, 0.25); err == nil {
+		t.Error("New accepted b=0")
+	}
+	if _, err := New(Config{N: 100, M: 4, B: 16, Policy: pol}, 1.5); err == nil {
+		t.Error("New accepted q0=1.5")
+	}
+	bad := pol
+	bad.Step = 0
+	if _, err := New(Config{N: 100, M: 4, B: 16, Policy: bad}, 0.25); err == nil {
+		t.Error("New accepted a zero-step policy")
+	}
+	c, err := New(Config{N: 100, M: 4, B: 16, Policy: pol}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decide(0, nil); err == nil {
+		t.Error("Decide accepted an empty observation set")
+	}
+}

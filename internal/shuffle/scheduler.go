@@ -166,6 +166,27 @@ func (s *Scheduler) SetSampleEncoding(enc data.Encoding) error {
 	return nil
 }
 
+// SetQ retunes the exchange fraction for the NEXT epoch (the closed-loop
+// controller of DESIGN.md §16, or a fixed per-epoch schedule). It is legal
+// only between epochs — after Reset or CleanLocalStorage, before the next
+// Scheduling — because a mid-epoch change would desynchronize the
+// shared-seed plan the ranks already agreed on. Every rank must apply the
+// same Q before the same Scheduling; the controller's broadcast protocol
+// guarantees that.
+func (s *Scheduler) SetQ(q float64) error {
+	if s.state != stateIdle {
+		return fmt.Errorf("shuffle: SetQ: cannot retune mid-epoch")
+	}
+	if q < 0 || q > 1 {
+		return fmt.Errorf("shuffle: SetQ: fraction %v out of [0,1]", q)
+	}
+	s.q = q
+	return nil
+}
+
+// Q returns the exchange fraction the next Scheduling will plan with.
+func (s *Scheduler) Q() float64 { return s.q }
+
 // SetWireDedup enables exchange deduplication with the given per-directed-
 // pair byte budget (≤ 0 disables). Every rank must configure the same
 // budget — the protocol's correctness rests on sender mirror and receiver

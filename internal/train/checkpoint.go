@@ -36,6 +36,7 @@ import (
 	"sort"
 	"time"
 
+	"plshuffle/internal/analysis"
 	"plshuffle/internal/checkpoint"
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/nn"
@@ -60,11 +61,12 @@ func configFingerprint(cfg Config) string {
 	if cfg.Dataset != nil {
 		n = len(cfg.Dataset.Train)
 	}
-	desc := fmt.Sprintf("v1|n=%d|model=%+v|strat=%+v|b=%d|lr=%g|mom=%g|wd=%g|opt=%s|lars=%t|eta=%g|seed=%d|is=%t|enc=%s|sync=%t|full=%t|loc=%g|egs=%d",
+	desc := fmt.Sprintf("v2|n=%d|model=%+v|strat=%+v|b=%d|lr=%g|mom=%g|wd=%g|opt=%s|lars=%t|eta=%g|seed=%d|is=%t|enc=%s|sync=%t|full=%t|loc=%g|egs=%d|autoq=%t|qmin=%g|qmax=%g|qsched=%v",
 		n, cfg.Model, cfg.Strategy, cfg.BatchSize, cfg.BaseLR, cfg.Momentum,
 		cfg.WeightDecay, cfg.Optimizer, cfg.UseLARS, cfg.LARSEta, cfg.Seed,
 		cfg.ImportanceSampling, cfg.SampleEncoding, cfg.SyncBatchNormStats,
-		cfg.FullSyncBatchNorm, cfg.PartitionLocality, cfg.ExchangeGroupSize)
+		cfg.FullSyncBatchNorm, cfg.PartitionLocality, cfg.ExchangeGroupSize,
+		cfg.AutoQ, cfg.AutoQMin, cfg.AutoQMax, cfg.QSchedule)
 	return fmt.Sprintf("%08x", crc32.Checksum([]byte(desc), fingerprintTable))
 }
 
@@ -99,6 +101,14 @@ func (w *worker) snapshotSections() (map[string][]byte, error) {
 	}
 	if w.lossByID != nil {
 		sections["loss"] = encodeLossMap(w.lossByID)
+	}
+	if w.ctrl != nil {
+		// The controller's trajectory position. The boundary decides the
+		// NEXT epoch's Q before the snapshot is taken (train loop order), so
+		// a resume re-enters Scheduling with exactly the fraction the
+		// uninterrupted run would have used — the Q trajectory replays
+		// bitwise from any snapshot.
+		sections["controller"] = encodeControllerState(w.ctrlQ, w.ctrlReason)
 	}
 	return sections, nil
 }
@@ -284,6 +294,21 @@ func (w *worker) applyResume(rs *resumeState) error {
 		return fmt.Errorf("train: resume: snapshot is already at epoch %d of %d — nothing left to train (raise Epochs to extend the run)",
 			rs.meta.NextEpoch, w.cfg.Epochs)
 	}
+	if w.ctrl != nil {
+		cb, err := sec("controller")
+		if err != nil {
+			return err
+		}
+		q, reason, err := decodeControllerState(cb)
+		if err != nil {
+			return err
+		}
+		w.ctrl.Adopt(q)
+		if err := w.exchanger.SetQ(q); err != nil {
+			return fmt.Errorf("train: resume: %w", err)
+		}
+		w.ctrlQ, w.ctrlReason = q, reason
+	}
 	w.startEpoch = rs.meta.NextEpoch
 	w.generation = rs.meta.Generation
 	if rs.meta.Group != nil {
@@ -344,6 +369,27 @@ func decodeRNG(b []byte) ([][4]uint64, error) {
 		}
 	}
 	return states, nil
+}
+
+// encodeControllerState serializes the controller's trajectory position:
+// the exchange fraction's exact float64 bits plus the canonical reason code
+// of the decision that set it (analysis.ReasonCode).
+func encodeControllerState(q float64, reason string) []byte {
+	buf := make([]byte, 9)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(q))
+	buf[8] = analysis.ReasonCode(reason)
+	return buf
+}
+
+func decodeControllerState(b []byte) (float64, string, error) {
+	if len(b) != 9 {
+		return 0, "", fmt.Errorf("train: resume: controller section is %d bytes, want 9", len(b))
+	}
+	q := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if q < 0 || q > 1 || q != q {
+		return 0, "", fmt.Errorf("train: resume: controller fraction %v out of [0,1]", q)
+	}
+	return q, analysis.ReasonFromCode(b[8]), nil
 }
 
 // encodeLossMap serializes the importance-sampling loss table sorted by

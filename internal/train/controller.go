@@ -1,0 +1,206 @@
+// Closed-loop shuffle controller wiring (DESIGN.md §16). The decision
+// geometry is analysis.DecideQ and the trajectory bookkeeping is
+// control.Controller; this file owns the protocol that makes one decision
+// per epoch bitwise-identical on every rank:
+//
+//  1. After epoch e's collectives settle, every rank records two
+//     DETERMINISTIC observations — the total-variation distance between
+//     the labels it trained on and the global label distribution, and a
+//     MODELED exchange/compute cost ratio at fixed reference rates. Never
+//     wall-clock: two same-seed worlds observe identically.
+//  2. One Gather ships the observations to the group root; the root steps
+//     control.Controller.Decide and sends the resulting
+//     transport.QDecision to each member on the reserved control tag.
+//  3. Every member validates the decision's (generation, epoch) stamp,
+//     Adopts the root's float64 verbatim, and applies it with
+//     Scheduler.SetQ before epoch e+1's Scheduling re-plans from the
+//     shared seed at the new fraction.
+//
+// The step runs under the same Guard/reconcile machinery as the epoch
+// itself, so a peer death mid-protocol funnels into the ordinary degrade
+// recovery, which re-broadcasts the new root's Q (train.go step 5).
+package train
+
+import (
+	"fmt"
+
+	"plshuffle/internal/analysis"
+	"plshuffle/internal/mpi"
+	"plshuffle/internal/shuffle/control"
+	"plshuffle/internal/transport"
+)
+
+// ReasonSchedule is the trajectory label of an open-loop QSchedule replay —
+// the one reason the closed loop never emits (see analysis.QReasons for the
+// decision reasons proper).
+const ReasonSchedule = "schedule"
+
+// Fixed reference rates for the modeled cost ratio. The absolute values are
+// a nominal 1 GB/s interconnect against 10 GFLOP/s of compute; only their
+// RATIO matters (it scales where "exchange stops hiding behind compute"
+// trips), and fixing both keeps the observation a pure function of the
+// run's configuration and seed.
+const (
+	refWireBytesPerSec = 1e9
+	refFlopsPerSec     = 1e10
+)
+
+// ctrlTag is the reserved tag of epoch's QDecision messages. Bit 23 keys the
+// control plane: exchange tags are the raw epoch (< 2^20), admission tags
+// live at 2^22+rank, and checkpoint tags are (generation+1)<<24 + nextEpoch
+// with bit 23 clear — so a generation-salted tag with bit 23 set can alias
+// none of them, and a stale decision from before a group re-formation can
+// never be mistaken for a live one.
+func ctrlTag(generation, epoch int) int {
+	return (generation+1)<<24 | 1<<23 | epoch
+}
+
+// initController builds the worker's controller from the run configuration:
+// the default policy with the operator's clamps, the dataset's global label
+// histogram, and Strategy.Q as the trajectory's (clamped) starting point,
+// applied to the exchange scheduler before the first epoch plans.
+func (w *worker) initController() error {
+	cfg := w.cfg
+	pol := analysis.DefaultQPolicy()
+	if cfg.AutoQMin != 0 || cfg.AutoQMax != 0 {
+		pol.MinQ, pol.MaxQ = cfg.AutoQMin, cfg.AutoQMax
+	}
+	ctrl, err := control.New(control.Config{
+		N: len(cfg.Dataset.Train), M: w.comm.GroupSize(), B: cfg.BatchSize, Policy: pol,
+	}, cfg.Strategy.Q)
+	if err != nil {
+		return err
+	}
+	w.ctrl = ctrl
+	w.ctrlQ, w.ctrlReason = ctrl.Q(), analysis.ReasonHold
+	if err := w.exchanger.SetQ(w.ctrlQ); err != nil {
+		return err
+	}
+	n := len(cfg.Dataset.Train)
+	w.globalHist = make([]float64, cfg.Dataset.Classes)
+	for _, s := range cfg.Dataset.Train {
+		w.globalHist[s.Label]++
+	}
+	for i := range w.globalHist {
+		w.globalHist[i] /= float64(n)
+	}
+	return nil
+}
+
+// observeEpoch records the epoch's controller observations from the sample
+// IDs this rank trained on and the epoch's final exchange volume.
+func (w *worker) observeEpoch(trained []int, es *EpochStats) {
+	// Label-exposure skew: total-variation distance between the epoch's
+	// trained-label distribution and the global one. Zero for a perfectly
+	// representative epoch, approaching one when the rank saw only classes
+	// the rest of the world barely holds.
+	hist := make([]float64, len(w.globalHist))
+	for _, id := range trained {
+		if l := w.cfg.Dataset.Train[id].Label; l >= 0 && l < len(hist) {
+			hist[l]++
+		}
+	}
+	var skew float64
+	if n := float64(len(trained)); n > 0 {
+		for c, g := range w.globalHist {
+			d := hist[c]/n - g
+			if d < 0 {
+				d = -d
+			}
+			skew += d
+		}
+		skew /= 2
+	}
+	// Modeled cost ratio: the epoch's simulated exchange bytes at the
+	// reference wire rate against its compute at ~6 flops per parameter per
+	// sample (forward + backward). Above 1, the exchange could no longer
+	// hide behind compute on this rank even in the overlapped schedule.
+	comm := 0.0
+	if flops := float64(len(trained)) * 6 * float64(w.paramCount()); flops > 0 {
+		comm = (float64(es.ExchangeBytes) / refWireBytesPerSec) /
+			(flops / refFlopsPerSec)
+	}
+	w.obsSkew, w.obsComm = skew, comm
+}
+
+func (w *worker) paramCount() int {
+	n := 0
+	for _, p := range w.params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// controllerStep runs the epoch-boundary control round described in the
+// file header. Call it under a Guard after epoch's stats are final and
+// before the checkpoint for epoch+1 snapshots.
+func (w *worker) controllerStep(epoch int) error {
+	group := w.comm.GroupRanks()
+	root := group[0]
+	obs := mpi.Gather(w.comm, []float64{w.obsSkew, w.obsComm}, root)
+	tag := ctrlTag(w.generation, epoch)
+	var dec transport.QDecision
+	if w.comm.Rank() == root {
+		all := make([]control.Obs, 0, len(group))
+		for g := 0; g < len(group); g++ {
+			all = append(all, control.Obs{Skew: obs[2*g], CommRatio: obs[2*g+1]})
+		}
+		d, err := w.ctrl.Decide(epoch, all)
+		if err != nil {
+			return err
+		}
+		dec = transport.QDecision{
+			Generation: int64(w.generation),
+			Epoch:      int64(epoch),
+			Q:          d.Q,
+			Reason:     analysis.ReasonCode(d.Reason),
+		}
+		for _, r := range group {
+			if r == root {
+				continue
+			}
+			if pe := w.comm.SendPeerAware(r, tag, dec); pe != nil {
+				return pe
+			}
+		}
+	} else {
+		inGroup := make(map[int]bool, len(group))
+		for _, r := range group {
+			inGroup[r] = true
+		}
+		req := w.comm.Irecv(root, tag)
+		payload, _, err := w.comm.WaitPeerAware(req, func(r int) bool { return !inGroup[r] })
+		if err != nil {
+			return fmt.Errorf("receiving Q decision for epoch %d: %w", epoch, err)
+		}
+		got, ok := payload.(transport.QDecision)
+		if !ok {
+			return fmt.Errorf("malformed Q decision for epoch %d: %T", epoch, payload)
+		}
+		if got.Generation != int64(w.generation) || got.Epoch != int64(epoch) {
+			return fmt.Errorf("stale Q decision: got (gen %d, epoch %d), want (gen %d, epoch %d)",
+				got.Generation, got.Epoch, w.generation, epoch)
+		}
+		dec = got
+		// Adopt the root's float64 verbatim — the trajectory is the root's,
+		// bit for bit.
+		w.ctrl.Adopt(dec.Q)
+	}
+	return w.applyQDecision(dec)
+}
+
+// applyQDecision installs a decided (or adopted) fraction: the scheduler
+// re-plans the NEXT epoch from the shared seed at this Q, and the stats and
+// telemetry trajectory advance. The exchange window is closed at every call
+// site (epoch boundary, post-recovery), so SetQ cannot race a live plan.
+func (w *worker) applyQDecision(dec transport.QDecision) error {
+	if err := w.exchanger.SetQ(dec.Q); err != nil {
+		return err
+	}
+	w.ctrlQ = dec.Q
+	w.ctrlReason = analysis.ReasonFromCode(dec.Reason)
+	if w.cm != nil {
+		w.cm.Note(w.ctrlQ, w.ctrlReason)
+	}
+	return nil
+}

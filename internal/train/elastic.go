@@ -169,6 +169,22 @@ func (w *worker) applyJoins(epoch int, joins []transport.JoinRequest) error {
 	for _, p := range w.params {
 		mpi.Bcast(w.comm, p.W, root)
 	}
+	if w.ctrl != nil {
+		// The joiner adopts the running controller trajectory the same way
+		// it adopts the weights: the group root's Q wins, bit for bit, and
+		// every member's threshold moves with the grown world.
+		qbuf := []float64{w.ctrl.Q()}
+		mpi.Bcast(w.comm, qbuf, root)
+		w.ctrl.Adopt(qbuf[0])
+		w.ctrl.SetWorld(w.comm.GroupSize())
+		if err := w.exchanger.SetQ(qbuf[0]); err != nil {
+			return err
+		}
+		w.ctrlQ = qbuf[0]
+		if w.cm != nil {
+			w.cm.Q.Set(w.ctrlQ)
+		}
+	}
 	// Re-created optimizer state (zeroed moments) is the one state every
 	// member and joiner can agree on without shipping buffers — the same
 	// convention the failure-recovery path uses.
@@ -244,6 +260,21 @@ func JoinRank(c *mpi.Comm, cfg Config) (*RankResult, error) {
 	root := adm.group[0]
 	for _, p := range w.params {
 		mpi.Bcast(c, p.W, root)
+	}
+	if w.ctrl != nil {
+		// Counterpart of the members' trajectory broadcast in applyJoins:
+		// the joiner's freshly built controller adopts the running Q.
+		qbuf := []float64{w.ctrl.Q()}
+		mpi.Bcast(c, qbuf, root)
+		w.ctrl.Adopt(qbuf[0])
+		w.ctrl.SetWorld(c.GroupSize())
+		if err := w.exchanger.SetQ(qbuf[0]); err != nil {
+			return nil, err
+		}
+		w.ctrlQ = qbuf[0]
+		if w.cm != nil {
+			w.cm.Q.Set(w.ctrlQ)
+		}
 	}
 	if w.local != nil {
 		if _, err := shuffle.Rebalance(c, w.local, cfg.Seed, adm.epoch); err != nil {

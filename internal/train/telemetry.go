@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"plshuffle/internal/analysis"
 	"plshuffle/internal/telemetry"
 	"plshuffle/internal/transport"
 )
@@ -34,6 +35,8 @@ import (
 //	pls_transport_frames_total         frames {direction}
 //	pls_transport_frames_by_kind_total frames {direction,kind}
 //	pls_transport_peer_silence_seconds seconds since a peer was last heard {peer}
+//	pls_controller_q                   exchange fraction in force (gauge)
+//	pls_controller_decisions_total     controller decisions applied {reason}
 func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 	rank := w.comm.Rank()
 	l := telemetry.Labels{"rank": strconv.Itoa(rank)}
@@ -92,6 +95,13 @@ func (w *worker) registerTelemetry(reg *telemetry.Registry) {
 		reg.CounterFunc("pls_exchange_bytes_saved",
 			"Exchange wire bytes the dedup references elided (cumulative; hypothetical full frames minus metered frames).", l,
 			func() float64 { _, s := ex.CumulativeDedup(); return float64(s) })
+	}
+
+	// --- closed-loop shuffle controller (AutoQ / QSchedule; DESIGN.md §16) ---
+	if w.ctrl != nil || len(w.cfg.QSchedule) > 0 {
+		w.cm = telemetry.NewControllerMetrics(append(analysis.QReasons(), ReasonSchedule))
+		w.cm.Register(reg, rank)
+		w.cm.Q.Set(w.ctrlQ)
 	}
 
 	// --- storage hierarchy (Corgi2 only) ---

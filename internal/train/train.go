@@ -25,6 +25,7 @@ import (
 	"plshuffle/internal/mpi"
 	"plshuffle/internal/nn"
 	"plshuffle/internal/shuffle"
+	"plshuffle/internal/shuffle/control"
 	"plshuffle/internal/store"
 	"plshuffle/internal/store/cache"
 	"plshuffle/internal/store/shard"
@@ -188,6 +189,26 @@ type Config struct {
 	// new membership. A fresh rank enters a running world through JoinRank.
 	Elastic bool
 
+	// AutoQ enables the closed-loop shuffle controller (DESIGN.md §16):
+	// after every epoch the group root gathers each rank's deterministic
+	// observations (label-exposure skew and the modeled exchange/compute
+	// cost ratio), steps the pure decision function analysis.DecideQ, and
+	// broadcasts the new exchange fraction on a reserved control tag before
+	// the next Scheduling. Strategy.Q becomes the starting point of the
+	// trajectory rather than a fixed constant. PartialLocal only.
+	AutoQ bool
+	// AutoQMin / AutoQMax clamp the controller's trajectory (0,0 = the
+	// default policy clamps [0.05, 0.5]). Both must lie in [0,1] with
+	// AutoQMin ≤ AutoQMax.
+	AutoQMin, AutoQMax float64
+	// QSchedule, when non-empty, pins epoch e's exchange fraction to
+	// QSchedule[min(e, len-1)] — a deterministic open-loop replay of a
+	// recorded controller trajectory (the bitwise acceptance harness:
+	// an AutoQ run and a QSchedule replay of its trajectory must produce
+	// crc32c-identical weights). Mutually exclusive with AutoQ;
+	// PartialLocal only.
+	QSchedule []float64
+
 	// testIterHook, when non-nil, runs at the top of every training
 	// iteration (after the epoch's exchange is scheduled). Tests use it to
 	// inject deterministic faults — e.g. kill this rank's transport at a
@@ -258,6 +279,22 @@ func (c Config) Validate() error {
 	if c.Resume && c.CheckpointDir == "" {
 		return fmt.Errorf("train: Resume requires CheckpointDir")
 	}
+	if c.AutoQ || len(c.QSchedule) > 0 {
+		if c.Strategy.Kind != shuffle.PartialLocal {
+			return fmt.Errorf("train: AutoQ/QSchedule retune the exchange fraction and need strategy pls")
+		}
+		if c.AutoQ && len(c.QSchedule) > 0 {
+			return fmt.Errorf("train: AutoQ and QSchedule are mutually exclusive (closed loop vs open-loop replay)")
+		}
+	}
+	if c.AutoQMin < 0 || c.AutoQMax > 1 || c.AutoQMin > c.AutoQMax {
+		return fmt.Errorf("train: AutoQ clamps [%v, %v] out of order or out of [0,1]", c.AutoQMin, c.AutoQMax)
+	}
+	for i, q := range c.QSchedule {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("train: QSchedule[%d] = %v out of [0,1]", i, q)
+		}
+	}
 	return c.Model.Validate()
 }
 
@@ -304,6 +341,14 @@ type EpochStats struct {
 	// configured Q while every peer is alive; meaningful only for the
 	// partial-local strategy (zero otherwise).
 	EffectiveQ float64
+	// ControllerQ is the exchange fraction this epoch actually planned with
+	// — the controller's (or QSchedule's) trajectory, scrape-able live as
+	// pls_controller_q. Zero when neither AutoQ nor QSchedule is in force.
+	// ControllerReason is the canonical label of the decision that set it
+	// ("hold", "raise-skew", "raise-clamp", "lower-hidden", "lower-clamp",
+	// or "schedule" for open-loop replay).
+	ControllerQ      float64
+	ControllerReason string
 	// Disrupted marks the epoch during which a peer failure unwound this
 	// rank's collectives in degrade mode: its remaining gradient steps
 	// were abandoned while the survivors re-formed the group, and its
@@ -593,6 +638,23 @@ type worker struct {
 	// admission message propagates the flag to joiners so every member runs
 	// the same collectives.
 	shortData bool
+
+	// Closed-loop controller state (DESIGN.md §16). ctrl owns the Q
+	// trajectory (nil unless cfg.AutoQ); every rank holds one so survivors
+	// and joiners can adopt the running Q without re-deriving it, but only
+	// the group root Decides. ctrlQ/ctrlReason mirror the fraction the next
+	// Scheduling will plan with and the decision that set it (QSchedule
+	// replays stamp reason "schedule"). globalHist is the dataset's global
+	// label distribution, fixed at construction; obsSkew/obsComm are the
+	// epoch's deterministic observations (label-exposure total variation
+	// and the modeled exchange/compute cost ratio) the control gather
+	// ships to the root. cm is the controller's telemetry bundle.
+	ctrl             *control.Controller
+	ctrlQ            float64
+	ctrlReason       string
+	globalHist       []float64
+	obsSkew, obsComm float64
+	cm               *telemetry.ControllerMetrics
 }
 
 func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *store.PFS, rs *resumeState) (*worker, error) {
@@ -701,6 +763,18 @@ func newWorker(c *mpi.Comm, cfg Config, sched nn.Schedule, parts [][]int, pfs *s
 					budget = DefaultWireDedupBudget
 				}
 				if err := w.exchanger.SetWireDedup(budget); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.AutoQ {
+				if err := w.initController(); err != nil {
+					return nil, err
+				}
+			} else if len(cfg.QSchedule) > 0 {
+				// Open-loop replay: the trajectory is the schedule itself;
+				// epoch 0's value applies before the first Scheduling.
+				w.ctrlQ, w.ctrlReason = cfg.QSchedule[0], ReasonSchedule
+				if err := w.exchanger.SetQ(w.ctrlQ); err != nil {
 					return nil, err
 				}
 			}
@@ -861,6 +935,21 @@ func (w *worker) train() ([]EpochStats, error) {
 		trained := err == nil
 		if err == nil {
 			stats = append(stats, es)
+			// The controller retunes Q at this boundary — after the epoch's
+			// collectives settle, BEFORE the snapshot — so the checkpoint
+			// already carries the next epoch's decided fraction and a resume
+			// replays the trajectory bitwise (DESIGN.md §16). It runs at the
+			// FINAL boundary too: a run stopped at Epochs=k and resumed must
+			// see the same decision the uninterrupted run made there. A peer
+			// death during the gather or broadcast funnels into the same
+			// recovery as a mid-epoch one.
+			if w.ctrl != nil {
+				if cerr := w.comm.Guard(func() error { return w.controllerStep(epoch) }); cerr != nil {
+					err = fmt.Errorf("controller step after epoch %d: %w", epoch, cerr)
+				}
+			}
+		}
+		if err == nil {
 			// Snapshot AFTER the epoch's collectives settle: every rank
 			// reaches this point at the same step, so all ranks snapshot the
 			// same state. A peer may still die while the boundary drains (a
@@ -1158,6 +1247,24 @@ func (w *worker) recoverPeerFailure(epoch int, first *transport.PeerError, es *E
 	for _, p := range w.params {
 		mpi.Bcast(w.comm, p.W, root)
 	}
+	if w.ctrl != nil {
+		// The controller trajectory survives the shrink: the new root's Q
+		// wins (survivors can be one decision apart if the death struck
+		// inside the control broadcast), and the non-domination threshold
+		// moves with the smaller world. SetQ is legal here — recovery left
+		// the exchange window closed (finishExchange or Reset above).
+		qbuf := []float64{w.ctrl.Q()}
+		mpi.Bcast(w.comm, qbuf, root)
+		w.ctrl.Adopt(qbuf[0])
+		w.ctrl.SetWorld(w.comm.GroupSize())
+		if serr := w.exchanger.SetQ(qbuf[0]); serr != nil {
+			return 0, serr
+		}
+		w.ctrlQ = qbuf[0]
+		if w.cm != nil {
+			w.cm.Q.Set(w.ctrlQ) // adoption, not a decision: gauge only
+		}
+	}
 	w.opt = newOptimizer(w.cfg)
 	if w.cfg.OverlapGrads {
 		w.setupOverlap()
@@ -1334,6 +1441,21 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 	// (Q·b samples per iteration, Section III-C).
 	chunk := 0
 	if w.exchanger != nil {
+		if sch := w.cfg.QSchedule; len(sch) > 0 {
+			// Open-loop replay: pin this epoch's fraction from the schedule
+			// before planning (past the end, the last entry holds).
+			idx := epoch
+			if idx >= len(sch) {
+				idx = len(sch) - 1
+			}
+			if err := w.exchanger.SetQ(sch[idx]); err != nil {
+				return err
+			}
+			w.ctrlQ, w.ctrlReason = sch[idx], ReasonSchedule
+			if w.cm != nil {
+				w.cm.Note(w.ctrlQ, w.ctrlReason)
+			}
+		}
 		if w.lossByID != nil {
 			w.exchanger.SetSendPriority(w.lossByID)
 		}
@@ -1342,6 +1464,11 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		}
 		w.exchEpoch = epoch
 		chunk = (w.exchanger.Slots() + iters - 1) / iters
+		if w.ctrl != nil || len(w.cfg.QSchedule) > 0 {
+			// The fraction this epoch actually planned with — the controller
+			// (or schedule) trajectory the stats and telemetry expose.
+			es.ControllerQ, es.ControllerReason = w.ctrlQ, w.ctrlReason
+		}
 	}
 
 	lr := w.sched.LR(float64(epoch))
@@ -1463,6 +1590,12 @@ func (w *worker) runEpoch(epoch int, es *EpochStats) error {
 		if w.tm != nil {
 			w.tm.ExchangeNs.Add(int64(d))
 		}
+	}
+	if w.ctrl != nil {
+		// Record the epoch's deterministic controller observations now that
+		// the exchange volumes are final; the control gather at the epoch
+		// boundary ships them to the root.
+		w.observeEpoch(ids[:iters*b], es)
 	}
 	if w.stream != nil {
 		w.stream.Close()
